@@ -1,0 +1,461 @@
+package repro
+
+// The benchmark harness: one benchmark per evaluation artifact of the
+// paper (see DESIGN.md's per-experiment index). Where the artifact is
+// a communication count, the benchmark reports it via ReportMetric
+// (words/op or words/proc) alongside wall time, so `go test -bench=.`
+// regenerates the quantities behind every table-like claim and figure.
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/cachesim"
+	"repro/internal/comm"
+	"repro/internal/costmodel"
+	"repro/internal/cpals"
+	"repro/internal/dimtree"
+	"repro/internal/hbl"
+	"repro/internal/lp"
+	"repro/internal/memsim"
+	"repro/internal/par"
+	"repro/internal/pebble"
+	"repro/internal/seq"
+	"repro/internal/simnet"
+	"repro/internal/sparse"
+	"repro/internal/tensor"
+	"repro/internal/trace"
+	"repro/internal/tucker"
+	"repro/internal/workload"
+)
+
+func benchProblem(b *testing.B, side, R int) (*tensor.Dense, []*tensor.Matrix) {
+	b.Helper()
+	inst, err := workload.Generate(workload.Cubical(3, side, R, 42))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return inst.X, inst.Factors
+}
+
+// BenchmarkMTTKRPKernel measures the plain atomic kernel (Definition
+// 2.1) — the baseline local computation of every algorithm.
+func BenchmarkMTTKRPKernel(b *testing.B) {
+	x, fs := benchProblem(b, 32, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		seq.Ref(x, fs, 0)
+	}
+}
+
+// BenchmarkMTTKRPKernelWorkers measures the shared-memory parallel
+// kernel's multicore scaling.
+func BenchmarkMTTKRPKernelWorkers(b *testing.B) {
+	x, fs := benchProblem(b, 32, 16)
+	for _, w := range []int{1, 2, 4, 8} {
+		w := w
+		b.Run(sizeName("w", int64(w)), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				seq.RefParallel(x, fs, 0, w)
+			}
+		})
+	}
+}
+
+// BenchmarkTreeALS compares plain ALS sweeps with the Phan-style
+// prefix-reuse sweeps (identical mathematics, fewer operations).
+func BenchmarkTreeALS(b *testing.B) {
+	inst, err := workload.Generate(workload.Cubical(4, 10, 4, 42))
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := cpals.Options{R: 4, MaxIters: 3, Tol: 0, Seed: 5}
+	b.Run("plain", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := cpals.Decompose(inst.X, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("tree", func(b *testing.B) {
+		var flops int64
+		for i := 0; i < b.N; i++ {
+			_, _, f, err := cpals.DecomposeTree(inst.X, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			flops = f
+		}
+		b.ReportMetric(float64(flops), "mttkrp-flops")
+	})
+}
+
+// BenchmarkLocalKernels compares the atomic kernel with the
+// atomicity-breaking local KRP+GEMM variant (E12: Eq. (17)) — same
+// result, fewer operations.
+func BenchmarkLocalKernels(b *testing.B) {
+	x, fs := benchProblem(b, 24, 16)
+	b.Run("atomic", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			seq.Ref(x, fs, 0)
+		}
+	})
+	b.Run("krp-gemm", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res, err := seq.ViaMatmul(x, fs, 0, memsim.New(1<<20))
+			if err != nil {
+				b.Fatal(err)
+			}
+			_ = res
+		}
+	})
+}
+
+// BenchmarkSeqBlockedComm regenerates E3 (Theorem 6.1): blocked
+// algorithm words across fast-memory sizes; words/op is the measured
+// communication.
+func BenchmarkSeqBlockedComm(b *testing.B) {
+	x, fs := benchProblem(b, 16, 8)
+	for _, M := range []int64{64, 256, 1024, 4096} {
+		M := M
+		b.Run(sizeName("M", M), func(b *testing.B) {
+			blk, err := seq.ChooseBlock(M, 3, 0.9)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var words int64
+			for i := 0; i < b.N; i++ {
+				res, err := seq.Blocked(x, fs, 0, blk, memsim.New(M))
+				if err != nil {
+					b.Fatal(err)
+				}
+				words = res.Counts.Words()
+			}
+			b.ReportMetric(float64(words), "words/op")
+		})
+	}
+}
+
+// BenchmarkSeqVsMatmul regenerates E4 (Section VI-A): blocked vs
+// via-matmul at one machine size.
+func BenchmarkSeqVsMatmul(b *testing.B) {
+	x, fs := benchProblem(b, 16, 32)
+	const M = 512
+	b.Run("blocked", func(b *testing.B) {
+		blk, err := seq.ChooseBlock(M, 3, 0.9)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var words int64
+		for i := 0; i < b.N; i++ {
+			res, err := seq.Blocked(x, fs, 0, blk, memsim.New(M))
+			if err != nil {
+				b.Fatal(err)
+			}
+			words = res.Counts.Words()
+		}
+		b.ReportMetric(float64(words), "words/op")
+	})
+	b.Run("via-matmul", func(b *testing.B) {
+		var words int64
+		for i := 0; i < b.N; i++ {
+			res, err := seq.ViaMatmul(x, fs, 0, memsim.New(M))
+			if err != nil {
+				b.Fatal(err)
+			}
+			words = res.Counts.Words()
+		}
+		b.ReportMetric(float64(words), "words/op")
+	})
+}
+
+// BenchmarkSeqUnblocked regenerates the Algorithm 1 cost line: exactly
+// I + IR(N+1) words.
+func BenchmarkSeqUnblocked(b *testing.B) {
+	x, fs := benchProblem(b, 12, 4)
+	var words int64
+	for i := 0; i < b.N; i++ {
+		res, err := seq.Unblocked(x, fs, 0, memsim.New(64))
+		if err != nil {
+			b.Fatal(err)
+		}
+		words = res.Counts.Words()
+	}
+	b.ReportMetric(float64(words), "words/op")
+}
+
+// BenchmarkParStationary regenerates E5's Algorithm 3 rows: measured
+// per-processor words across P, with grids chosen by the exact cost
+// model.
+func BenchmarkParStationary(b *testing.B) {
+	x, fs := benchProblem(b, 16, 8)
+	for _, P := range []int{2, 8, 64} {
+		P := P
+		b.Run(sizeName("P", int64(P)), func(b *testing.B) {
+			shape, err := costmodel.BestStationaryExact(x.Dims(), 8, P)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var words int64
+			for i := 0; i < b.N; i++ {
+				res, err := par.Stationary(x, fs, 0, shape)
+				if err != nil {
+					b.Fatal(err)
+				}
+				words = res.MaxWords()
+			}
+			b.ReportMetric(float64(words), "words/proc")
+		})
+	}
+}
+
+// BenchmarkParGeneral regenerates E5's Algorithm 4 rows.
+func BenchmarkParGeneral(b *testing.B) {
+	x, fs := benchProblem(b, 16, 8)
+	for _, P := range []int{2, 8, 64} {
+		P := P
+		b.Run(sizeName("P", int64(P)), func(b *testing.B) {
+			shape, err := costmodel.BestGeneralExact(x.Dims(), 8, P)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var words int64
+			for i := 0; i < b.N; i++ {
+				res, err := par.General(x, fs, 0, shape)
+				if err != nil {
+					b.Fatal(err)
+				}
+				words = res.MaxWords()
+			}
+			b.ReportMetric(float64(words), "words/proc")
+		})
+	}
+}
+
+// BenchmarkParViaMatmul regenerates E5's baseline rows — the flat
+// curve of Figure 4 measured on the simulator.
+func BenchmarkParViaMatmul(b *testing.B) {
+	x, fs := benchProblem(b, 16, 8)
+	for _, P := range []int{2, 8, 64} {
+		P := P
+		b.Run(sizeName("P", int64(P)), func(b *testing.B) {
+			var words int64
+			for i := 0; i < b.N; i++ {
+				res, err := par.ViaMatmul1D(x, fs, 0, P)
+				if err != nil {
+					b.Fatal(err)
+				}
+				words = res.MaxWords()
+			}
+			b.ReportMetric(float64(words), "words/proc")
+		})
+	}
+}
+
+// BenchmarkFig4Model regenerates E1/E2: the full Figure 4 sweep (31
+// points, three curves, exhaustive power-of-two grid search at each).
+func BenchmarkFig4Model(b *testing.B) {
+	var rows []costmodel.Fig4Row
+	for i := 0; i < b.N; i++ {
+		rows = costmodel.Fig4Series(30)
+	}
+	c := costmodel.ComputeFig4Callouts(rows)
+	b.ReportMetric(float64(c.DivergeExp), "diverge-exp")
+	b.ReportMetric(c.RatioAt17, "ratio@2^17")
+}
+
+// BenchmarkCPALS regenerates E10: sequential and distributed CP-ALS
+// sweeps, reporting the parallel run's MTTKRP communication share.
+func BenchmarkCPALS(b *testing.B) {
+	inst, err := workload.Generate(workload.Spec{
+		Dims: []int{16, 16, 16}, R: 4, Seed: 7, Noise: 0.01,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := cpals.Options{R: 4, MaxIters: 5, Tol: 0, Seed: 9}
+	b.Run("sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := cpals.Decompose(inst.X, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("parallel-2x2x2", func(b *testing.B) {
+		var share float64
+		for i := 0; i < b.N; i++ {
+			res, err := cpals.DecomposeParallel(inst.X, []int{2, 2, 2}, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			mt, ot := res.MaxMTTKRPWords(), res.MaxOtherWords()
+			share = float64(mt) / float64(mt+ot)
+		}
+		b.ReportMetric(100*share, "mttkrp-comm-%")
+	})
+}
+
+// BenchmarkDimTree regenerates E14: all-modes MTTKRP via a dimension
+// tree versus N independent atomic passes; flops-saved is the ratio.
+func BenchmarkDimTree(b *testing.B) {
+	inst, err := workload.Generate(workload.Cubical(4, 12, 8, 42))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("tree", func(b *testing.B) {
+		var flops int64
+		for i := 0; i < b.N; i++ {
+			flops = dimtree.AllModes(inst.X, inst.Factors).Flops
+		}
+		b.ReportMetric(float64(dimtree.NaiveFlops(inst.X.Dims(), 8))/float64(flops), "flops-saved-x")
+	})
+	b.Run("independent", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for n := 0; n < 4; n++ {
+				seq.Ref(inst.X, inst.Factors, n)
+			}
+		}
+	})
+}
+
+// BenchmarkLRUReplay regenerates E13: LRU traffic of the blocked and
+// unblocked orderings at one machine size.
+func BenchmarkLRUReplay(b *testing.B) {
+	dims := []int{12, 12, 12}
+	const R, n, M = 8, 0, 128
+	l := trace.NewLayout(dims, R, n)
+	b.Run("blocked", func(b *testing.B) {
+		var words int64
+		for i := 0; i < b.N; i++ {
+			res := cachesim.Simulate(M, func(e func(trace.Access)) { trace.Blocked(l, n, 4, e) })
+			words = res.Words()
+		}
+		b.ReportMetric(float64(words), "words/op")
+	})
+	b.Run("unblocked", func(b *testing.B) {
+		var words int64
+		for i := 0; i < b.N; i++ {
+			res := cachesim.Simulate(M, func(e func(trace.Access)) { trace.Unblocked(l, n, e) })
+			words = res.Words()
+		}
+		b.ReportMetric(float64(words), "words/op")
+	})
+}
+
+// BenchmarkNaiveVsBucketCollectives quantifies the collective-algorithm
+// ablation: max per-rank words of bucket vs root-based All-Gather.
+func BenchmarkNaiveVsBucketCollectives(b *testing.B) {
+	const q, w = 8, 256
+	ranks := make([]int, q)
+	for i := range ranks {
+		ranks[i] = i
+	}
+	run := func(b *testing.B, naive bool) {
+		var maxWords int64
+		for i := 0; i < b.N; i++ {
+			net := simnet.New(q)
+			err := net.Run(func(rank int) error {
+				c := comm.New(net, ranks, rank)
+				if naive {
+					c.NaiveAllGatherV(make([]float64, w))
+				} else {
+					c.AllGatherV(make([]float64, w))
+				}
+				return nil
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			maxWords = net.MaxWords()
+		}
+		b.ReportMetric(float64(maxWords), "max-words/proc")
+	}
+	b.Run("bucket", func(b *testing.B) { run(b, false) })
+	b.Run("naive", func(b *testing.B) { run(b, true) })
+}
+
+// BenchmarkTucker measures the HOOI application built on the TTM
+// substrate (the paper's "other related computational kernels").
+func BenchmarkTucker(b *testing.B) {
+	x := tensor.RandomDense(42, 16, 16, 16)
+	for i := 0; i < b.N; i++ {
+		if _, _, err := tucker.Decompose(x, tucker.Options{Ranks: []int{4, 4, 4}, MaxIters: 3, Tol: 0}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOptimalSchedule regenerates E16: the exact optimal I/O of a
+// tiny instance by exhaustive search, reported as opt-words.
+func BenchmarkOptimalSchedule(b *testing.B) {
+	inst := pebble.Instance{Dims: []int{2, 2}, R: 2, N: 0, M: 4}
+	var opt int64
+	for i := 0; i < b.N; i++ {
+		v, err := pebble.Optimal(inst, 20_000_000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		opt = v
+	}
+	b.ReportMetric(float64(opt), "opt-words")
+}
+
+// BenchmarkSparseMTTKRP regenerates E19: the sparse kernel and the
+// partition-dependent communication of its parallelization.
+func BenchmarkSparseMTTKRP(b *testing.B) {
+	dims := []int{24, 24, 24}
+	const R, P = 4, 8
+	s := sparse.RandomBlocky(21, 8, 60, 5, dims...)
+	fs := tensor.RandomFactors(22, dims, R)
+	b.Run("kernel", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sparse.MTTKRP(s, fs, 0)
+		}
+	})
+	for _, pc := range []struct {
+		name string
+		part sparse.Partition
+	}{
+		{"block", sparse.BlockPartition(s, P)},
+		{"random", sparse.RandomPartition(s, P, 23)},
+	} {
+		pc := pc
+		b.Run("parallel-"+pc.name, func(b *testing.B) {
+			var words int64
+			for i := 0; i < b.N; i++ {
+				res, err := sparse.ParallelMTTKRP(s, fs, 0, pc.part)
+				if err != nil {
+					b.Fatal(err)
+				}
+				words = res.TotalSent()
+			}
+			b.ReportMetric(float64(words), "volume-words")
+		})
+	}
+}
+
+// BenchmarkLPSolve regenerates E7: solving the Lemma 4.2 LP for a
+// range of tensor orders.
+func BenchmarkLPSolve(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for N := 2; N <= 10; N++ {
+			if _, _, err := lp.Solve(hbl.LemmaLP(N)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkGridSearch measures the exact grid chooser used by the
+// experiments (ablation: exhaustive search cost).
+func BenchmarkGridSearch(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := costmodel.BestGeneralExact([]int{64, 64, 64}, 16, 64); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func sizeName(prefix string, v int64) string {
+	return fmt.Sprintf("%s=%d", prefix, v)
+}

@@ -1,0 +1,70 @@
+// Command lrusweep replays MTTKRP loop-ordering traces through an
+// LRU-managed fast memory and compares the resulting traffic against
+// the explicitly-managed algorithms and the lower bounds. It answers a
+// question the paper's model leaves implicit: how much of Algorithm
+// 2's benefit comes from the *ordering* (which a hardware cache can
+// exploit on its own) versus explicit staging.
+//
+// Usage:
+//
+//	lrusweep [-side 12] [-n 3] [-r 8] [-mode 0] [-mexps 6,7,8,9,10]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/bounds"
+	"repro/internal/cachesim"
+	"repro/internal/seq"
+	"repro/internal/trace"
+)
+
+func main() {
+	side := flag.Int("side", 12, "tensor dimension per mode")
+	nModes := flag.Int("n", 3, "tensor order N")
+	r := flag.Int("r", 8, "rank R")
+	mode := flag.Int("mode", 0, "MTTKRP mode")
+	mexps := flag.String("mexps", "6,7,8,9,10", "fast memory sizes as powers of two")
+	seed := flag.Int64("seed", 11, "random-ordering seed")
+	flag.Parse()
+
+	dims := make([]int, *nModes)
+	for i := range dims {
+		dims[i] = *side
+	}
+	l := trace.NewLayout(dims, *r, *mode)
+	prob := bounds.Problem{Dims: dims, R: *r}
+
+	fmt.Printf("LRU replay of MTTKRP orderings: dims=%v, R=%d, mode=%d\n", dims, *r, *mode)
+	fmt.Println("words = misses + dirty write-backs under fully-associative LRU")
+	fmt.Printf("\n%-8s %-7s %-14s %-14s %-14s %-14s %-12s\n",
+		"M", "block", "W(unblocked)", "W(blocked)", "W(morton)", "W(random)", "lower bound")
+
+	for _, part := range strings.Split(*mexps, ",") {
+		e, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || e < 2 || e > 26 {
+			fmt.Fprintf(os.Stderr, "lrusweep: bad exponent %q\n", part)
+			os.Exit(2)
+		}
+		M := 1 << e
+		b, err := seq.ChooseBlock(int64(M), *nModes, 0.9)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lrusweep:", err)
+			os.Exit(2)
+		}
+		unb := cachesim.Simulate(M, func(em func(trace.Access)) { trace.Unblocked(l, *mode, em) })
+		blk := cachesim.Simulate(M, func(em func(trace.Access)) { trace.Blocked(l, *mode, b, em) })
+		mor := cachesim.Simulate(M, func(em func(trace.Access)) { trace.Morton(l, *mode, em) })
+		rnd := cachesim.Simulate(M, func(em func(trace.Access)) { trace.Random(l, *mode, *seed, em) })
+		fmt.Printf("%-8d %-7d %-14d %-14d %-14d %-14d %-12.4g\n",
+			M, b, unb.Words(), blk.Words(), mor.Words(), rnd.Words(), bounds.SeqBest(prob, float64(M)))
+	}
+	fmt.Println("\nBlocked ordering under LRU tracks the explicitly managed Algorithm 2;")
+	fmt.Println("the Morton (Z-curve) ordering is cache-oblivious: near-blocked at every")
+	fmt.Println("M with no tuned block size; the random ordering shows what losing")
+	fmt.Println("locality costs.")
+}

@@ -1,0 +1,68 @@
+// Command sparsemttkrp demonstrates the sparse-MTTKRP extension the
+// paper's conclusion points to: with sparse tensors, communication is
+// governed by the nonzero structure, quantified by the hypergraph
+// (lambda-1) connectivity of the nonzero partition. The command builds
+// a structured (blocky) and an unstructured random sparse tensor, runs
+// the owner-computes expand/fold parallel MTTKRP under block and
+// random partitions, and shows measured words = metric for each.
+//
+// Usage:
+//
+//	sparsemttkrp [-side 24] [-nnz 480] [-r 4] [-p 8]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/sparse"
+	"repro/internal/tensor"
+)
+
+func main() {
+	side := flag.Int("side", 24, "tensor dimension per mode (3-way)")
+	nnz := flag.Int("nnz", 480, "nonzero count")
+	r := flag.Int("r", 4, "rank R")
+	p := flag.Int("p", 8, "parts / processors")
+	seed := flag.Int64("seed", 21, "seed")
+	flag.Parse()
+
+	dims := []int{*side, *side, *side}
+	fs := tensor.RandomFactors(*seed+1, dims, *r)
+
+	blocks := 8
+	perBlock := *nnz / blocks
+	tensors := []struct {
+		name string
+		s    *sparse.COO
+	}{
+		{"blocky", sparse.RandomBlocky(*seed, blocks, perBlock, 5, dims...)},
+		{"uniform", sparse.Random(*seed, *nnz, dims...)},
+	}
+
+	fmt.Printf("Sparse MTTKRP (E19): dims=%v R=%d P=%d\n", dims, *r, *p)
+	fmt.Printf("%-9s %-10s %-8s %-14s %-14s %-10s\n",
+		"tensor", "partition", "nnz", "volume(metric)", "words(meas.)", "max load")
+	for _, tc := range tensors {
+		for _, pc := range []struct {
+			name string
+			part sparse.Partition
+		}{
+			{"block", sparse.BlockPartition(tc.s, *p)},
+			{"random", sparse.RandomPartition(tc.s, *p, *seed+2)},
+		} {
+			vol := sparse.CommVolume(tc.s, pc.part, 0, *r)
+			res, err := sparse.ParallelMTTKRP(tc.s, fs, 0, pc.part)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "sparsemttkrp:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("%-9s %-10s %-8d %-14d %-14d %-10d\n",
+				tc.name, pc.name, tc.s.NNZ(), vol, res.TotalSent(), sparse.MaxPartLoad(pc.part))
+		}
+	}
+	fmt.Println("\nMeasured words equal the hypergraph (lambda-1) metric by construction;")
+	fmt.Println("structure-aware partitions cut communication on structured tensors,")
+	fmt.Println("which is why the sparse case leads to hypergraph partitioning [15], [23].")
+}

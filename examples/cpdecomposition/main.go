@@ -1,0 +1,59 @@
+// CP decomposition example: the workload the paper's introduction
+// motivates. We build a synthetic rank-4 tensor (a noisy sum of four
+// outer products — think "four latent topics" in a sender x receiver x
+// time communication dataset), recover its factors with CP-ALS, and
+// show that MTTKRP is where a distributed run spends its
+// communication.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	// Ground truth: a 24 x 24 x 24 tensor of exact CP rank 4 plus a
+	// little noise.
+	dims := []int{24, 24, 24}
+	const trueRank = 4
+	truth := repro.RandomFactors(11, dims, trueRank)
+	x := repro.FromFactors(truth)
+
+	// Sequential CP-ALS.
+	model, trace, err := repro.CPDecompose(x, repro.CPOptions{
+		R:        trueRank,
+		MaxIters: 60,
+		Tol:      1e-10,
+		Seed:     99,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("sequential CP-ALS fit trajectory:")
+	for _, e := range trace {
+		if e.Iter%5 == 0 || e.Iter == len(trace)-1 {
+			fmt.Printf("  sweep %2d: fit %.8f\n", e.Iter, e.Fit)
+		}
+	}
+	fmt.Printf("final fit %.8f (1.0 = exact recovery)\n\n", model.Fit)
+
+	// The same decomposition on a simulated 2x2x2 distributed machine:
+	// identical mathematics, and we get the communication bill.
+	res, err := repro.CPDecomposeParallel(x, []int{2, 2, 2}, repro.CPOptions{
+		R:        trueRank,
+		MaxIters: 60,
+		Tol:      1e-10,
+		Seed:     99,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("parallel CP-ALS on a 2x2x2 grid: fit %.8f after %d sweeps\n",
+		res.Model.Fit, len(res.Trace))
+	mt, ot := res.MaxMTTKRPWords(), res.MaxOtherWords()
+	fmt.Printf("communication per processor: MTTKRP %d words, everything else %d words\n", mt, ot)
+	fmt.Printf("MTTKRP share: %.1f%% — the bottleneck the paper optimizes\n",
+		100*float64(mt)/float64(mt+ot))
+}

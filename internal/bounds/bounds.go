@@ -1,0 +1,175 @@
+// Package bounds evaluates the paper's communication lower bounds
+// (Section IV) as closed-form functions of the problem and machine
+// parameters, so measured communication from the simulators can be
+// compared against them.
+//
+// All bounds are returned as float64 word counts; negative values mean
+// the bound is vacuous for those parameters (the paper's expressions
+// can go negative when M or the per-processor data are large).
+package bounds
+
+import (
+	"fmt"
+	"math"
+)
+
+// Problem describes a dense MTTKRP instance: an N-way tensor of the
+// given dimensions and factor matrices with R columns.
+type Problem struct {
+	Dims []int
+	R    int
+}
+
+// N returns the tensor order.
+func (p Problem) N() int { return len(p.Dims) }
+
+// I returns the number of tensor elements as a float (dimensions in
+// the paper's experiments reach 2^45, beyond what we can or should
+// materialize).
+func (p Problem) I() float64 {
+	out := 1.0
+	for _, d := range p.Dims {
+		out *= float64(d)
+	}
+	return out
+}
+
+// SumIkR returns sum_k I_k * R, the total factor matrix entries.
+func (p Problem) SumIkR() float64 {
+	var s float64
+	for _, d := range p.Dims {
+		s += float64(d)
+	}
+	return s * float64(p.R)
+}
+
+// Validate panics on malformed problems.
+func (p Problem) Validate() {
+	if len(p.Dims) < 2 {
+		panic(fmt.Sprintf("bounds: MTTKRP needs N >= 2 modes, got %d", len(p.Dims)))
+	}
+	for _, d := range p.Dims {
+		if d < 1 {
+			panic(fmt.Sprintf("bounds: non-positive dimension in %v", p.Dims))
+		}
+	}
+	if p.R < 1 {
+		panic(fmt.Sprintf("bounds: non-positive rank %d", p.R))
+	}
+}
+
+// SeqMemDependent returns the memory-dependent sequential lower bound
+// of Theorem 4.1, Eq. (4):
+//
+//	W >= N*I*R / (3^(2-1/N) * M^(1-1/N)) - M.
+func SeqMemDependent(p Problem, M float64) float64 {
+	p.Validate()
+	N := float64(p.N())
+	return N*p.I()*float64(p.R)/(math.Pow(3, 2-1/N)*math.Pow(M, 1-1/N)) - M
+}
+
+// SeqTrivial returns the input/output-size lower bound of Fact 4.1,
+// Eq. (5): W >= I + sum_k I_k*R - 2M.
+func SeqTrivial(p Problem, M float64) float64 {
+	p.Validate()
+	return p.I() + p.SumIkR() - 2*M
+}
+
+// SeqBest returns the tighter of the two sequential bounds.
+func SeqBest(p Problem, M float64) float64 {
+	return math.Max(SeqMemDependent(p, M), SeqTrivial(p, M))
+}
+
+// ParMemDependent returns the parallel memory-dependent bound of
+// Corollary 4.1: some processor sends/receives at least
+//
+//	N*I*R / (3^(2-1/N) * P * M^(1-1/N)) - M.
+func ParMemDependent(p Problem, M float64, P float64) float64 {
+	p.Validate()
+	if P < 1 {
+		panic(fmt.Sprintf("bounds: P = %v < 1", P))
+	}
+	N := float64(p.N())
+	return N*p.I()*float64(p.R)/(math.Pow(3, 2-1/N)*P*math.Pow(M, 1-1/N)) - M
+}
+
+// ParMemIndependent1 returns the Theorem 4.2 bound, Eq. (6): with each
+// processor owning at most delta*sum_k(I_k R)/P factor entries and
+// gamma*I/P tensor entries (gamma, delta >= 1),
+//
+//	W >= 2*(N*I*R/P)^(N/(2N-1)) - gamma*I/P - delta*sum_k I_k*R/P.
+func ParMemIndependent1(p Problem, P, gamma, delta float64) float64 {
+	p.Validate()
+	checkBalance(P, gamma, delta)
+	N := float64(p.N())
+	expo := N / (2*N - 1)
+	return 2*math.Pow(N*p.I()*float64(p.R)/P, expo) - gamma*p.I()/P - delta*p.SumIkR()/P
+}
+
+// ParMemIndependent2 returns the Theorem 4.3 bound, Eq. (7):
+//
+//	W >= min( sqrt(2/(3 gamma))^(N-1 exponent) ... , gamma*I/(2P) ),
+//
+// precisely: min( (2/(3 gamma))^((N-1)/N) * N * R * (I/P)^(1/N)
+// - delta*sum_k I_k*R/P, gamma*I/(2P) ).
+func ParMemIndependent2(p Problem, P, gamma, delta float64) float64 {
+	p.Validate()
+	checkBalance(P, gamma, delta)
+	N := float64(p.N())
+	caseA := math.Pow(2/(3*gamma), (N-1)/N)*N*float64(p.R)*math.Pow(p.I()/P, 1/N) - delta*p.SumIkR()/P
+	caseB := gamma * p.I() / (2 * P)
+	return math.Min(caseA, caseB)
+}
+
+// ParBest returns the tightest parallel memory-independent bound: the
+// max of Theorems 4.2 and 4.3 (both hold under the same assumptions).
+func ParBest(p Problem, P, gamma, delta float64) float64 {
+	return math.Max(ParMemIndependent1(p, P, gamma, delta), ParMemIndependent2(p, P, gamma, delta))
+}
+
+// CubicalCombined returns the Corollary 4.2 bound for cubical tensors
+// (I_k = I^(1/N) for all k), as the sum form the paper derives:
+//
+//	(N*I*R/P)^(N/(2N-1)) + N*R*(I/P)^(1/N).
+//
+// This is the Omega() expression with constant 1; the two terms
+// dominate in complementary regimes split at NR = (I/P)^(1-1/N).
+func CubicalCombined(p Problem, P float64) float64 {
+	p.Validate()
+	N := float64(p.N())
+	I := p.I()
+	R := float64(p.R)
+	return math.Pow(N*I*R/P, N/(2*N-1)) + N*R*math.Pow(I/P, 1/N)
+}
+
+// RegimeThreshold returns (I/P)^(1-1/N), the NR threshold of Corollary
+// 4.2: for NR above it the memory-dependent-style term dominates, and
+// below it the stationary-tensor term dominates.
+func RegimeThreshold(p Problem, P float64) float64 {
+	N := float64(p.N())
+	return math.Pow(p.I()/P, 1-1/N)
+}
+
+// LargeRankRegime reports whether NR >= (I/P)^(1-1/N), the regime in
+// which Algorithm 4 (P0 > 1) is needed for optimality.
+func LargeRankRegime(p Problem, P float64) bool {
+	return float64(p.N())*float64(p.R) >= RegimeThreshold(p, P)
+}
+
+func checkBalance(P, gamma, delta float64) {
+	if P < 1 {
+		panic(fmt.Sprintf("bounds: P = %v < 1", P))
+	}
+	if gamma < 1 || delta < 1 {
+		panic(fmt.Sprintf("bounds: balance factors gamma=%v delta=%v must be >= 1", gamma, delta))
+	}
+}
+
+// Cubical constructs a cubical problem with I_k = side for all k.
+func Cubical(N, side, R int) Problem {
+	dims := make([]int, N)
+	for i := range dims {
+		dims[i] = side
+	}
+	return Problem{Dims: dims, R: R}
+}

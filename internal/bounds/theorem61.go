@@ -1,0 +1,95 @@
+package bounds
+
+import (
+	"fmt"
+	"math"
+)
+
+// T61Constants are the constants (alpha, beta, gamma, delta, epsilon)
+// parameterizing Theorem 6.1's hypotheses, Equations (25)-(29). The
+// paper's illustration uses beta = 1-alpha = 1/100, gamma = 100,
+// delta = epsilon = 1/10.
+type T61Constants struct {
+	Alpha, Beta, Gamma, Delta, Eps float64
+}
+
+// PaperT61Constants returns the constants of the paper's illustration.
+func PaperT61Constants() T61Constants {
+	return T61Constants{Alpha: 0.99, Beta: 0.01, Gamma: 100, Delta: 0.1, Eps: 0.1}
+}
+
+// Validate checks the right-hand side conditions attached to each
+// constant in Equations (25)-(29).
+func (c T61Constants) Validate(p Problem) error {
+	N := float64(p.N())
+	if !(c.Alpha > 0 && c.Alpha < 1) {
+		return fmt.Errorf("bounds: need 0 < alpha < 1, got %v", c.Alpha)
+	}
+	if !(c.Beta > 0 && c.Beta < math.Pow(c.Alpha, 1-1/N)) {
+		return fmt.Errorf("bounds: need 0 < beta < alpha^(1-1/N), got %v", c.Beta)
+	}
+	if !(c.Gamma > 1+1/N) {
+		return fmt.Errorf("bounds: need gamma > 1 + 1/N, got %v", c.Gamma)
+	}
+	if !(c.Delta > 0 && c.Delta < 1+p.SumIkR()/p.I()) {
+		return fmt.Errorf("bounds: need 0 < delta < 1 + sum(I_k R)/I, got %v", c.Delta)
+	}
+	if !(c.Eps > 0 && c.Eps < 1/math.Pow(3, 2-1/N)) {
+		return fmt.Errorf("bounds: need 0 < eps < 3^(1/N-2), got %v", c.Eps)
+	}
+	return nil
+}
+
+// T61Window returns the fast-memory interval [lo, hi] on which every
+// hypothesis of Theorem 6.1 holds for the given constants. An empty
+// window (lo > hi) means the theorem's premises cannot all be met for
+// this problem with these constants.
+func T61Window(p Problem, c T61Constants) (lo, hi float64, err error) {
+	p.Validate()
+	if err := c.Validate(p); err != nil {
+		return 0, 0, err
+	}
+	N := float64(p.N())
+	I := p.I()
+	R := float64(p.R)
+	minI := math.Inf(1)
+	for _, d := range p.Dims {
+		if f := float64(d); f < minI {
+			minI = f
+		}
+	}
+
+	// Eq. (25): M >= (N*alpha^(1/N) / (1-alpha))^(N/(N-1)).
+	lo25 := math.Pow(N*math.Pow(c.Alpha, 1/N)/(1-c.Alpha), N/(N-1))
+	// Eq. (26): M >= (1 / (alpha^(1/N) - beta^(1/(N-1))))^N.
+	lo26 := math.Pow(1/(math.Pow(c.Alpha, 1/N)-math.Pow(c.Beta, 1/(N-1))), N)
+	lo = math.Max(lo25, lo26)
+
+	// Eq. (27): M <= ( ((gamma*N/(N+1))^(1/N) - 1) / alpha^(1/N) * min_k I_k )^N.
+	hi27 := math.Pow((math.Pow(c.Gamma*N/(N+1), 1/N)-1)/math.Pow(c.Alpha, 1/N)*minI, N)
+	// Eq. (28): M <= ((1-delta)*I + sum_k I_k R) / 2.
+	hi28 := ((1-c.Delta)*I + p.SumIkR()) / 2
+	// Eq. (29): M <= ((3^(1/N-2) - eps) * N*I*R)^(N/(2N-1)).
+	hi29 := math.Pow((1/math.Pow(3, 2-1/N)-c.Eps)*N*I*R, N/(2*N-1))
+	hi = math.Min(hi27, math.Min(hi28, hi29))
+	return lo, hi, nil
+}
+
+// Theorem61Holds reports whether all hypotheses of Theorem 6.1 hold
+// for fast memory size M.
+func Theorem61Holds(p Problem, M float64, c T61Constants) (bool, error) {
+	lo, hi, err := T61Window(p, c)
+	if err != nil {
+		return false, err
+	}
+	return M >= lo && M <= hi, nil
+}
+
+// Theorem61GuaranteedRatio returns the constant-factor optimality
+// guarantee the proof of Theorem 6.1 yields: within the window,
+// W_upper / max(W_lb1, W_lb2) <= 2*gamma / (beta * min(delta, eps)).
+// It is a worst-case guarantee; measured ratios (EXPERIMENTS.md E3)
+// are far smaller.
+func Theorem61GuaranteedRatio(c T61Constants) float64 {
+	return 2 * c.Gamma / (c.Beta * math.Min(c.Delta, c.Eps))
+}

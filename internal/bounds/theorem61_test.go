@@ -1,0 +1,111 @@
+package bounds
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/memsim"
+	"repro/internal/seq"
+	"repro/internal/tensor"
+)
+
+func TestT61WindowPaperIllustration(t *testing.T) {
+	// The paper: with beta = 1-alpha = 1/100, gamma = 100,
+	// delta = eps = 1/10 and cubical dims, the window's floor comes
+	// from Eqs. (25)/(26) (around 10^4 for N <= 10) and its ceiling
+	// from (27)-(29).
+	p := Cubical(3, 100, 100) // I = 1e6, R = 100
+	c := PaperT61Constants()
+	lo, hi, err := T61Window(p, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo < 1e3 || lo > 1e4 {
+		t.Fatalf("window floor %v, expected a few thousand for N=3", lo)
+	}
+	if hi < lo {
+		t.Fatalf("empty window [%v, %v] for representative parameters", lo, hi)
+	}
+	mid := math.Sqrt(lo * hi)
+	for _, tc := range []struct {
+		M    float64
+		want bool
+	}{
+		{mid, true},
+		{lo * 0.5, false},
+		{hi * 2, false},
+	} {
+		ok, err := Theorem61Holds(p, tc.M, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok != tc.want {
+			t.Fatalf("M=%v: holds=%v, want %v (window [%v, %v])", tc.M, ok, tc.want, lo, hi)
+		}
+	}
+}
+
+func TestT61ConstantsValidation(t *testing.T) {
+	p := Cubical(3, 64, 16)
+	bad := []T61Constants{
+		{Alpha: 1.5, Beta: 0.01, Gamma: 100, Delta: 0.1, Eps: 0.1},
+		{Alpha: 0.99, Beta: 0.999, Gamma: 100, Delta: 0.1, Eps: 0.1}, // beta too big
+		{Alpha: 0.99, Beta: 0.01, Gamma: 1.0, Delta: 0.1, Eps: 0.1},  // gamma too small
+		{Alpha: 0.99, Beta: 0.01, Gamma: 100, Delta: -1, Eps: 0.1},
+		{Alpha: 0.99, Beta: 0.01, Gamma: 100, Delta: 0.1, Eps: 0.9}, // eps too big
+	}
+	for i, c := range bad {
+		if err := c.Validate(p); err == nil {
+			t.Errorf("case %d should be rejected", i)
+		}
+	}
+	if err := PaperT61Constants().Validate(p); err != nil {
+		t.Fatalf("paper constants rejected: %v", err)
+	}
+}
+
+// Inside the window, the theorem's conclusion must hold on the
+// measured algorithm: Algorithm 2's words are within the guaranteed
+// constant of the lower bounds (in practice far within it).
+func TestT61ConclusionMeasured(t *testing.T) {
+	// I*R must be large enough that Eq. (29)'s ceiling clears the
+	// Eq. (25) floor (~5200 for N=3 with the paper's constants).
+	dims := []int{96, 96, 96}
+	R := 16
+	p := Problem{Dims: dims, R: R}
+	c := PaperT61Constants()
+	lo, hi, err := T61Window(p, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo > hi {
+		t.Skipf("empty window [%v, %v] at this tiny scale; use larger dims", lo, hi)
+	}
+	M := int64(math.Sqrt(lo * hi))
+	x := tensor.RandomDense(1, dims...)
+	fs := tensor.RandomFactors(2, dims, R)
+	b := int(math.Floor(math.Pow(c.Alpha*float64(M), 1/3.0)))
+	res, err := seq.Blocked(x, fs, 0, b, memsim.New(M))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lb := SeqBest(p, float64(M))
+	if lb <= 0 {
+		t.Fatalf("lower bound vacuous inside the window: %v", lb)
+	}
+	ratio := float64(res.Counts.Words()) / lb
+	if ratio > Theorem61GuaranteedRatio(c) {
+		t.Fatalf("measured ratio %v exceeds the guarantee %v", ratio, Theorem61GuaranteedRatio(c))
+	}
+	if ratio > 50 {
+		t.Fatalf("measured ratio %v implausibly large", ratio)
+	}
+}
+
+func TestT61GuaranteedRatio(t *testing.T) {
+	c := PaperT61Constants()
+	// 2*100 / (0.01 * 0.1) = 200000.
+	if got := Theorem61GuaranteedRatio(c); math.Abs(got-200000) > 1 {
+		t.Fatalf("guaranteed ratio = %v", got)
+	}
+}

@@ -1,0 +1,110 @@
+package bounds
+
+import (
+	"fmt"
+	"math"
+)
+
+// T62Constants parameterize Theorem 6.2's hypotheses. The paper's
+// illustration sets gamma = delta = 1.75, alpha^(1/N) = 1.05,
+// beta = 1.5, and eta = tau = 0.1.
+type T62Constants struct {
+	AlphaRoot float64 // alpha^(1/N), > 1
+	Beta      float64 // > 1
+	Gamma     float64 // load-balance slack for the tensor, > AlphaRoot^N
+	Delta     float64 // load-balance slack for the factors
+	Eta       float64 // small-P lower-bound slack, 0 < eta < sqrt(2/(3 gamma))
+	Tau       float64 // large-P lower-bound slack, 0 < tau < 2 - gamma
+}
+
+// PaperT62Constants returns the constants of the paper's illustration.
+func PaperT62Constants() T62Constants {
+	return T62Constants{AlphaRoot: 1.05, Beta: 1.5, Gamma: 1.75, Delta: 1.75, Eta: 0.1, Tau: 0.1}
+}
+
+// Validate checks the side conditions the proof attaches to the
+// constants.
+func (c T62Constants) Validate(p Problem) error {
+	N := float64(p.N())
+	if c.AlphaRoot <= 1 {
+		return fmt.Errorf("bounds: need alpha^(1/N) > 1, got %v", c.AlphaRoot)
+	}
+	alpha := math.Pow(c.AlphaRoot, N)
+	if c.Beta <= 1 {
+		return fmt.Errorf("bounds: need beta > 1, got %v", c.Beta)
+	}
+	if c.Gamma <= alpha {
+		return fmt.Errorf("bounds: need gamma > alpha = %v, got %v", alpha, c.Gamma)
+	}
+	if c.Delta <= c.AlphaRoot*c.Beta {
+		return fmt.Errorf("bounds: need delta > alpha^(1/N)*beta = %v, got %v", c.AlphaRoot*c.Beta, c.Delta)
+	}
+	if !(c.Eta > 0 && c.Eta < math.Sqrt(2/(3*c.Gamma))) {
+		return fmt.Errorf("bounds: need 0 < eta < sqrt(2/(3 gamma)), got %v", c.Eta)
+	}
+	if !(c.Tau > 0 && c.Tau < 2-c.Gamma) {
+		return fmt.Errorf("bounds: need 0 < tau < 2 - gamma, got %v", c.Tau)
+	}
+	return nil
+}
+
+// T62GridOK checks the Eq. (34) conditions for a concrete grid
+// (shape[0] = P0 for the general algorithm; pass P0 = 1 with an N-way
+// shape prepended by 1 for the stationary special case):
+//
+//	P_k <= (alpha^(1/N) - 1) I_k,  P <= (gamma - alpha) I,
+//	P_0 <= (beta - 1) R,           P <= (delta - alpha^(1/N) beta) I_k R.
+func T62GridOK(p Problem, shape []int, c T62Constants) error {
+	if len(shape) != p.N()+1 {
+		return fmt.Errorf("bounds: shape %v must have N+1 = %d extents (P0 first)", shape, p.N()+1)
+	}
+	if err := c.Validate(p); err != nil {
+		return err
+	}
+	N := float64(p.N())
+	alpha := math.Pow(c.AlphaRoot, N)
+	P := 1.0
+	for _, s := range shape {
+		P *= float64(s)
+	}
+	if float64(shape[0]) > (c.Beta-1)*float64(p.R) {
+		return fmt.Errorf("bounds: P0 = %d exceeds (beta-1)R = %v", shape[0], (c.Beta-1)*float64(p.R))
+	}
+	if P > (c.Gamma-alpha)*p.I() {
+		return fmt.Errorf("bounds: P = %v exceeds (gamma-alpha)I = %v", P, (c.Gamma-alpha)*p.I())
+	}
+	for k, d := range p.Dims {
+		if float64(shape[k+1]) > (c.AlphaRoot-1)*float64(d) {
+			return fmt.Errorf("bounds: P_%d = %d exceeds (alpha^(1/N)-1)I_%d = %v",
+				k, shape[k+1], k, (c.AlphaRoot-1)*float64(d))
+		}
+		if P > (c.Delta-c.AlphaRoot*c.Beta)*float64(d)*float64(p.R) {
+			return fmt.Errorf("bounds: P = %v exceeds (delta - alpha^(1/N) beta) I_%d R = %v",
+				P, k, (c.Delta-c.AlphaRoot*c.Beta)*float64(d)*float64(p.R))
+		}
+	}
+	return nil
+}
+
+// T62MinP returns the lower bounds on P required by the two cases'
+// lower-bound simplifications: in the small-rank case (NR <=
+// (I/P)^(1-1/N)) the proof needs
+//
+//	P >= ( delta/(sqrt(2/(3 gamma)) - eta) * sum I_k / (N I^(1/N)) )^(N/(N-1)),
+//
+// and in the large-rank case
+//
+//	P >= ( delta/(2-(gamma+tau)) * sum I_k )^((2N-1)/(N-1)) * R / (N I)^(N/(N-1)).
+func T62MinP(p Problem, c T62Constants) (smallRank, largeRank float64) {
+	N := float64(p.N())
+	sumIk := 0.0
+	for _, d := range p.Dims {
+		sumIk += float64(d)
+	}
+	smallRank = math.Pow(
+		c.Delta/(math.Sqrt(2/(3*c.Gamma))-c.Eta)*sumIk/(N*math.Pow(p.I(), 1/N)),
+		N/(N-1))
+	largeRank = math.Pow(c.Delta/(2-(c.Gamma+c.Tau))*sumIk, (2*N-1)/(N-1)) *
+		float64(p.R) / math.Pow(N*p.I(), N/(N-1))
+	return smallRank, largeRank
+}

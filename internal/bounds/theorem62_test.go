@@ -1,0 +1,85 @@
+package bounds
+
+import (
+	"math"
+	"testing"
+)
+
+func TestT62ConstantsPaperIllustration(t *testing.T) {
+	p := Cubical(3, 1<<10, 1<<8)
+	c := PaperT62Constants()
+	if err := c.Validate(p); err != nil {
+		t.Fatalf("paper constants rejected: %v", err)
+	}
+	// The paper derives: Pk <= 0.05*Ik, P <= ~0.59*I (gamma - alpha =
+	// 1.75 - 1.05^3), P0 <= 0.5*R, P <= 0.175*Ik*R.
+	alpha := math.Pow(1.05, 3)
+	if math.Abs((c.Gamma-alpha)-(1.75-alpha)) > 1e-12 {
+		t.Fatal("gamma - alpha mismatch")
+	}
+	if got := (c.Beta - 1) * float64(p.R); got != 0.5*float64(p.R) {
+		t.Fatalf("P0 bound %v, want 0.5R", got)
+	}
+	if got := c.Delta - c.AlphaRoot*c.Beta; math.Abs(got-0.175) > 1e-9 {
+		t.Fatalf("delta - alpha^(1/N) beta = %v, want 0.175", got)
+	}
+}
+
+func TestT62GridOK(t *testing.T) {
+	p := Cubical(3, 1<<10, 1<<8) // I_k = 1024, R = 256
+	c := PaperT62Constants()
+	// Pk <= 0.05*1024 = 51.2; P0 <= 128; P <= 0.175*1024*256 ~ 45875.
+	if err := T62GridOK(p, []int{2, 16, 16, 16}, c); err != nil {
+		t.Fatalf("valid grid rejected: %v", err)
+	}
+	if err := T62GridOK(p, []int{2, 64, 32, 16}, c); err == nil {
+		t.Fatal("P_1 = 64 > 0.05*I_1 should be rejected")
+	}
+	if err := T62GridOK(p, []int{200, 8, 8, 8}, c); err == nil {
+		t.Fatal("P0 = 200 > 0.5R should be rejected")
+	}
+	if err := T62GridOK(p, []int{2, 32, 32}, c); err == nil {
+		t.Fatal("wrong shape length should be rejected")
+	}
+}
+
+func TestT62ConstantsValidation(t *testing.T) {
+	p := Cubical(3, 64, 16)
+	bad := []T62Constants{
+		{AlphaRoot: 0.9, Beta: 1.5, Gamma: 1.75, Delta: 1.75, Eta: 0.1, Tau: 0.1},
+		{AlphaRoot: 1.05, Beta: 0.9, Gamma: 1.75, Delta: 1.75, Eta: 0.1, Tau: 0.1},
+		{AlphaRoot: 1.05, Beta: 1.5, Gamma: 1.0, Delta: 1.75, Eta: 0.1, Tau: 0.1},
+		{AlphaRoot: 1.05, Beta: 1.5, Gamma: 1.75, Delta: 1.0, Eta: 0.1, Tau: 0.1},
+		{AlphaRoot: 1.05, Beta: 1.5, Gamma: 1.75, Delta: 1.75, Eta: 0.9, Tau: 0.1},
+		{AlphaRoot: 1.05, Beta: 1.5, Gamma: 1.75, Delta: 1.75, Eta: 0.1, Tau: 0.5},
+	}
+	for i, c := range bad {
+		if err := c.Validate(p); err == nil {
+			t.Errorf("case %d should be rejected", i)
+		}
+	}
+}
+
+// The paper: "With eta = tau = 0.1 and assuming I_k = I^(1/N) for all
+// k, the assumptions necessary for the lower bound simplifications to
+// apply become P >= 7 and P >= 465 N R / I^(1-1/N)."
+func TestT62MinPPaperNumbers(t *testing.T) {
+	// Cubical, so sum I_k = N I^(1/N): the small-rank expression
+	// becomes (delta/(sqrt(2/(3 gamma)) - eta))^(N/(N-1)), a constant.
+	p := Cubical(3, 1<<10, 1<<8)
+	c := PaperT62Constants()
+	small, large := T62MinP(p, c)
+	// delta/(sqrt(2/5.25) - 0.1) = 1.75/0.5171 ~ 3.38; ^(3/2) ~ 6.2 -> "P >= 7".
+	if small < 5 || small > 8 {
+		t.Fatalf("small-rank min P = %v, paper says ~7", small)
+	}
+	// Large-rank: (delta/(2-1.85) * sum)^((2N-1)/(N-1)) R/(NI)^(N/(N-1)):
+	// with cubical dims this is ~465 * N R / I^(1-1/N) ... check the
+	// scaling against the paper's coefficient.
+	nr := 3.0 * float64(p.R)
+	iPow := math.Pow(p.I(), 1-1.0/3)
+	coeff := large / (nr / iPow)
+	if coeff < 300 || coeff > 700 {
+		t.Fatalf("large-rank coefficient %v, paper says ~465", coeff)
+	}
+}

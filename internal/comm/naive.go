@@ -1,0 +1,105 @@
+package comm
+
+import "fmt"
+
+// This file implements *naive* collectives — gather-to-root plus
+// broadcast-from-root — as an ablation against the bucket algorithms.
+// The paper assumes bucket collectives because their (q-1)*w cost is
+// bandwidth-optimal; the naive versions concentrate (q-1)*total words
+// on the root, so the max-per-processor cost is a factor ~q worse for
+// balanced inputs. Tests and benchmarks quantify exactly that gap.
+
+// NaiveAllGatherV gathers every rank's block to rank 0, which then
+// sends the full collection to every other rank.
+func (c *Comm) NaiveAllGatherV(mine []float64) [][]float64 {
+	q := len(c.ranks)
+	blocks := make([][]float64, q)
+	blocks[c.me] = append([]float64(nil), mine...)
+	if q == 1 {
+		return blocks
+	}
+	if c.me == 0 {
+		for src := 1; src < q; src++ {
+			blocks[src] = c.Recv(src)
+		}
+		// Broadcast: concatenate with a length header per block so
+		// receivers can split.
+		payload := encodeBlocks(blocks)
+		for dst := 1; dst < q; dst++ {
+			c.Send(dst, payload)
+		}
+		return blocks
+	}
+	c.Send(0, mine)
+	return decodeBlocks(c.Recv(0), q)
+}
+
+// NaiveReduceScatterV reduces all contributions at rank 0 and sends
+// each rank its chunk.
+func (c *Comm) NaiveReduceScatterV(contrib [][]float64) []float64 {
+	q := len(c.ranks)
+	if len(contrib) != q {
+		panic(fmt.Sprintf("comm: NaiveReduceScatterV got %d chunks for %d ranks", len(contrib), q))
+	}
+	if q == 1 {
+		return append([]float64(nil), contrib[0]...)
+	}
+	if c.me == 0 {
+		// Accumulate everyone's full contribution.
+		sum := make([][]float64, q)
+		for j := range sum {
+			sum[j] = append([]float64(nil), contrib[j]...)
+		}
+		for src := 1; src < q; src++ {
+			in := decodeBlocks(c.Recv(src), q)
+			for j := range sum {
+				if len(in[j]) != len(sum[j]) {
+					panic(fmt.Sprintf("comm: chunk %d length mismatch: %d vs %d", j, len(in[j]), len(sum[j])))
+				}
+				for i := range sum[j] {
+					sum[j][i] += in[j][i]
+				}
+			}
+		}
+		for dst := 1; dst < q; dst++ {
+			c.Send(dst, sum[dst])
+		}
+		return sum[0]
+	}
+	c.Send(0, encodeBlocks(contrib))
+	return c.Recv(0)
+}
+
+// encodeBlocks flattens variable-length blocks with a per-block length
+// header (lengths as float64 words; counted as real traffic, which
+// only penalizes the naive scheme it belongs to).
+func encodeBlocks(blocks [][]float64) []float64 {
+	total := len(blocks)
+	for _, b := range blocks {
+		total += len(b)
+	}
+	out := make([]float64, 0, total)
+	for _, b := range blocks {
+		out = append(out, float64(len(b)))
+		out = append(out, b...)
+	}
+	return out
+}
+
+func decodeBlocks(payload []float64, q int) [][]float64 {
+	out := make([][]float64, q)
+	at := 0
+	for j := 0; j < q; j++ {
+		if at >= len(payload) {
+			panic("comm: truncated naive-collective payload")
+		}
+		n := int(payload[at])
+		at++
+		if at+n > len(payload) {
+			panic("comm: truncated naive-collective payload")
+		}
+		out[j] = append([]float64(nil), payload[at:at+n]...)
+		at += n
+	}
+	return out
+}

@@ -1,0 +1,59 @@
+package comm
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// RDAllGather is a recursive-doubling All-Gather for *uniform* block
+// sizes: log2(q) rounds, in round t each rank exchanges its
+// accumulated 2^t blocks with the partner whose rank differs in bit t.
+// Bandwidth equals the bucket algorithm's (q-1)*w per rank, but only
+// log2(q) messages are needed instead of q-1 — the latency/bandwidth
+// trade the paper sets aside ("we focus on the amount of data
+// communicated and ignore the number of messages"). Requires q to be a
+// power of two and every rank to contribute exactly the same number of
+// words.
+func (c *Comm) RDAllGather(mine []float64) [][]float64 {
+	q := len(c.ranks)
+	if q&(q-1) != 0 {
+		panic(fmt.Sprintf("comm: recursive doubling needs power-of-two group, got %d", q))
+	}
+	w := len(mine)
+	blocks := make([][]float64, q)
+	blocks[c.me] = append([]float64(nil), mine...)
+	if q == 1 {
+		return blocks
+	}
+	rounds := bits.TrailingZeros(uint(q))
+	for t := 0; t < rounds; t++ {
+		span := 1 << uint(t)
+		partner := c.me ^ span
+		myGroup := c.me &^ (span - 1)
+		payload := make([]float64, 0, span*w)
+		for j := myGroup; j < myGroup+span; j++ {
+			if len(blocks[j]) != w {
+				panic(fmt.Sprintf("comm: RDAllGather needs uniform blocks, got %d vs %d", len(blocks[j]), w))
+			}
+			payload = append(payload, blocks[j]...)
+		}
+		// Fixed order (lower rank sends first) for a reproducible
+		// trace; buffering makes either order deadlock-free.
+		var in []float64
+		if c.me < partner {
+			c.Send(partner, payload)
+			in = c.Recv(partner)
+		} else {
+			in = c.Recv(partner)
+			c.Send(partner, payload)
+		}
+		if len(in) != span*w {
+			panic(fmt.Sprintf("comm: RDAllGather partner payload %d, want %d", len(in), span*w))
+		}
+		theirs := partner &^ (span - 1)
+		for j := 0; j < span; j++ {
+			blocks[theirs+j] = in[j*w : (j+1)*w]
+		}
+	}
+	return blocks
+}

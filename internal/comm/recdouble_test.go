@@ -1,0 +1,64 @@
+package comm
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/simnet"
+)
+
+func TestRDAllGatherCorrect(t *testing.T) {
+	for _, q := range []int{1, 2, 4, 8, 16} {
+		q := q
+		runGroup(t, q, func(c *Comm) error {
+			mine := []float64{float64(c.Rank()), float64(c.Rank()) + 0.5}
+			blocks := c.RDAllGather(mine)
+			if len(blocks) != q {
+				return fmt.Errorf("got %d blocks", len(blocks))
+			}
+			for j, b := range blocks {
+				if len(b) != 2 || b[0] != float64(j) || b[1] != float64(j)+0.5 {
+					return fmt.Errorf("rank %d block %d = %v", c.Rank(), j, b)
+				}
+			}
+			return nil
+		})
+	}
+}
+
+// The ablation: same bandwidth as the bucket algorithm, exponentially
+// fewer messages.
+func TestRDVsBucketCosts(t *testing.T) {
+	const q, w = 8, 64
+	bucket := runGroup(t, q, func(c *Comm) error {
+		c.AllGatherV(make([]float64, w))
+		return nil
+	})
+	rd := runGroup(t, q, func(c *Comm) error {
+		c.RDAllGather(make([]float64, w))
+		return nil
+	})
+	for r := 0; r < q; r++ {
+		sb, sr := bucket.RankStats(r), rd.RankStats(r)
+		if sb.SentWords != sr.SentWords {
+			t.Fatalf("rank %d: bucket %d words vs RD %d words (should match)",
+				r, sb.SentWords, sr.SentWords)
+		}
+		if sb.SentMsgs != q-1 || sr.SentMsgs != 3 { // log2(8) = 3
+			t.Fatalf("rank %d: bucket %d msgs (want %d), RD %d msgs (want 3)",
+				r, sb.SentMsgs, q-1, sr.SentMsgs)
+		}
+	}
+}
+
+func TestRDAllGatherPanics(t *testing.T) {
+	net := simnet.New(3)
+	ranks := []int{0, 1, 2}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-power-of-two group")
+		}
+	}()
+	c := New(net, ranks, 0)
+	c.RDAllGather([]float64{1})
+}

@@ -1,0 +1,89 @@
+package costmodel
+
+import (
+	"fmt"
+	"math"
+)
+
+// CarmaWords models the per-processor words sent by the CARMA
+// recursive rectangular matrix multiplication [Demmel et al., IPDPS
+// 2013] multiplying an m x k matrix by a k x n matrix on P processors
+// with unbounded memory. P must be a power of two (the Figure 4 sweep
+// uses P = 2^0 .. 2^30).
+//
+// The model follows CARMA's BFS recursion: each step halves the
+// largest dimension and splits the processors in two. Splitting the
+// inner dimension k requires combining partial C results (m*n words
+// spread over the current P); splitting m (or n) requires the group to
+// acquire the full B (or A) operand (k*n or m*k words over the current
+// P). This reproduces both regimes of Section VI-B — the flat
+// "1 large dimension" cost ~ m*n and the "3 large dimensions" decline
+// ~ (mkn/P)^(2/3) — and the kink between them.
+func CarmaWords(m, k, n, P float64) float64 {
+	if P < 1 {
+		panic(fmt.Sprintf("costmodel: P = %v", P))
+	}
+	if frac := math.Log2(P); frac != math.Trunc(frac) {
+		panic(fmt.Sprintf("costmodel: CarmaWords needs power-of-two P, got %v", P))
+	}
+	var w float64
+	for P > 1 {
+		switch {
+		case k >= m && k >= n:
+			w += m * n / P
+			k /= 2
+		case m >= n:
+			w += k * n / P
+			m /= 2
+		default:
+			w += m * k / P
+			n /= 2
+		}
+		P /= 2
+	}
+	return w
+}
+
+// CarmaClosedForm gives the Demmel et al. memory-independent
+// communication cost by regime, for dimensions sorted d1 >= d2 >= d3:
+//
+//	P <= d1/d2:            Theta(d2*d3)              (1 large dimension)
+//	d1/d2 <= P <= d1d2/d3^2: Theta(sqrt(d1d2d3^2/P))  (2 large dimensions)
+//	P >= d1d2/d3^2:        Theta((d1d2d3/P)^(2/3))   (3 large dimensions)
+//
+// Used as an independent cross-check of the recursive model's shape.
+func CarmaClosedForm(m, k, n, P float64) float64 {
+	d := []float64{m, k, n}
+	// Sort descending (3 elements).
+	if d[0] < d[1] {
+		d[0], d[1] = d[1], d[0]
+	}
+	if d[1] < d[2] {
+		d[1], d[2] = d[2], d[1]
+	}
+	if d[0] < d[1] {
+		d[0], d[1] = d[1], d[0]
+	}
+	switch {
+	case P <= d[0]/d[1]:
+		return d[1] * d[2]
+	case P <= d[0]*d[1]/(d[2]*d[2]):
+		return math.Sqrt(d[0] * d[1] * d[2] * d[2] / P)
+	default:
+		return math.Pow(d[0]*d[1]*d[2]/P, 2.0/3)
+	}
+}
+
+// MatmulMTTKRPWords models the full MTTKRP-via-matmul baseline of
+// Section VI-B for mode n of a cubical tensor: multiply the
+// I^(1/N) x I^(N-1)/N... matricized tensor (I_n x I/I_n) by the
+// explicit I/I_n x R Khatri-Rao product using CARMA. Following the
+// paper, the cost of forming the KRP is ignored.
+func (m Model) MatmulMTTKRPWords(n int, P float64) float64 {
+	if n < 0 || n >= m.N() {
+		panic(fmt.Sprintf("costmodel: mode %d out of range", n))
+	}
+	In := m.Dims[n]
+	J := m.I() / In
+	return CarmaWords(In, J, m.R, P)
+}

@@ -1,0 +1,174 @@
+// Package costmodel evaluates the paper's closed-form communication,
+// arithmetic, and memory cost expressions at model scale (Figure 4
+// uses I = 2^45 elements and P up to 2^30 processors, far beyond what
+// can be materialized), and selects processor grids that minimize
+// them.
+//
+// Words here count per-processor *sends*, matching the (q-1)*w bucket
+// collective accounting of Section V (each send is matched by a
+// receive of the same size, so sends+receives is exactly twice this).
+package costmodel
+
+import (
+	"fmt"
+	"math"
+)
+
+// Model describes a model-scale MTTKRP instance.
+type Model struct {
+	Dims []float64 // tensor dimensions I_1..I_N
+	R    float64   // rank
+}
+
+// N returns the tensor order.
+func (m Model) N() int { return len(m.Dims) }
+
+// I returns the total tensor elements.
+func (m Model) I() float64 {
+	out := 1.0
+	for _, d := range m.Dims {
+		out *= d
+	}
+	return out
+}
+
+// CubicalModel builds a model with N equal dimensions of the given
+// side.
+func CubicalModel(N int, side, R float64) Model {
+	dims := make([]float64, N)
+	for i := range dims {
+		dims[i] = side
+	}
+	return Model{Dims: dims, R: R}
+}
+
+func (m Model) validateShape(shape []float64, want int) {
+	if len(shape) != want {
+		panic(fmt.Sprintf("costmodel: grid shape %v, want %d extents", shape, want))
+	}
+	for _, s := range shape {
+		if s < 1 {
+			panic(fmt.Sprintf("costmodel: non-positive grid extent in %v", shape))
+		}
+	}
+}
+
+func prod(xs []float64) float64 {
+	out := 1.0
+	for _, x := range xs {
+		out *= x
+	}
+	return out
+}
+
+// Alg3Words evaluates Eq. (14) for a balanced distribution on the
+// N-way grid shape: sum_k (P/P_k - 1) * (I_k R / P) words sent per
+// processor (nnz(A(k)_p) = nnz(B(n)_p) = I_k R / P when balanced, so
+// the mode n term needs no special case).
+func (m Model) Alg3Words(shape []float64) float64 {
+	m.validateShape(shape, m.N())
+	P := prod(shape)
+	var w float64
+	for k, d := range m.Dims {
+		w += (P/shape[k] - 1) * d * m.R / P
+	}
+	return w
+}
+
+// Alg3Flops evaluates Eq. (15): N*R*(I/P) for the local MTTKRP plus
+// (P/P_n - 1) * I_n R / P reduction adds; the bound maximizes over n,
+// i.e. uses the largest hyperslice.
+func (m Model) Alg3Flops(shape []float64) float64 {
+	m.validateShape(shape, m.N())
+	P := prod(shape)
+	local := float64(m.N()) * m.R * m.I() / P
+	reduce := 0.0
+	for k, d := range m.Dims {
+		if r := (P/shape[k] - 1) * d * m.R / P; r > reduce {
+			reduce = r
+		}
+	}
+	return local + reduce
+}
+
+// Alg3Memory evaluates Eq. (16): I/P tensor words plus the replicated
+// factor block rows sum_k (I_k/P_k) * R.
+func (m Model) Alg3Memory(shape []float64) float64 {
+	m.validateShape(shape, m.N())
+	P := prod(shape)
+	mem := m.I() / P
+	for k, d := range m.Dims {
+		mem += d / shape[k] * m.R
+	}
+	return mem
+}
+
+// Alg4Words evaluates Eq. (18) for a balanced distribution on the
+// (N+1)-way grid shape (shape[0] = P0):
+//
+//	(P0 - 1) * I/P + sum_k (P/(P0 P_k) - 1) * I_k R / P.
+func (m Model) Alg4Words(shape []float64) float64 {
+	m.validateShape(shape, m.N()+1)
+	P := prod(shape)
+	p0 := shape[0]
+	w := (p0 - 1) * m.I() / P
+	for k, d := range m.Dims {
+		w += (P/(p0*shape[k+1]) - 1) * d * m.R / P
+	}
+	return w
+}
+
+// Alg4Flops evaluates Eq. (19) analogously to Alg3Flops.
+func (m Model) Alg4Flops(shape []float64) float64 {
+	m.validateShape(shape, m.N()+1)
+	P := prod(shape)
+	p0 := shape[0]
+	local := float64(m.N()) * m.R * m.I() / (P / p0) / p0 // N * (R/P0) * prod(I_k/P_k)
+	reduce := 0.0
+	for k, d := range m.Dims {
+		if r := (P/(p0*shape[k+1]) - 1) * d * m.R / P; r > reduce {
+			reduce = r
+		}
+	}
+	return local + reduce
+}
+
+// Alg4Memory evaluates Eq. (20): the gathered tensor block plus the
+// gathered factor blocks restricted to R/P0 columns.
+func (m Model) Alg4Memory(shape []float64) float64 {
+	m.validateShape(shape, m.N()+1)
+	p0 := shape[0]
+	blocks := 1.0
+	for k, d := range m.Dims {
+		blocks *= d / shape[k+1]
+	}
+	mem := blocks
+	for k, d := range m.Dims {
+		mem += d / shape[k+1] * m.R / p0
+	}
+	return mem
+}
+
+// StationaryIdealWords is the optimized form of Eq. (14) with
+// P_k = I_k/(I/P)^(1/N): approximately N*R*(I/P)^(1/N).
+func (m Model) StationaryIdealWords(P float64) float64 {
+	N := float64(m.N())
+	return N * m.R * math.Pow(m.I()/P, 1/N)
+}
+
+// GeneralIdealWords is the optimized cost of Algorithm 4 from Section
+// V-D3: N*R*(I/P)^(1/N) + (N*I*R/P)^(N/(2N-1)), with the first term
+// applying when P0 = 1 suffices.
+func (m Model) GeneralIdealWords(P float64) float64 {
+	N := float64(m.N())
+	return math.Min(m.StationaryIdealWords(P),
+		math.Pow(N*m.I()*m.R/P, N/(2*N-1)))
+}
+
+// CrossoverP returns I/(NR)^(N/(N-1)), the processor count beyond
+// which the general algorithm (P0 > 1) communicates less than the
+// stationary algorithm (Section VI-B).
+func (m Model) CrossoverP() float64 {
+	N := float64(m.N())
+	return m.I() / math.Pow(N*m.R, N/(N-1))
+}

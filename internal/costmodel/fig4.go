@@ -1,0 +1,89 @@
+package costmodel
+
+import "math"
+
+// Fig4Problem returns the Figure 4 instance: N = 3 cubical tensor with
+// I_1 = I_2 = I_3 = R = 2^15 (I = 2^45).
+func Fig4Problem() Model {
+	return CubicalModel(3, 1<<15, 1<<15)
+}
+
+// Fig4Row is one point of the Figure 4 strong-scaling comparison.
+type Fig4Row struct {
+	Exp        int // P = 2^Exp
+	P          float64
+	Matmul     float64 // CARMA MTTKRP-via-matmul words
+	Stationary float64 // Algorithm 3 with its best N-way grid
+	General    float64 // Algorithm 4 with its best (N+1)-way grid
+	Alg3Shape  []float64
+	Alg4Shape  []float64
+}
+
+// Fig4Series regenerates the three curves of Figure 4 for
+// P = 2^0 .. 2^maxExp (the paper sweeps to 2^30, the number of
+// elements in a factor matrix).
+func Fig4Series(maxExp int) []Fig4Row {
+	m := Fig4Problem()
+	rows := make([]Fig4Row, 0, maxExp+1)
+	for e := 0; e <= maxExp; e++ {
+		P := math.Pow(2, float64(e))
+		s3, w3, err := m.BestAlg3PowerOfTwo(e)
+		if err != nil {
+			panic(err) // cannot happen for the Figure 4 range
+		}
+		s4, w4, err := m.BestAlg4PowerOfTwo(e)
+		if err != nil {
+			panic(err)
+		}
+		rows = append(rows, Fig4Row{
+			Exp:        e,
+			P:          P,
+			Matmul:     m.MatmulMTTKRPWords(0, P),
+			Stationary: w3,
+			General:    w4,
+			Alg3Shape:  s3,
+			Alg4Shape:  s4,
+		})
+	}
+	return rows
+}
+
+// Fig4Callouts summarizes the quantitative claims the paper attaches
+// to Figure 4 so experiments can check them against the regenerated
+// series.
+type Fig4Callouts struct {
+	// DivergeExp is the smallest exponent at which Algorithm 4 beats
+	// Algorithm 3 by more than 1% (the paper reports the curves
+	// "diverge only when P >= 2^27").
+	DivergeExp int
+	// KinkExp is the exponent at which the matmul curve first drops
+	// by more than 25% per step (the 1D -> 2D/3D switch; the paper's
+	// caption places it where P = I/R^2 = 2^15).
+	KinkExp int
+	// RatioAt17 is matmul words / min(alg3, alg4) words at P = 2^17
+	// (the paper reports approximately 25x).
+	RatioAt17 float64
+	// PredictedCrossover is I/(NR)^(N/(N-1)) from Section VI-B.
+	PredictedCrossover float64
+}
+
+// ComputeFig4Callouts derives the callouts from a series that must
+// extend to at least 2^28.
+func ComputeFig4Callouts(rows []Fig4Row) Fig4Callouts {
+	out := Fig4Callouts{DivergeExp: -1, KinkExp: -1}
+	m := Fig4Problem()
+	out.PredictedCrossover = m.CrossoverP()
+	for i, r := range rows {
+		if out.DivergeExp == -1 && r.General < 0.99*r.Stationary {
+			out.DivergeExp = r.Exp
+		}
+		if out.KinkExp == -1 && i > 0 && r.Matmul < 0.75*rows[i-1].Matmul {
+			out.KinkExp = r.Exp
+		}
+		if r.Exp == 17 {
+			best := math.Min(r.Stationary, r.General)
+			out.RatioAt17 = r.Matmul / best
+		}
+	}
+	return out
+}

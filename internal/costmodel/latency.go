@@ -1,0 +1,56 @@
+package costmodel
+
+import "math"
+
+// Latency (message-count) models. The paper's bounds and analyses
+// count words only ("we focus on the amount of data communicated and
+// ignore the number of messages"); these models quantify what was set
+// aside, using the collective algorithms' message counts: a bucket
+// collective over q processors takes q-1 messages per processor, and
+// the recursive-doubling alternative takes ceil(log2 q) at the same
+// bandwidth (see comm.RDAllGather).
+
+// Alg3Messages returns per-processor messages sent by Algorithm 3 on
+// the given grid with bucket collectives: sum_k (P/P_k - 1).
+func (m Model) Alg3Messages(shape []float64) float64 {
+	m.validateShape(shape, m.N())
+	P := prod(shape)
+	var msgs float64
+	for _, s := range shape {
+		msgs += P/s - 1
+	}
+	return msgs
+}
+
+// Alg4Messages returns per-processor messages for Algorithm 4:
+// (P0 - 1) for the tensor gather plus sum_k (P/(P0 P_k) - 1).
+func (m Model) Alg4Messages(shape []float64) float64 {
+	m.validateShape(shape, m.N()+1)
+	P := prod(shape)
+	p0 := shape[0]
+	msgs := p0 - 1
+	for k := 0; k < m.N(); k++ {
+		msgs += P/(p0*shape[k+1]) - 1
+	}
+	return msgs
+}
+
+// RDMessages returns the recursive-doubling message count for the same
+// collectives: each bucket collective's q-1 becomes ceil(log2 q).
+func RDMessages(q float64) float64 {
+	if q <= 1 {
+		return 0
+	}
+	return math.Ceil(math.Log2(q))
+}
+
+// Alg3MessagesRD is Alg3Messages with recursive-doubling collectives.
+func (m Model) Alg3MessagesRD(shape []float64) float64 {
+	m.validateShape(shape, m.N())
+	P := prod(shape)
+	var msgs float64
+	for _, s := range shape {
+		msgs += RDMessages(P / s)
+	}
+	return msgs
+}

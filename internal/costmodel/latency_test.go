@@ -1,0 +1,51 @@
+package costmodel
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAlg3Messages(t *testing.T) {
+	m := CubicalModel(3, 64, 8)
+	// 2x2x2 grid: each hyperslice has q = 4 -> 3 messages, x3 modes.
+	if got := m.Alg3Messages([]float64{2, 2, 2}); got != 9 {
+		t.Fatalf("Alg3Messages = %v, want 9", got)
+	}
+}
+
+func TestAlg4Messages(t *testing.T) {
+	m := CubicalModel(3, 64, 8)
+	// shape (2,2,2,1): tensor gather 1 msg; groups q = 2,2,4 -> 1+1+3.
+	if got := m.Alg4Messages([]float64{2, 2, 2, 1}); got != 6 {
+		t.Fatalf("Alg4Messages = %v, want 6", got)
+	}
+}
+
+func TestRDMessages(t *testing.T) {
+	if RDMessages(1) != 0 || RDMessages(8) != 3 || RDMessages(5) != 3 {
+		t.Fatal("RDMessages")
+	}
+}
+
+func TestRDBeatsBucketLatency(t *testing.T) {
+	m := CubicalModel(3, 1<<10, 8)
+	shape := []float64{8, 8, 8}
+	bucket := m.Alg3Messages(shape)
+	rd := m.Alg3MessagesRD(shape)
+	if rd >= bucket {
+		t.Fatalf("recursive doubling (%v msgs) should beat bucket (%v msgs)", rd, bucket)
+	}
+	// 3 hyperslices of q = 64: bucket 3*63, RD 3*6.
+	if bucket != 189 || rd != 18 {
+		t.Fatalf("bucket=%v rd=%v", bucket, rd)
+	}
+}
+
+func TestMessagesMatchMeasured(t *testing.T) {
+	// The par test TestMessageCounts measures 2*9 sends+receives on a
+	// 2x2x2 grid; the model's per-proc sends must be half that.
+	m := CubicalModel(3, 8, 2)
+	if got := m.Alg3Messages([]float64{2, 2, 2}); math.Abs(got-9) > 0 {
+		t.Fatalf("model says %v, simulator measures 9 sends", got)
+	}
+}

@@ -1,0 +1,173 @@
+package cpals
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/seq"
+	"repro/internal/tensor"
+)
+
+func TestObjectiveMatchesDirectResidual(t *testing.T) {
+	dims := []int{4, 5, 3}
+	x := tensor.RandomDense(1, dims...)
+	fs := tensor.RandomFactors(2, dims, 2)
+	f, _ := Objective(x, fs)
+	// Direct: materialize Xhat and compute 0.5||X - Xhat||^2.
+	xhat := tensor.FromFactors(fs)
+	diff := x.Clone()
+	diff.Add(-1, xhat)
+	want := 0.5 * diff.Norm() * diff.Norm()
+	if math.Abs(f-want) > 1e-8*math.Max(1, want) {
+		t.Fatalf("objective %v, direct %v", f, want)
+	}
+}
+
+func TestGradientMatchesFiniteDifferences(t *testing.T) {
+	dims := []int{3, 4, 3}
+	R := 2
+	x := tensor.RandomDense(3, dims...)
+	fs := tensor.RandomFactors(4, dims, R)
+	grads, _, _ := Gradient(x, fs)
+	const h = 1e-6
+	for n := range dims {
+		for i := 0; i < dims[n]; i += 2 {
+			for r := 0; r < R; r++ {
+				orig := fs[n].At(i, r)
+				fs[n].Set(i, r, orig+h)
+				fp, _ := Objective(x, fs)
+				fs[n].Set(i, r, orig-h)
+				fm, _ := Objective(x, fs)
+				fs[n].Set(i, r, orig)
+				fd := (fp - fm) / (2 * h)
+				if math.Abs(fd-grads[n].At(i, r)) > 1e-4*(1+math.Abs(fd)) {
+					t.Fatalf("mode %d (%d,%d): finite diff %v vs gradient %v",
+						n, i, r, fd, grads[n].At(i, r))
+				}
+			}
+		}
+	}
+}
+
+func TestGradientUsesSharedMTTKRP(t *testing.T) {
+	// The gradient's B(n) must equal the per-mode atomic reference.
+	dims := []int{4, 4, 4}
+	x := tensor.RandomDense(5, dims...)
+	fs := tensor.RandomFactors(6, dims, 3)
+	_, res := Objective(x, fs)
+	for n := range dims {
+		if !res.B[n].EqualApprox(seq.Ref(x, fs, n), 1e-9) {
+			t.Fatalf("dimension-tree B(%d) differs from reference", n)
+		}
+	}
+}
+
+func TestGradientNearZeroAtALSFixedPoint(t *testing.T) {
+	// Run ALS to convergence on an exactly low-rank tensor; the
+	// gradient there should be tiny relative to the data scale.
+	dims := []int{5, 5, 5}
+	truth := tensor.RandomFactors(7, dims, 2)
+	x := tensor.FromFactors(truth)
+	model, _, err := Decompose(x, Options{R: 2, MaxIters: 300, Tol: 1e-14, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	grads, f, _ := Gradient(x, model.Factors)
+	var gnorm float64
+	for _, g := range grads {
+		gnorm += g.Norm() * g.Norm()
+	}
+	gnorm = math.Sqrt(gnorm)
+	if gnorm > 1e-4*x.Norm() {
+		t.Fatalf("gradient norm %v too large at ALS fixed point (f=%v)", gnorm, f)
+	}
+}
+
+func TestDecomposeGradientDescends(t *testing.T) {
+	dims := []int{5, 4, 5}
+	x := tensor.RandomDense(11, dims...)
+	_, trace, err := DecomposeGradient(x, GradOptions{R: 3, MaxIters: 50, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trace) < 2 {
+		t.Fatalf("trace too short: %d", len(trace))
+	}
+	for i := 1; i < len(trace); i++ {
+		if trace[i].Objective > trace[i-1].Objective+1e-9 {
+			t.Fatalf("objective increased at iter %d: %v -> %v",
+				i, trace[i-1].Objective, trace[i].Objective)
+		}
+	}
+}
+
+func TestDecomposeGradientRecoversLowRank(t *testing.T) {
+	dims := []int{6, 6, 6}
+	truth := tensor.RandomFactors(17, dims, 2)
+	x := tensor.FromFactors(truth)
+	model, _, err := DecomposeGradient(x, GradOptions{R: 2, MaxIters: 400, Seed: 19})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if model.Fit < 0.9 {
+		t.Fatalf("gradient descent fit %v; expected substantial recovery", model.Fit)
+	}
+}
+
+func TestDecomposeGradientWarmStart(t *testing.T) {
+	// ALS warm start then gradient polish: the objective must start at
+	// the ALS value (not a random one) and never increase.
+	dims := []int{6, 6, 6}
+	truth := tensor.RandomFactors(21, dims, 2)
+	x := tensor.FromFactors(truth)
+	warm, _, err := Decompose(x, Options{R: 2, MaxIters: 8, Tol: 0, Seed: 23})
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, trace, err := DecomposeGradient(x, GradOptions{
+		R: 2, MaxIters: 30, Seed: 23, Init: warm.Factors,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmObj, _ := Objective(x, warm.Factors)
+	if math.Abs(trace[0].Objective-warmObj) > 1e-9*(1+warmObj) {
+		t.Fatalf("first objective %v != warm-start objective %v", trace[0].Objective, warmObj)
+	}
+	if model.Fit < warm.Fit-1e-9 {
+		t.Fatalf("gradient polish regressed fit: %v -> %v", warm.Fit, model.Fit)
+	}
+	// Init must not be mutated.
+	warmObj2, _ := Objective(x, warm.Factors)
+	if warmObj2 != warmObj {
+		t.Fatal("warm-start factors were mutated")
+	}
+}
+
+func TestDecomposeGradientBadInit(t *testing.T) {
+	x := tensor.RandomDense(1, 4, 4)
+	bad := []*tensor.Matrix{tensor.NewMatrix(4, 2)}
+	if _, _, err := DecomposeGradient(x, GradOptions{R: 2, Init: bad}); err == nil {
+		t.Fatal("wrong init length should error")
+	}
+	bad2 := []*tensor.Matrix{tensor.NewMatrix(5, 2), tensor.NewMatrix(4, 2)}
+	if _, _, err := DecomposeGradient(x, GradOptions{R: 2, Init: bad2}); err == nil {
+		t.Fatal("wrong init shape should error")
+	}
+}
+
+func TestDecomposeGradientErrors(t *testing.T) {
+	x := tensor.RandomDense(1, 4, 4)
+	if _, _, err := DecomposeGradient(x, GradOptions{R: 0}); err == nil {
+		t.Fatal("R=0 should error")
+	}
+	if _, _, err := DecomposeGradient(x, GradOptions{R: 2, Step0: -1}); err == nil {
+		t.Fatal("negative step should error")
+	}
+	if _, _, err := DecomposeGradient(tensor.NewDense(3, 3), GradOptions{R: 1}); err == nil {
+		t.Fatal("zero tensor should error")
+	}
+	if _, _, err := DecomposeGradient(x, GradOptions{R: 2, MaxIters: -5}); err == nil {
+		t.Fatal("negative MaxIters should error")
+	}
+}

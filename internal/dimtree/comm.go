@@ -1,0 +1,77 @@
+package dimtree
+
+// This file analyzes the *communication* side of the multi-MTTKRP
+// optimization under a streaming two-level-memory model: every
+// contraction reads its source once from slow memory, reads the
+// dropped factor matrices once, and writes its result once. The
+// dimension tree reads the full tensor only twice (the two root
+// contractions) where N independent MTTKRPs read it N times; all other
+// tree traffic touches the much smaller partials.
+
+// CommEstimate returns the streaming-model words moved (loads+stores)
+// by the balanced dimension tree and by N independent single-mode
+// passes, for a tensor of the given dimensions and rank R.
+func CommEstimate(dims []int, R int) (tree, independent int64) {
+	N := len(dims)
+	I := int64(1)
+	for _, d := range dims {
+		I *= int64(d)
+	}
+	// Independent: per mode, read X once, read the N-1 factors, write
+	// the output.
+	for n := 0; n < N; n++ {
+		independent += I
+		for k, d := range dims {
+			if k != n {
+				independent += int64(d) * int64(R)
+			}
+		}
+		independent += int64(dims[n]) * int64(R)
+	}
+
+	// Tree: simulate the recursion's reads/writes.
+	allModes := make([]int, N)
+	for i := range allModes {
+		allModes[i] = i
+	}
+	size := func(modes []int) int64 {
+		s := int64(R)
+		for _, k := range modes {
+			s *= int64(dims[k])
+		}
+		return s
+	}
+	factorWords := func(drop []int) int64 {
+		var s int64
+		for _, k := range drop {
+			s += int64(dims[k]) * int64(R)
+		}
+		return s
+	}
+	var rec func(modes []int, srcWords int64)
+	rec = func(modes []int, srcWords int64) {
+		if len(modes) == 1 {
+			return // the node itself was already written by its parent
+		}
+		m := len(modes) / 2
+		left, right := modes[:m], modes[m:]
+		// Two contractions from this node: each reads the node and the
+		// dropped factors, and writes the child.
+		tree += srcWords + factorWords(right) + size(left)
+		tree += srcWords + factorWords(left) + size(right)
+		rec(left, size(left))
+		rec(right, size(right))
+	}
+	if N == 2 {
+		tree = 2*I + factorWords([]int{1}) + size([]int{0}) +
+			factorWords([]int{0}) + size([]int{1})
+		return tree, independent
+	}
+	m := N / 2
+	left, right := allModes[:m], allModes[m:]
+	tree += I + factorWords(right) + size(left)
+	tree += I + factorWords(left) + size(right)
+	rec(left, size(left))
+	rec(right, size(right))
+	return tree, independent
+}

@@ -1,0 +1,280 @@
+package dist
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/grid"
+	"repro/internal/tensor"
+)
+
+func TestStationaryBlocksPartitionTensor(t *testing.T) {
+	dims := []int{6, 5, 4}
+	g := grid.New(3, 2, 2)
+	d := NewStationary(dims, 3, g)
+	covered := make(map[int]int)
+	x := tensor.RandomDense(1, dims...)
+	for r := 0; r < g.P(); r++ {
+		lo, hi := d.BlockRange(g.Coords(r))
+		idx := make([]int, 3)
+		copy(idx, lo)
+		for {
+			covered[x.Offset(idx...)]++
+			done := true
+			for k := 0; k < 3; k++ {
+				idx[k]++
+				if idx[k] < hi[k] {
+					done = false
+					break
+				}
+				idx[k] = lo[k]
+			}
+			if done {
+				break
+			}
+		}
+	}
+	if len(covered) != x.Elems() {
+		t.Fatalf("blocks cover %d of %d elements", len(covered), x.Elems())
+	}
+	for off, c := range covered {
+		if c != 1 {
+			t.Fatalf("element %d covered %d times", off, c)
+		}
+	}
+}
+
+func TestStationaryLocalTensorValues(t *testing.T) {
+	dims := []int{4, 4}
+	g := grid.New(2, 2)
+	d := NewStationary(dims, 2, g)
+	x := tensor.RandomDense(7, dims...)
+	coords := []int{1, 0}
+	local := d.LocalTensor(coords, x)
+	lo, hi := d.BlockRange(coords)
+	if local.Dim(0) != hi[0]-lo[0] || local.Dim(1) != hi[1]-lo[1] {
+		t.Fatal("local shape mismatch")
+	}
+	if local.At(0, 0) != x.At(lo[0], lo[1]) {
+		t.Fatal("local content mismatch")
+	}
+}
+
+func TestStationaryFactorShardsPartitionBlockRow(t *testing.T) {
+	dims := []int{6, 4}
+	R := 3
+	g := grid.New(2, 2)
+	d := NewStationary(dims, R, g)
+	a := tensor.RandomMatrix(5, 6, R)
+	k := 0
+	// For each hyperslice coordinate, the shards of its members must
+	// concatenate to the flattened block row.
+	for ck := 0; ck < g.Extent(k); ck++ {
+		rlo, rhi := d.FactorRowRange(k, ck)
+		want := a.RowBlock(rlo, rhi).Data()
+		var got []float64
+		// Enumerate hyperslice members in sorted rank order.
+		coords := []int{ck, 0}
+		slice := d.HyperSlice(k, coords)
+		for _, r := range slice {
+			got = append(got, d.FactorShard(k, g.Coords(r), a)...)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("ck=%d: concatenated %d words, want %d", ck, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("ck=%d: shard mismatch at %d", ck, i)
+			}
+		}
+	}
+}
+
+func TestStationaryMaxNnz(t *testing.T) {
+	dims := []int{7, 5}
+	g := grid.New(2, 2)
+	d := NewStationary(dims, 3, g)
+	// ceil(7/2)*ceil(5/2) = 4*3 = 12.
+	if got := d.MaxTensorNnz(); got != 12 {
+		t.Fatalf("MaxTensorNnz = %d", got)
+	}
+	// Mode 0: ceil(ceil(7/2)*3 / (4/2)) = ceil(12/2) = 6.
+	if got := d.MaxFactorNnz(0); got != 6 {
+		t.Fatalf("MaxFactorNnz(0) = %d", got)
+	}
+}
+
+func TestStationaryPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewStationary([]int{4, 4}, 2, grid.New(2)) },
+		func() { NewStationary([]int{4, 4}, 0, grid.New(2, 2)) },
+		func() { NewStationary([]int{1, 4}, 2, grid.New(2, 2)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestGeneralTensorShardsPartitionBlock(t *testing.T) {
+	dims := []int{4, 6}
+	R := 4
+	g := grid.New(2, 2, 2) // P0=2, P1=2, P2=2
+	d := NewGeneral(dims, R, g)
+	x := tensor.RandomDense(11, dims...)
+	// For each (p1, p2) block, shards across the fiber must
+	// reassemble the block's flattening.
+	for p1 := 0; p1 < 2; p1++ {
+		for p2 := 0; p2 < 2; p2++ {
+			coords := []int{0, p1, p2}
+			blo, bhi := d.BlockRange(coords)
+			want := x.SubTensor(blo, bhi).Data()
+			var got []float64
+			for _, r := range d.Fiber(coords) {
+				got = append(got, d.TensorShard(g.Coords(r), x)...)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("block (%d,%d): got %d words, want %d", p1, p2, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("block (%d,%d): mismatch at %d", p1, p2, i)
+				}
+			}
+		}
+	}
+}
+
+func TestGeneralFactorShardsPartitionBlock(t *testing.T) {
+	dims := []int{6, 4}
+	R := 4
+	g := grid.New(2, 3, 2)
+	d := NewGeneral(dims, R, g)
+	a := tensor.RandomMatrix(13, 6, R)
+	k := 0
+	for p0 := 0; p0 < 2; p0++ {
+		for pk := 0; pk < 3; pk++ {
+			coords := []int{p0, pk, 0}
+			rlo, rhi := d.FactorRowRange(k, pk)
+			clo, chi := d.RankRange(p0)
+			want := a.Block(rlo, rhi, clo, chi).Data()
+			var got []float64
+			for _, r := range d.FactorGroup(k, coords) {
+				got = append(got, d.FactorShard(k, g.Coords(r), a)...)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("(p0=%d,pk=%d): got %d, want %d", p0, pk, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("(p0=%d,pk=%d): mismatch at %d", p0, pk, i)
+				}
+			}
+		}
+	}
+}
+
+func TestGeneralRankRangesPartitionR(t *testing.T) {
+	g := grid.New(3, 1, 1)
+	d := NewGeneral([]int{4, 4}, 7, g)
+	pos := 0
+	for p0 := 0; p0 < 3; p0++ {
+		lo, hi := d.RankRange(p0)
+		if lo != pos {
+			t.Fatalf("rank ranges not contiguous at p0=%d", p0)
+		}
+		pos = hi
+	}
+	if pos != 7 {
+		t.Fatal("rank ranges do not cover R")
+	}
+	if d.P0() != 3 {
+		t.Fatal("P0 accessor")
+	}
+}
+
+func TestGeneralMaxNnz(t *testing.T) {
+	dims := []int{6, 6}
+	g := grid.New(2, 2, 3)
+	d := NewGeneral(dims, 4, g)
+	// Block = ceil(6/2)*ceil(6/3) = 3*2 = 6; over P0=2 -> 3.
+	if got := d.MaxTensorNnz(); got != 3 {
+		t.Fatalf("MaxTensorNnz = %d", got)
+	}
+	// Mode 0: rows=3, cols=ceil(4/2)=2, q = 12/(2*2) = 3 -> ceil(6/3)=2.
+	if got := d.MaxFactorNnz(0); got != 2 {
+		t.Fatalf("MaxFactorNnz(0) = %d", got)
+	}
+}
+
+func TestGeneralPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewGeneral([]int{4, 4}, 2, grid.New(2, 2)) },
+		func() { NewGeneral([]int{4, 4}, 2, grid.New(3, 2, 2)) }, // P0 > R
+		func() { NewGeneral([]int{4, 1}, 2, grid.New(1, 2, 2)) },
+		func() { IndexIn([]int{1, 2}, 3) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestIndexIn(t *testing.T) {
+	if IndexIn([]int{5, 9, 11}, 9) != 1 {
+		t.Fatal("IndexIn")
+	}
+}
+
+// Property: for random grids, every stationary factor shard has size
+// within the Eq. (33)-style bound, and shard sizes sum to the block.
+func TestStationaryShardSizesQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		N := 2 + rng.Intn(2)
+		dims := make([]int, N)
+		shape := make([]int, N)
+		for i := range dims {
+			shape[i] = 1 + rng.Intn(3)
+			dims[i] = shape[i] + rng.Intn(5)
+		}
+		R := 1 + rng.Intn(4)
+		g := grid.New(shape...)
+		d := NewStationary(dims, R, g)
+		for k := 0; k < N; k++ {
+			bound := d.MaxFactorNnz(k)
+			for ck := 0; ck < shape[k]; ck++ {
+				coords := make([]int, N)
+				coords[k] = ck
+				slice := d.HyperSlice(k, coords)
+				total := 0
+				for idx := range slice {
+					lo, hi := d.ShardRange(k, ck, len(slice), idx)
+					if int64(hi-lo) > bound {
+						return false
+					}
+					total += hi - lo
+				}
+				rlo, rhi := d.FactorRowRange(k, ck)
+				if total != (rhi-rlo)*R {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,195 @@
+// Package grid provides logical processor grids (Sections V-C1 and
+// V-D1): factorizations P = P_1*...*P_N (or P_0*P_1*...*P_N for the
+// general algorithm), mixed-radix rank/coordinate conversion, and
+// hyperslice enumeration for building collective communicators.
+package grid
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Grid is a logical d-way processor grid. Ranks map to coordinates in
+// mixed radix with dimension 0 varying fastest (matching the tensor
+// package's column-major convention).
+type Grid struct {
+	shape []int
+	p     int
+}
+
+// New builds a grid with the given shape.
+func New(shape ...int) *Grid {
+	if len(shape) == 0 {
+		panic("grid: empty shape")
+	}
+	p := 1
+	for _, s := range shape {
+		if s < 1 {
+			panic(fmt.Sprintf("grid: non-positive extent in %v", shape))
+		}
+		p *= s
+	}
+	return &Grid{shape: append([]int(nil), shape...), p: p}
+}
+
+// Dims returns the number of grid dimensions.
+func (g *Grid) Dims() int { return len(g.shape) }
+
+// Shape returns a copy of the grid shape.
+func (g *Grid) Shape() []int { return append([]int(nil), g.shape...) }
+
+// Extent returns the size of grid dimension d.
+func (g *Grid) Extent(d int) int { return g.shape[d] }
+
+// P returns the total number of processors.
+func (g *Grid) P() int { return g.p }
+
+// Coords converts a rank to grid coordinates.
+func (g *Grid) Coords(rank int) []int {
+	if rank < 0 || rank >= g.p {
+		panic(fmt.Sprintf("grid: rank %d out of [0,%d)", rank, g.p))
+	}
+	c := make([]int, len(g.shape))
+	for d, s := range g.shape {
+		c[d] = rank % s
+		rank /= s
+	}
+	return c
+}
+
+// Rank converts grid coordinates to a rank.
+func (g *Grid) Rank(coords []int) int {
+	if len(coords) != len(g.shape) {
+		panic(fmt.Sprintf("grid: coords %v for %d-d grid", coords, len(g.shape)))
+	}
+	rank := 0
+	mult := 1
+	for d, s := range g.shape {
+		if coords[d] < 0 || coords[d] >= s {
+			panic(fmt.Sprintf("grid: coords %v out of shape %v", coords, g.shape))
+		}
+		rank += coords[d] * mult
+		mult *= s
+	}
+	return rank
+}
+
+// Slice returns, in increasing rank order, all ranks whose coordinates
+// agree with coords on the dimensions listed in fixed. With one fixed
+// dimension this is the paper's processor hyperslice normal to that
+// dimension; with all-but-one fixed it is a grid fiber.
+func (g *Grid) Slice(fixed []int, coords []int) []int {
+	if len(coords) != len(g.shape) {
+		panic(fmt.Sprintf("grid: coords %v for %d-d grid", coords, len(g.shape)))
+	}
+	isFixed := make([]bool, len(g.shape))
+	for _, d := range fixed {
+		if d < 0 || d >= len(g.shape) {
+			panic(fmt.Sprintf("grid: fixed dimension %d out of range", d))
+		}
+		isFixed[d] = true
+	}
+	// Enumerate the free dimensions.
+	cur := append([]int(nil), coords...)
+	var out []int
+	var rec func(d int)
+	rec = func(d int) {
+		if d == len(g.shape) {
+			out = append(out, g.Rank(cur))
+			return
+		}
+		if isFixed[d] {
+			rec(d + 1)
+			return
+		}
+		for v := 0; v < g.shape[d]; v++ {
+			cur[d] = v
+			rec(d + 1)
+		}
+		cur[d] = coords[d]
+	}
+	rec(0)
+	sort.Ints(out)
+	return out
+}
+
+// Part splits n items into q nearly-equal contiguous parts (sizes
+// differ by at most one, larger parts first) and returns part j's
+// bounds [lo, hi). It tolerates q > n (empty trailing parts).
+func Part(n, q, j int) (lo, hi int) {
+	if n < 0 || q < 1 || j < 0 || j >= q {
+		panic(fmt.Sprintf("grid: Part(%d, %d, %d)", n, q, j))
+	}
+	base := n / q
+	rem := n % q
+	if j < rem {
+		lo = j * (base + 1)
+		return lo, lo + base + 1
+	}
+	lo = rem*(base+1) + (j-rem)*base
+	return lo, lo + base
+}
+
+// PartSize returns hi-lo of Part.
+func PartSize(n, q, j int) int {
+	lo, hi := Part(n, q, j)
+	return hi - lo
+}
+
+// MaxPartSize returns ceil(n/q), the largest part size.
+func MaxPartSize(n, q int) int {
+	return (n + q - 1) / q
+}
+
+// Factorizations enumerates every ordered factorization of p into
+// exactly parts positive factors. The count grows quickly; intended
+// for the moderate P values of the simulator experiments.
+func Factorizations(p, parts int) [][]int {
+	if p < 1 || parts < 1 {
+		panic(fmt.Sprintf("grid: Factorizations(%d, %d)", p, parts))
+	}
+	var out [][]int
+	cur := make([]int, parts)
+	var rec func(rem, d int)
+	rec = func(rem, d int) {
+		if d == parts-1 {
+			cur[d] = rem
+			out = append(out, append([]int(nil), cur...))
+			return
+		}
+		for f := 1; f <= rem; f++ {
+			if rem%f == 0 {
+				cur[d] = f
+				rec(rem/f, d+1)
+			}
+		}
+	}
+	rec(p, 0)
+	return out
+}
+
+// PowerOfTwoFactorizations enumerates factorizations of 2^exp into
+// parts power-of-two factors, as exponent compositions. This covers
+// the paper's Figure 4 sweep (P = 2^0 .. 2^30) without enumerating
+// divisors of astronomically large P.
+func PowerOfTwoFactorizations(exp, parts int) [][]int {
+	if exp < 0 || parts < 1 {
+		panic(fmt.Sprintf("grid: PowerOfTwoFactorizations(%d, %d)", exp, parts))
+	}
+	var out [][]int
+	cur := make([]int, parts)
+	var rec func(rem, d int)
+	rec = func(rem, d int) {
+		if d == parts-1 {
+			cur[d] = 1 << rem
+			out = append(out, append([]int(nil), cur...))
+			return
+		}
+		for e := 0; e <= rem; e++ {
+			cur[d] = 1 << e
+			rec(rem-e, d+1)
+		}
+	}
+	rec(exp, 0)
+	return out
+}

@@ -1,0 +1,240 @@
+package grid
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCoordsRankRoundTrip(t *testing.T) {
+	g := New(3, 2, 4)
+	if g.P() != 24 || g.Dims() != 3 || g.Extent(2) != 4 {
+		t.Fatalf("grid basics broken: P=%d", g.P())
+	}
+	for r := 0; r < g.P(); r++ {
+		if back := g.Rank(g.Coords(r)); back != r {
+			t.Fatalf("round trip failed at rank %d", r)
+		}
+	}
+}
+
+func TestCoordsColumnMajor(t *testing.T) {
+	g := New(3, 2, 4)
+	c := g.Coords(1)
+	if c[0] != 1 || c[1] != 0 || c[2] != 0 {
+		t.Fatalf("dim 0 should vary fastest: Coords(1) = %v", c)
+	}
+	c = g.Coords(3)
+	if c[0] != 0 || c[1] != 1 || c[2] != 0 {
+		t.Fatalf("Coords(3) = %v", c)
+	}
+	c = g.Coords(6)
+	if c[0] != 0 || c[1] != 0 || c[2] != 1 {
+		t.Fatalf("Coords(6) = %v", c)
+	}
+}
+
+func TestSliceHyperslice(t *testing.T) {
+	g := New(2, 3, 2) // P = 12
+	// Hyperslice normal to dim 1 through coord 1: ranks with c1 = 1,
+	// i.e. all (c0, 1, c2): 2*2 = 4 ranks.
+	me := g.Coords(g.Rank([]int{0, 1, 0}))
+	s := g.Slice([]int{1}, me)
+	if len(s) != 4 {
+		t.Fatalf("hyperslice size %d, want 4", len(s))
+	}
+	for _, r := range s {
+		if g.Coords(r)[1] != 1 {
+			t.Fatalf("rank %d not in hyperslice", r)
+		}
+	}
+	// Sorted ascending and includes me.
+	found := false
+	for i, r := range s {
+		if i > 0 && s[i-1] >= r {
+			t.Fatal("slice not sorted")
+		}
+		if r == g.Rank(me) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("slice misses caller")
+	}
+}
+
+func TestSliceFiber(t *testing.T) {
+	g := New(2, 3, 2)
+	// Fiber along dim 0 (fix dims 1 and 2): 2 ranks.
+	coords := []int{1, 2, 1}
+	s := g.Slice([]int{1, 2}, coords)
+	if len(s) != 2 {
+		t.Fatalf("fiber size %d, want 2", len(s))
+	}
+	for _, r := range s {
+		c := g.Coords(r)
+		if c[1] != 2 || c[2] != 1 {
+			t.Fatalf("rank %d escaped fiber", r)
+		}
+	}
+}
+
+func TestSliceAllFixedIsSelf(t *testing.T) {
+	g := New(2, 2)
+	s := g.Slice([]int{0, 1}, []int{1, 1})
+	if len(s) != 1 || s[0] != g.Rank([]int{1, 1}) {
+		t.Fatalf("fully fixed slice = %v", s)
+	}
+}
+
+// Property: slices with the same fixed dims partition the grid.
+func TestSlicesPartitionQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := 2 + rng.Intn(3)
+		shape := make([]int, d)
+		for i := range shape {
+			shape[i] = 1 + rng.Intn(3)
+		}
+		g := New(shape...)
+		fixed := []int{rng.Intn(d)}
+		seen := make(map[int]int)
+		for v := 0; v < shape[fixed[0]]; v++ {
+			coords := make([]int, d)
+			coords[fixed[0]] = v
+			for _, r := range g.Slice(fixed, coords) {
+				seen[r]++
+			}
+		}
+		if len(seen) != g.P() {
+			return false
+		}
+		for _, c := range seen {
+			if c != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPart(t *testing.T) {
+	// 10 over 3: sizes 4,3,3.
+	sizes := []int{4, 3, 3}
+	pos := 0
+	for j := 0; j < 3; j++ {
+		lo, hi := Part(10, 3, j)
+		if lo != pos || hi-lo != sizes[j] {
+			t.Fatalf("Part(10,3,%d) = [%d,%d)", j, lo, hi)
+		}
+		if PartSize(10, 3, j) != sizes[j] {
+			t.Fatal("PartSize mismatch")
+		}
+		pos = hi
+	}
+	if MaxPartSize(10, 3) != 4 {
+		t.Fatal("MaxPartSize")
+	}
+	// q > n leaves empty parts.
+	if PartSize(2, 5, 4) != 0 {
+		t.Fatal("expected empty trailing part")
+	}
+}
+
+func TestPartCoversQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(50)
+		q := 1 + rng.Intn(8)
+		pos := 0
+		maxSize := 0
+		for j := 0; j < q; j++ {
+			lo, hi := Part(n, q, j)
+			if lo != pos || hi < lo {
+				return false
+			}
+			if hi-lo > maxSize {
+				maxSize = hi - lo
+			}
+			pos = hi
+		}
+		return pos == n && maxSize == MaxPartSize(n, q) || (n == 0 && maxSize == 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFactorizations(t *testing.T) {
+	fs := Factorizations(12, 2)
+	// Ordered factorizations of 12 into 2 factors: 6 divisors.
+	if len(fs) != 6 {
+		t.Fatalf("got %d factorizations: %v", len(fs), fs)
+	}
+	for _, f := range fs {
+		if f[0]*f[1] != 12 {
+			t.Fatalf("bad factorization %v", f)
+		}
+	}
+	// parts=1.
+	fs = Factorizations(7, 1)
+	if len(fs) != 1 || fs[0][0] != 7 {
+		t.Fatalf("Factorizations(7,1) = %v", fs)
+	}
+	// p=1 into 3 parts: only all-ones.
+	fs = Factorizations(1, 3)
+	if len(fs) != 1 || fs[0][0] != 1 || fs[0][2] != 1 {
+		t.Fatalf("Factorizations(1,3) = %v", fs)
+	}
+}
+
+func TestPowerOfTwoFactorizations(t *testing.T) {
+	fs := PowerOfTwoFactorizations(4, 3)
+	// Compositions of 4 into 3 nonneg parts: C(6,2) = 15.
+	if len(fs) != 15 {
+		t.Fatalf("got %d compositions", len(fs))
+	}
+	for _, f := range fs {
+		prod := 1
+		for _, v := range f {
+			prod *= v
+		}
+		if prod != 16 {
+			t.Fatalf("bad power-of-two factorization %v", f)
+		}
+	}
+	// exp=0: single all-ones.
+	fs = PowerOfTwoFactorizations(0, 4)
+	if len(fs) != 1 {
+		t.Fatalf("exp=0 should give 1 factorization, got %d", len(fs))
+	}
+}
+
+func TestPanics(t *testing.T) {
+	g := New(2, 2)
+	for _, f := range []func(){
+		func() { New() },
+		func() { New(0, 2) },
+		func() { g.Coords(4) },
+		func() { g.Rank([]int{1}) },
+		func() { g.Rank([]int{2, 0}) },
+		func() { g.Slice([]int{5}, []int{0, 0}) },
+		func() { g.Slice([]int{0}, []int{0}) },
+		func() { Part(5, 0, 0) },
+		func() { Part(5, 2, 2) },
+		func() { Factorizations(0, 1) },
+		func() { PowerOfTwoFactorizations(-1, 2) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,33 @@
+package hbl
+
+// Figure1Example returns the example subset F of the 4-way iteration
+// space shown in Figure 1 of the paper (N = 3, I_1 = I_2 = I_3 = 15,
+// R = 4): six coordinates (i_1, i_2, i_3, r), converted here to
+// 0-based indexing.
+//
+// The paper lists (1-based): a (5,1,1,1), b (3,3,15,1), c (7,10,2,2),
+// d (4,14,11,3), e (11,2,2,4), f (14,14,14,4).
+func Figure1Example() [][]int {
+	oneBased := [][]int{
+		{5, 1, 1, 1},
+		{3, 3, 15, 1},
+		{7, 10, 2, 2},
+		{4, 14, 11, 3},
+		{11, 2, 2, 4},
+		{14, 14, 14, 4},
+	}
+	out := make([][]int, len(oneBased))
+	for i, pt := range oneBased {
+		out[i] = make([]int, len(pt))
+		for j, v := range pt {
+			out[i][j] = v - 1
+		}
+	}
+	return out
+}
+
+// Figure1Dims returns the iteration-space bounds of the Figure 1
+// example: I_1 = I_2 = I_3 = 15, R = 4.
+func Figure1Dims() (dims []int, R int) {
+	return []int{15, 15, 15}, 4
+}

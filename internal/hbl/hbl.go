@@ -1,0 +1,247 @@
+// Package hbl implements the Hölder–Brascamp–Lieb machinery of Section
+// IV-A: the MTTKRP projection structure (the matrix Delta), the
+// exponent vector s* of Lemma 4.2, a finite-set verifier for the
+// multilinear inequality of Lemma 4.1, and the closed-form solutions of
+// the optimization problems in Lemmas 4.3 and 4.4.
+//
+// The iteration space of an N-way MTTKRP is
+// [I_1] x ... x [I_N] x [R] (dimension d = N+1), and there are
+// m = N+1 projections: one per factor matrix (extracting {i_k, r}) and
+// one for the tensor (extracting {i_1, ..., i_N}).
+package hbl
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/lp"
+)
+
+// Delta returns the d x m constraint matrix of Lemma 4.2 for an N-way
+// MTTKRP: rows are loop indices (i_1..i_N, r), columns are projections
+// (N factor matrices then the tensor),
+//
+//	Delta = [ I_{NxN}  1_{Nx1} ]
+//	        [ 1_{1xN}  0       ].
+func Delta(N int) [][]float64 {
+	if N < 2 {
+		panic(fmt.Sprintf("hbl: MTTKRP needs N >= 2, got %d", N))
+	}
+	d := N + 1
+	m := N + 1
+	out := make([][]float64, d)
+	for i := range out {
+		out[i] = make([]float64, m)
+	}
+	for i := 0; i < N; i++ {
+		out[i][i] = 1 // index i_k appears in factor k's projection
+		out[i][N] = 1 // ... and in the tensor's projection
+		out[N][i] = 1 // index r appears in every factor projection
+	}
+	// out[N][N] = 0: r does not appear in the tensor projection.
+	return out
+}
+
+// SStar returns the optimal exponents of Lemma 4.2,
+// s* = (1/N, ..., 1/N, 1-1/N), which satisfy Delta s >= 1 with
+// 1's* = 2 - 1/N.
+func SStar(N int) []float64 {
+	if N < 2 {
+		panic(fmt.Sprintf("hbl: MTTKRP needs N >= 2, got %d", N))
+	}
+	s := make([]float64, N+1)
+	for i := 0; i < N; i++ {
+		s[i] = 1 / float64(N)
+	}
+	s[N] = 1 - 1/float64(N)
+	return s
+}
+
+// LPValue returns 2 - 1/N, the optimal value of the Lemma 4.2 LP.
+func LPValue(N int) float64 { return 2 - 1/float64(N) }
+
+// LemmaLP builds the Lemma 4.2 linear program min 1's s.t.
+// Delta s >= 1, s >= 0 for the given N, ready for lp.Solve.
+func LemmaLP(N int) lp.Problem {
+	delta := Delta(N)
+	d := len(delta)
+	m := len(delta[0])
+	p := lp.Problem{
+		C: make([]float64, m),
+		A: delta,
+		B: make([]float64, d),
+	}
+	for j := range p.C {
+		p.C[j] = 1
+	}
+	for i := range p.B {
+		p.B[i] = 1
+	}
+	return p
+}
+
+// Projections returns the MTTKRP projection index sets S_j for j in
+// [m]: factor matrix k extracts coordinates {k, N} (i_k and r); the
+// tensor extracts {0, ..., N-1}.
+func Projections(N int) [][]int {
+	if N < 2 {
+		panic(fmt.Sprintf("hbl: MTTKRP needs N >= 2, got %d", N))
+	}
+	out := make([][]int, N+1)
+	for k := 0; k < N; k++ {
+		out[k] = []int{k, N}
+	}
+	tensorIdx := make([]int, N)
+	for i := range tensorIdx {
+		tensorIdx[i] = i
+	}
+	out[N] = tensorIdx
+	return out
+}
+
+// Project applies the projection extracting coordinates coords to each
+// point of F and returns the set of distinct images.
+func Project(F [][]int, coords []int) map[string]struct{} {
+	out := make(map[string]struct{}, len(F))
+	for _, pt := range F {
+		key := make([]byte, 0, 4*len(coords))
+		for _, c := range coords {
+			v := pt[c]
+			key = append(key, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+		}
+		out[string(key)] = struct{}{}
+	}
+	return out
+}
+
+// CheckInequality verifies Lemma 4.1 for a finite set F in Z^d with the
+// given projections and exponents: |F| <= prod_j |phi_j(F)|^(s_j).
+// It returns the two sides so tests can assert slack.
+func CheckInequality(F [][]int, projections [][]int, s []float64) (lhs, rhs float64, ok bool) {
+	if len(projections) != len(s) {
+		panic(fmt.Sprintf("hbl: %d projections but %d exponents", len(projections), len(s)))
+	}
+	distinct := make(map[string]struct{}, len(F))
+	for _, pt := range F {
+		key := make([]byte, 0, 4*len(pt))
+		for _, v := range pt {
+			key = append(key, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+		}
+		distinct[string(key)] = struct{}{}
+	}
+	lhs = float64(len(distinct))
+	rhs = 1
+	for j, coords := range projections {
+		img := Project(F, coords)
+		rhs *= math.Pow(float64(len(img)), s[j])
+	}
+	return lhs, rhs, lhs <= rhs*(1+1e-9)
+}
+
+// InPolytope reports whether s lies in the polytope P of Lemma 4.1:
+// s in [0,1]^m and Delta s >= 1.
+func InPolytope(delta [][]float64, s []float64) bool {
+	for _, v := range s {
+		if v < -1e-12 || v > 1+1e-12 {
+			return false
+		}
+	}
+	for _, row := range delta {
+		var acc float64
+		for j, a := range row {
+			acc += a * s[j]
+		}
+		if acc < 1-1e-9 {
+			return false
+		}
+	}
+	return true
+}
+
+// Lemma43Max returns the closed-form maximum of prod x_i^{s_i} subject
+// to sum x_i <= c, x >= 0 (Lemma 4.3):
+//
+//	c^{sum s} * prod_j (s_j / sum s)^{s_j}.
+func Lemma43Max(s []float64, c float64) float64 {
+	var sum float64
+	for _, v := range s {
+		if v <= 0 {
+			panic(fmt.Sprintf("hbl: Lemma 4.3 requires s > 0, got %v", s))
+		}
+		sum += v
+	}
+	out := math.Pow(c, sum)
+	for _, v := range s {
+		out *= math.Pow(v/sum, v)
+	}
+	return out
+}
+
+// Lemma43Argmax returns the maximizing point x_j = c*s_j / sum(s).
+func Lemma43Argmax(s []float64, c float64) []float64 {
+	var sum float64
+	for _, v := range s {
+		sum += v
+	}
+	x := make([]float64, len(s))
+	for j, v := range s {
+		x[j] = c * v / sum
+	}
+	return x
+}
+
+// Lemma44Min returns the closed-form minimum of sum x_i subject to
+// prod x_i^{s_i} >= c, x >= 0 (Lemma 4.4):
+//
+//	(c / prod_i s_i^{s_i})^{1/sum s} * sum_i s_i.
+func Lemma44Min(s []float64, c float64) float64 {
+	var sum, denom float64
+	denom = 1
+	for _, v := range s {
+		if v < 0 {
+			panic(fmt.Sprintf("hbl: Lemma 4.4 requires s >= 0, got %v", s))
+		}
+		sum += v
+		if v > 0 {
+			denom *= math.Pow(v, v)
+		}
+	}
+	if sum == 0 {
+		return 0
+	}
+	return math.Pow(c/denom, 1/sum) * sum
+}
+
+// Lemma44Argmin returns the minimizing point
+// x_j = s_j * (c / prod s_i^{s_i})^{1/sum s}.
+func Lemma44Argmin(s []float64, c float64) []float64 {
+	var sum, denom float64
+	denom = 1
+	for _, v := range s {
+		sum += v
+		if v > 0 {
+			denom *= math.Pow(v, v)
+		}
+	}
+	scale := math.Pow(c/denom, 1/sum)
+	x := make([]float64, len(s))
+	for j, v := range s {
+		x[j] = v * scale
+	}
+	return x
+}
+
+// SStarProductFactor evaluates prod_j (s*_j / sum s*)^{s*_j}, the
+// factor shown in the proof of Theorem 4.1 to be at most 1/N.
+func SStarProductFactor(N int) float64 {
+	s := SStar(N)
+	var sum float64
+	for _, v := range s {
+		sum += v
+	}
+	out := 1.0
+	for _, v := range s {
+		out *= math.Pow(v/sum, v)
+	}
+	return out
+}

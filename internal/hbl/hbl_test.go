@@ -1,0 +1,309 @@
+package hbl
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/lp"
+)
+
+func TestDeltaStructure(t *testing.T) {
+	for N := 2; N <= 6; N++ {
+		d := Delta(N)
+		if len(d) != N+1 || len(d[0]) != N+1 {
+			t.Fatalf("Delta(%d) shape %dx%d", N, len(d), len(d[0]))
+		}
+		for i := 0; i < N; i++ {
+			for j := 0; j < N; j++ {
+				want := 0.0
+				if i == j {
+					want = 1
+				}
+				if d[i][j] != want {
+					t.Fatalf("Delta(%d)[%d][%d] = %v", N, i, j, d[i][j])
+				}
+			}
+			if d[i][N] != 1 {
+				t.Fatalf("tensor column row %d should be 1", i)
+			}
+			if d[N][i] != 1 {
+				t.Fatalf("rank row col %d should be 1", i)
+			}
+		}
+		if d[N][N] != 0 {
+			t.Fatal("rank does not appear in tensor projection")
+		}
+	}
+}
+
+// E7: Lemma 4.2 — the simplex solver finds exactly s* with value 2-1/N,
+// and s* is also dual feasible (the duality argument in the paper).
+func TestLemma42(t *testing.T) {
+	for N := 2; N <= 10; N++ {
+		p := LemmaLP(N)
+		x, v, err := lp.Solve(p)
+		if err != nil {
+			t.Fatalf("N=%d: %v", N, err)
+		}
+		if math.Abs(v-LPValue(N)) > 1e-8 {
+			t.Fatalf("N=%d: LP value %v, want %v", N, v, LPValue(N))
+		}
+		star := SStar(N)
+		for j := range star {
+			if math.Abs(x[j]-star[j]) > 1e-7 {
+				t.Fatalf("N=%d: solution %v, want %v", N, x, star)
+			}
+		}
+		// The paper's duality argument: t* = s* is dual feasible and
+		// attains the same objective.
+		if !lp.DualFeasible(p, star, 1e-9) {
+			t.Fatalf("N=%d: s* should be dual feasible", N)
+		}
+		if math.Abs(lp.DualObjective(p, star)-v) > 1e-8 {
+			t.Fatalf("N=%d: dual objective mismatch", N)
+		}
+	}
+}
+
+func TestSStarInPolytope(t *testing.T) {
+	for N := 2; N <= 8; N++ {
+		if !InPolytope(Delta(N), SStar(N)) {
+			t.Fatalf("s* not in polytope for N=%d", N)
+		}
+	}
+	// Slightly shrunk s* must leave the polytope.
+	s := SStar(3)
+	for i := range s {
+		s[i] *= 0.9
+	}
+	if InPolytope(Delta(3), s) {
+		t.Fatal("shrunk s* should violate Delta s >= 1")
+	}
+}
+
+// E9: the Figure 1 example — six points whose projections have the
+// sizes shown in the figure.
+func TestFigure1Example(t *testing.T) {
+	F := Figure1Example()
+	dims, R := Figure1Dims()
+	if len(F) != 6 {
+		t.Fatalf("|F| = %d, want 6", len(F))
+	}
+	for _, pt := range F {
+		for k := 0; k < 3; k++ {
+			if pt[k] < 0 || pt[k] >= dims[k] {
+				t.Fatalf("point %v outside iteration space", pt)
+			}
+		}
+		if pt[3] < 0 || pt[3] >= R {
+			t.Fatalf("point %v outside rank range", pt)
+		}
+	}
+	projs := Projections(3)
+	// All six points are distinct in every projection in the figure
+	// (each of phi_1..phi_4 shows six marks).
+	for j, coords := range projs {
+		img := Project(F, coords)
+		if len(img) != 6 {
+			t.Fatalf("projection %d has %d images, figure shows 6", j, len(img))
+		}
+	}
+	// And the HBL inequality holds with s*: 6 <= 6^(1/3)*6^(1/3)*6^(1/3)*6^(2/3).
+	lhs, rhs, ok := CheckInequality(F, projs, SStar(3))
+	if !ok {
+		t.Fatalf("HBL inequality fails on Figure 1 example: %v > %v", lhs, rhs)
+	}
+}
+
+func TestProjectionsStructure(t *testing.T) {
+	projs := Projections(4)
+	if len(projs) != 5 {
+		t.Fatalf("want 5 projections, got %d", len(projs))
+	}
+	for k := 0; k < 4; k++ {
+		if len(projs[k]) != 2 || projs[k][0] != k || projs[k][1] != 4 {
+			t.Fatalf("factor projection %d = %v", k, projs[k])
+		}
+	}
+	if len(projs[4]) != 4 {
+		t.Fatalf("tensor projection = %v", projs[4])
+	}
+}
+
+// E8: property test of Lemma 4.1 on random finite subsets of the
+// MTTKRP iteration space, for every s in P we try (s* and random
+// vertices of P).
+func TestHBLInequalityQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		N := 2 + rng.Intn(3)
+		d := N + 1
+		// Random box bounds and random point count.
+		bounds := make([]int, d)
+		for i := range bounds {
+			bounds[i] = 2 + rng.Intn(6)
+		}
+		nPts := 1 + rng.Intn(60)
+		F := make([][]int, nPts)
+		for i := range F {
+			pt := make([]int, d)
+			for j := range pt {
+				pt[j] = rng.Intn(bounds[j])
+			}
+			F[i] = pt
+		}
+		projs := Projections(N)
+		delta := Delta(N)
+		// s*: must be in P and satisfy the inequality.
+		star := SStar(N)
+		if !InPolytope(delta, star) {
+			return false
+		}
+		if _, _, ok := CheckInequality(F, projs, star); !ok {
+			return false
+		}
+		// All-ones is always in P; inequality must hold there too.
+		ones := make([]float64, N+1)
+		for i := range ones {
+			ones[i] = 1
+		}
+		if _, _, ok := CheckInequality(F, projs, ones); !ok {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// HBL fails for exponents outside P — a sanity check that the verifier
+// has teeth. With s = 0 the bound is 1 and any |F| > 1 violates it.
+func TestHBLVerifierHasTeeth(t *testing.T) {
+	F := [][]int{{0, 0, 0, 0}, {1, 1, 1, 1}}
+	zero := make([]float64, 4)
+	_, _, ok := CheckInequality(F, Projections(3), zero)
+	if ok {
+		t.Fatal("inequality should fail with zero exponents on |F| = 2")
+	}
+}
+
+func TestCheckInequalityDeduplicates(t *testing.T) {
+	// Duplicated points must not inflate |F|.
+	F := [][]int{{1, 2, 3, 0}, {1, 2, 3, 0}, {1, 2, 3, 0}}
+	lhs, _, _ := CheckInequality(F, Projections(3), SStar(3))
+	if lhs != 1 {
+		t.Fatalf("lhs = %v, want 1 (distinct count)", lhs)
+	}
+}
+
+// Lemma 4.3: the closed form matches brute-force search over the
+// simplex, and the argmax is feasible and attains it.
+func TestLemma43ClosedForm(t *testing.T) {
+	s := []float64{0.5, 1.5, 1.0}
+	c := 7.0
+	want := Lemma43Max(s, c)
+	x := Lemma43Argmax(s, c)
+	var sum float64
+	got := 1.0
+	for j := range x {
+		sum += x[j]
+		got *= math.Pow(x[j], s[j])
+	}
+	if sum > c+1e-9 {
+		t.Fatal("argmax infeasible")
+	}
+	if math.Abs(got-want) > 1e-9*want {
+		t.Fatalf("argmax attains %v, closed form %v", got, want)
+	}
+	// Brute-force grid search should not beat the closed form.
+	grid := 40
+	best := 0.0
+	for a := 0; a <= grid; a++ {
+		for b := 0; a+b <= grid; b++ {
+			x0 := c * float64(a) / float64(grid)
+			x1 := c * float64(b) / float64(grid)
+			x2 := c - x0 - x1
+			v := math.Pow(x0, s[0]) * math.Pow(x1, s[1]) * math.Pow(x2, s[2])
+			if v > best {
+				best = v
+			}
+		}
+	}
+	if best > want*(1+1e-9) {
+		t.Fatalf("grid search found %v > closed form %v", best, want)
+	}
+}
+
+// Lemma 4.4: same treatment for the min-sum problem.
+func TestLemma44ClosedForm(t *testing.T) {
+	s := []float64{1.0 / 3, 1.0 / 3, 1.0 / 3, 2.0 / 3}
+	c := 100.0
+	want := Lemma44Min(s, c)
+	x := Lemma44Argmin(s, c)
+	prod := 1.0
+	var sum float64
+	for j := range x {
+		sum += x[j]
+		prod *= math.Pow(x[j], s[j])
+	}
+	if prod < c*(1-1e-9) {
+		t.Fatalf("argmin violates constraint: prod = %v < %v", prod, c)
+	}
+	if math.Abs(sum-want) > 1e-9*want {
+		t.Fatalf("argmin attains %v, closed form %v", sum, want)
+	}
+	// Random feasible points should never have a smaller sum.
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 200; trial++ {
+		y := make([]float64, len(s))
+		p := 1.0
+		var ys float64
+		for j := range y {
+			y[j] = x[j] * (0.5 + 2*rng.Float64())
+			p *= math.Pow(y[j], s[j])
+			ys += y[j]
+		}
+		if p >= c && ys < want*(1-1e-9) {
+			t.Fatalf("found feasible point with smaller sum: %v < %v", ys, want)
+		}
+	}
+}
+
+func TestLemma44ZeroExponents(t *testing.T) {
+	if got := Lemma44Min([]float64{0, 0}, 5); got != 0 {
+		t.Fatalf("all-zero exponents: min is 0, got %v", got)
+	}
+}
+
+// The proof of Theorem 4.1 claims prod (s*_j/sum s*)^{s*_j} <= 1/N.
+func TestSStarProductFactorAtMostOneOverN(t *testing.T) {
+	for N := 2; N <= 12; N++ {
+		f := SStarProductFactor(N)
+		if f > 1/float64(N)+1e-12 {
+			t.Fatalf("N=%d: factor %v exceeds 1/N = %v", N, f, 1/float64(N))
+		}
+	}
+}
+
+func TestPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { Delta(1) },
+		func() { SStar(1) },
+		func() { Projections(1) },
+		func() { Lemma43Max([]float64{0}, 1) },
+		func() { Lemma44Min([]float64{-1}, 1) },
+		func() { CheckInequality(nil, Projections(2), []float64{1}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

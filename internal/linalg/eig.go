@@ -1,0 +1,160 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/tensor"
+)
+
+// SymEig computes the full eigendecomposition of a symmetric matrix
+// with the cyclic Jacobi method: A = V diag(vals) V^T with orthonormal
+// V, eigenvalues sorted in descending order. Only symmetric inputs are
+// supported (the Tucker substrate needs Gram matrices of unfoldings).
+func SymEig(a *tensor.Matrix) (vals []float64, vecs *tensor.Matrix, err error) {
+	n := a.Rows()
+	if a.Cols() != n {
+		panic(fmt.Sprintf("linalg: SymEig of non-square %dx%d", n, a.Cols()))
+	}
+	const tolSym = 1e-9
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if math.Abs(a.At(i, j)-a.At(j, i)) > tolSym*(1+math.Abs(a.At(i, j))) {
+				return nil, nil, fmt.Errorf("linalg: SymEig input not symmetric at (%d,%d)", i, j)
+			}
+		}
+	}
+	w := a.Clone()
+	v := Identity(n)
+	const maxSweeps = 100
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		off := 0.0
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				off += w.At(i, j) * w.At(i, j)
+			}
+		}
+		if off < 1e-24*(1+frob2(w)) {
+			break
+		}
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				apq := w.At(i, j)
+				if apq == 0 {
+					continue
+				}
+				app := w.At(i, i)
+				aqq := w.At(j, j)
+				theta := (aqq - app) / (2 * apq)
+				t := math.Copysign(1, theta) / (math.Abs(theta) + math.Sqrt(theta*theta+1))
+				c := 1 / math.Sqrt(t*t+1)
+				s := t * c
+				rotate(w, v, i, j, c, s)
+			}
+		}
+	}
+	vals = make([]float64, n)
+	for i := range vals {
+		vals[i] = w.At(i, i)
+	}
+	// Sort descending, permuting eigenvectors accordingly.
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	sort.Slice(perm, func(a, b int) bool { return vals[perm[a]] > vals[perm[b]] })
+	outVals := make([]float64, n)
+	outVecs := tensor.NewMatrix(n, n)
+	for c, p := range perm {
+		outVals[c] = vals[p]
+		copy(outVecs.Col(c), v.Col(p))
+	}
+	return outVals, outVecs, nil
+}
+
+// rotate applies the Jacobi rotation J(i, j, c, s) as A <- J^T A J and
+// accumulates V <- V J.
+func rotate(a, v *tensor.Matrix, p, q int, c, s float64) {
+	n := a.Rows()
+	for k := 0; k < n; k++ {
+		akp := a.At(k, p)
+		akq := a.At(k, q)
+		a.Set(k, p, c*akp-s*akq)
+		a.Set(k, q, s*akp+c*akq)
+	}
+	for k := 0; k < n; k++ {
+		apk := a.At(p, k)
+		aqk := a.At(q, k)
+		a.Set(p, k, c*apk-s*aqk)
+		a.Set(q, k, s*apk+c*aqk)
+	}
+	for k := 0; k < n; k++ {
+		vkp := v.At(k, p)
+		vkq := v.At(k, q)
+		v.Set(k, p, c*vkp-s*vkq)
+		v.Set(k, q, s*vkp+c*vkq)
+	}
+}
+
+func frob2(a *tensor.Matrix) float64 {
+	var s float64
+	for _, x := range a.Data() {
+		s += x * x
+	}
+	return s
+}
+
+// LeadingEigvecs returns the r eigenvectors of the symmetric matrix a
+// with the largest eigenvalues, as an n x r matrix.
+func LeadingEigvecs(a *tensor.Matrix, r int) (*tensor.Matrix, error) {
+	n := a.Rows()
+	if r < 1 || r > n {
+		panic(fmt.Sprintf("linalg: leading %d of %d eigenvectors", r, n))
+	}
+	_, vecs, err := SymEig(a)
+	if err != nil {
+		return nil, err
+	}
+	return vecs.Block(0, n, 0, r), nil
+}
+
+// QR computes the thin QR factorization of a (rows >= cols) with
+// modified Gram-Schmidt: a = Q R, Q orthonormal columns. Rank
+// deficiency produces an error.
+func QR(a *tensor.Matrix) (q, r *tensor.Matrix, err error) {
+	m, n := a.Rows(), a.Cols()
+	if m < n {
+		panic(fmt.Sprintf("linalg: thin QR needs rows >= cols, got %dx%d", m, n))
+	}
+	q = a.Clone()
+	r = tensor.NewMatrix(n, n)
+	for j := 0; j < n; j++ {
+		col := q.Col(j)
+		for i := 0; i < j; i++ {
+			qi := q.Col(i)
+			var dot float64
+			for k := range col {
+				dot += qi[k] * col[k]
+			}
+			r.Set(i, j, dot)
+			for k := range col {
+				col[k] -= dot * qi[k]
+			}
+		}
+		var nrm float64
+		for _, v := range col {
+			nrm += v * v
+		}
+		nrm = math.Sqrt(nrm)
+		if nrm < 1e-12 {
+			return nil, nil, fmt.Errorf("linalg: QR rank deficiency at column %d", j)
+		}
+		r.Set(j, j, nrm)
+		inv := 1 / nrm
+		for k := range col {
+			col[k] *= inv
+		}
+	}
+	return q, r, nil
+}

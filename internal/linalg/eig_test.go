@@ -1,0 +1,174 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/tensor"
+)
+
+func TestSymEig2x2Hand(t *testing.T) {
+	// [[2,1],[1,2]] has eigenvalues 3 and 1.
+	a := tensor.NewMatrixFromData([]float64{2, 1, 1, 2}, 2, 2)
+	vals, vecs, err := SymEig(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(vals[0]-3) > 1e-10 || math.Abs(vals[1]-1) > 1e-10 {
+		t.Fatalf("vals = %v, want [3 1]", vals)
+	}
+	// Eigenvector for 3 is (1,1)/sqrt(2) up to sign.
+	v0 := vecs.Col(0)
+	if math.Abs(math.Abs(v0[0])-1/math.Sqrt2) > 1e-10 || math.Abs(v0[0]-v0[1]) > 1e-10 {
+		t.Fatalf("vec0 = %v", v0)
+	}
+}
+
+func TestSymEigReconstructs(t *testing.T) {
+	a := tensor.RandomMatrix(3, 6, 6)
+	sym := Gram(a)
+	vals, vecs, err := SymEig(sym)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// V diag V^T == sym.
+	n := 6
+	rec := tensor.NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			var s float64
+			for k := 0; k < n; k++ {
+				s += vecs.At(i, k) * vals[k] * vecs.At(j, k)
+			}
+			rec.Set(i, j, s)
+		}
+	}
+	if !rec.EqualApprox(sym, 1e-8) {
+		t.Fatalf("reconstruction error %v", rec.MaxAbsDiff(sym))
+	}
+	// Descending order.
+	for k := 1; k < n; k++ {
+		if vals[k] > vals[k-1]+1e-12 {
+			t.Fatalf("eigenvalues not sorted: %v", vals)
+		}
+	}
+	// Orthonormal columns.
+	vtv := Gram(vecs)
+	if !vtv.EqualApprox(Identity(n), 1e-9) {
+		t.Fatal("eigenvectors not orthonormal")
+	}
+}
+
+func TestSymEigRejectsAsymmetric(t *testing.T) {
+	a := tensor.NewMatrixFromData([]float64{1, 5, 2, 1}, 2, 2)
+	if _, _, err := SymEig(a); err == nil {
+		t.Fatal("asymmetric input should error")
+	}
+}
+
+func TestSymEigPanicsNonSquare(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	_, _, _ = SymEig(tensor.NewMatrix(2, 3))
+}
+
+func TestLeadingEigvecs(t *testing.T) {
+	a := tensor.RandomMatrix(7, 5, 5)
+	sym := Gram(a)
+	lead, err := LeadingEigvecs(sym, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lead.Rows() != 5 || lead.Cols() != 2 {
+		t.Fatalf("shape %dx%d", lead.Rows(), lead.Cols())
+	}
+	// Columns orthonormal.
+	g := Gram(lead)
+	if !g.EqualApprox(Identity(2), 1e-9) {
+		t.Fatal("leading eigenvectors not orthonormal")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for r out of range")
+		}
+	}()
+	_, _ = LeadingEigvecs(sym, 6)
+}
+
+func TestQRBasics(t *testing.T) {
+	a := tensor.RandomMatrix(11, 7, 4)
+	q, r, err := QR(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Gram(q).EqualApprox(Identity(4), 1e-9) {
+		t.Fatal("Q columns not orthonormal")
+	}
+	if !MatMul(q, r).EqualApprox(a, 1e-9) {
+		t.Fatal("QR != A")
+	}
+	// R upper triangular with positive diagonal.
+	for i := 0; i < 4; i++ {
+		if r.At(i, i) <= 0 {
+			t.Fatal("R diagonal not positive")
+		}
+		for j := 0; j < i; j++ {
+			if r.At(i, j) != 0 {
+				t.Fatal("R not upper triangular")
+			}
+		}
+	}
+}
+
+func TestQRRankDeficient(t *testing.T) {
+	a := tensor.NewMatrix(4, 2)
+	// Second column = 2x first.
+	for i := 0; i < 4; i++ {
+		a.Set(i, 0, float64(i+1))
+		a.Set(i, 1, 2*float64(i+1))
+	}
+	if _, _, err := QR(a); err == nil {
+		t.Fatal("rank deficiency should error")
+	}
+}
+
+func TestQRPanicsWide(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	_, _, _ = QR(tensor.NewMatrix(2, 3))
+}
+
+// Property: eigenvalues of a Gram matrix are nonnegative and sum to
+// its trace.
+func TestSymEigGramPropertiesQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := 2 + rng.Intn(4)
+		n := 2 + rng.Intn(4)
+		g := Gram(tensor.RandomMatrix(seed, m, n))
+		vals, _, err := SymEig(g)
+		if err != nil {
+			return false
+		}
+		var sum, trace float64
+		for i, v := range vals {
+			if v < -1e-9 {
+				return false
+			}
+			sum += v
+			trace += g.At(i, i)
+		}
+		return math.Abs(sum-trace) < 1e-8*(1+trace)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,50 @@
+package lp
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// FuzzSolveInvariants: on fuzzer-generated feasible LPs (nonnegative A
+// with a guaranteed positive entry per row, positive costs), the
+// solver must return a feasible optimum, and weak duality must hold
+// for any scaled-down dual candidate.
+func FuzzSolveInvariants(f *testing.F) {
+	f.Add(int64(1), uint8(2), uint8(2))
+	f.Add(int64(9), uint8(3), uint8(1))
+	f.Add(int64(123), uint8(4), uint8(4))
+	f.Fuzz(func(t *testing.T, seed int64, nn, mm uint8) {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + int(nn)%5
+		m := 1 + int(mm)%5
+		p := Problem{C: make([]float64, n), A: make([][]float64, m), B: make([]float64, m)}
+		for j := range p.C {
+			p.C[j] = 0.1 + rng.Float64()
+		}
+		for i := range p.A {
+			p.A[i] = make([]float64, n)
+			for j := range p.A[i] {
+				p.A[i][j] = rng.Float64()
+			}
+			p.A[i][rng.Intn(n)] += 0.5
+			p.B[i] = rng.Float64() * 3
+		}
+		x, v, err := Solve(p)
+		if err != nil {
+			t.Fatalf("feasible LP rejected: %v", err)
+		}
+		if !Feasible(p, x, 1e-6) {
+			t.Fatalf("optimum infeasible: %v", x)
+		}
+		if v < -1e-9 {
+			t.Fatalf("negative optimum %v with positive costs", v)
+		}
+		tv := make([]float64, m)
+		for i := range tv {
+			tv[i] = rng.Float64() * 0.05
+		}
+		if DualFeasible(p, tv, 1e-9) && DualObjective(p, tv) > v+1e-6 {
+			t.Fatalf("weak duality violated: %v > %v", DualObjective(p, tv), v)
+		}
+	})
+}

@@ -1,0 +1,267 @@
+// Package lp solves small dense linear programs of the form
+//
+//	min c'x  subject to  A x >= b,  x >= 0,
+//
+// with a two-phase primal simplex method using Bland's anti-cycling
+// rule. It exists to solve (and to let tests verify) the linear program
+// of Lemma 4.2,
+//
+//	min 1's  subject to  Delta s >= 1,  s >= 0,
+//
+// whose solution s* = (1/N, ..., 1/N, 1-1/N) supplies the exponents of
+// every lower bound in the paper. Problems here have at most a few
+// dozen variables, so a dense tableau is the right tool.
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Problem is min C'x subject to A x >= B, x >= 0.
+type Problem struct {
+	C []float64   // objective coefficients, length n
+	A [][]float64 // m x n constraint matrix
+	B []float64   // right-hand sides, length m
+}
+
+// ErrInfeasible is returned when no x satisfies the constraints.
+var ErrInfeasible = errors.New("lp: infeasible")
+
+// ErrUnbounded is returned when the objective is unbounded below.
+var ErrUnbounded = errors.New("lp: unbounded")
+
+const eps = 1e-9
+
+// Solve returns an optimal solution and its objective value.
+func Solve(p Problem) (x []float64, value float64, err error) {
+	m := len(p.A)
+	if len(p.B) != m {
+		return nil, 0, fmt.Errorf("lp: %d constraint rows but %d rhs entries", m, len(p.B))
+	}
+	n := len(p.C)
+	for i, row := range p.A {
+		if len(row) != n {
+			return nil, 0, fmt.Errorf("lp: row %d has %d entries, want %d", i, len(row), n)
+		}
+	}
+	if m == 0 {
+		// Unconstrained besides x >= 0: minimized at x = 0 unless some
+		// c_j < 0, in which case unbounded.
+		for _, cj := range p.C {
+			if cj < -eps {
+				return nil, 0, ErrUnbounded
+			}
+		}
+		return make([]float64, n), 0, nil
+	}
+
+	// Standard form: A x - s = b with surplus s >= 0; rows with
+	// negative rhs are negated so b >= 0; artificials give the
+	// starting basis.
+	total := n + m + m // original + surplus + artificial
+	tab := make([][]float64, m)
+	rhs := make([]float64, m)
+	for i := 0; i < m; i++ {
+		tab[i] = make([]float64, total)
+		sign := 1.0
+		if p.B[i] < 0 {
+			sign = -1
+		}
+		for j := 0; j < n; j++ {
+			tab[i][j] = sign * p.A[i][j]
+		}
+		tab[i][n+i] = -sign // surplus
+		tab[i][n+m+i] = 1   // artificial
+		rhs[i] = sign * p.B[i]
+	}
+	basis := make([]int, m)
+	for i := range basis {
+		basis[i] = n + m + i
+	}
+
+	// Phase 1: minimize the sum of artificials.
+	phase1 := make([]float64, total)
+	for j := n + m; j < total; j++ {
+		phase1[j] = 1
+	}
+	if err := simplex(tab, rhs, basis, phase1, total); err != nil {
+		return nil, 0, err
+	}
+	if obj := objective(rhs, basis, phase1); obj > 1e-7 {
+		return nil, 0, ErrInfeasible
+	}
+	// Drive any remaining artificial basis variables out (degenerate
+	// rows); if a row has no eligible pivot it is redundant and can
+	// stay with a zero artificial.
+	for i, bi := range basis {
+		if bi < n+m {
+			continue
+		}
+		for j := 0; j < n+m; j++ {
+			if math.Abs(tab[i][j]) > eps {
+				pivot(tab, rhs, basis, i, j)
+				break
+			}
+		}
+	}
+
+	// Phase 2: original objective; artificials frozen out.
+	phase2 := make([]float64, total)
+	copy(phase2, p.C)
+	if err := simplex(tab, rhs, basis, phase2, n+m); err != nil {
+		return nil, 0, err
+	}
+	x = make([]float64, n)
+	for i, bi := range basis {
+		if bi < n {
+			x[bi] = rhs[i]
+		}
+	}
+	value = 0
+	for j := 0; j < n; j++ {
+		value += p.C[j] * x[j]
+	}
+	return x, value, nil
+}
+
+// simplex runs primal simplex on the tableau restricted to the first
+// ncols columns, minimizing cost. basis/rhs/tab are updated in place.
+func simplex(tab [][]float64, rhs []float64, basis []int, cost []float64, ncols int) error {
+	m := len(tab)
+	for iter := 0; iter < 10000; iter++ {
+		// Reduced costs: c_j - c_B' B^-1 A_j. With an explicit tableau,
+		// the current tab rows are already B^-1 A, so compute directly.
+		enter := -1
+		for j := 0; j < ncols; j++ {
+			if inBasis(basis, j) {
+				continue
+			}
+			red := cost[j]
+			for i := 0; i < m; i++ {
+				red -= cost[basis[i]] * tab[i][j]
+			}
+			if red < -eps {
+				enter = j // Bland: first improving index
+				break
+			}
+		}
+		if enter == -1 {
+			return nil // optimal
+		}
+		// Ratio test (Bland: smallest basis index breaks ties).
+		leave := -1
+		best := math.Inf(1)
+		for i := 0; i < m; i++ {
+			if tab[i][enter] > eps {
+				ratio := rhs[i] / tab[i][enter]
+				if ratio < best-eps || (ratio < best+eps && (leave == -1 || basis[i] < basis[leave])) {
+					best = ratio
+					leave = i
+				}
+			}
+		}
+		if leave == -1 {
+			return ErrUnbounded
+		}
+		pivot(tab, rhs, basis, leave, enter)
+	}
+	return errors.New("lp: simplex iteration limit exceeded")
+}
+
+func pivot(tab [][]float64, rhs []float64, basis []int, row, col int) {
+	m := len(tab)
+	pv := tab[row][col]
+	inv := 1 / pv
+	for j := range tab[row] {
+		tab[row][j] *= inv
+	}
+	rhs[row] *= inv
+	for i := 0; i < m; i++ {
+		if i == row {
+			continue
+		}
+		f := tab[i][col]
+		if f == 0 {
+			continue
+		}
+		for j := range tab[i] {
+			tab[i][j] -= f * tab[row][j]
+		}
+		rhs[i] -= f * rhs[row]
+	}
+	basis[row] = col
+}
+
+func inBasis(basis []int, j int) bool {
+	for _, b := range basis {
+		if b == j {
+			return true
+		}
+	}
+	return false
+}
+
+func objective(rhs []float64, basis []int, cost []float64) float64 {
+	var v float64
+	for i, bi := range basis {
+		v += cost[bi] * rhs[i]
+	}
+	return v
+}
+
+// Feasible reports whether x satisfies A x >= b and x >= 0 within tol.
+func Feasible(p Problem, x []float64, tol float64) bool {
+	if len(x) != len(p.C) {
+		return false
+	}
+	for _, v := range x {
+		if v < -tol {
+			return false
+		}
+	}
+	for i, row := range p.A {
+		var s float64
+		for j, a := range row {
+			s += a * x[j]
+		}
+		if s < p.B[i]-tol {
+			return false
+		}
+	}
+	return true
+}
+
+// DualFeasible reports whether t >= 0 satisfies A' t <= c within tol
+// (the dual of Solve's primal). By weak duality, any such t certifies
+// value >= b't for the primal.
+func DualFeasible(p Problem, t []float64, tol float64) bool {
+	if len(t) != len(p.B) {
+		return false
+	}
+	for _, v := range t {
+		if v < -tol {
+			return false
+		}
+	}
+	for j := range p.C {
+		var s float64
+		for i := range p.A {
+			s += p.A[i][j] * t[i]
+		}
+		if s > p.C[j]+tol {
+			return false
+		}
+	}
+	return true
+}
+
+// DualObjective returns b't.
+func DualObjective(p Problem, t []float64) float64 {
+	var v float64
+	for i := range p.B {
+		v += p.B[i] * t[i]
+	}
+	return v
+}

@@ -1,0 +1,212 @@
+package lp
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSolveSimple2D(t *testing.T) {
+	// min x + y s.t. x + 2y >= 4, 3x + y >= 3. Optimum at the
+	// intersection: x = 2/5, y = 9/5, value 11/5.
+	p := Problem{
+		C: []float64{1, 1},
+		A: [][]float64{{1, 2}, {3, 1}},
+		B: []float64{4, 3},
+	}
+	x, v, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(v-2.2) > 1e-8 {
+		t.Fatalf("value = %v, want 2.2", v)
+	}
+	if math.Abs(x[0]-0.4) > 1e-8 || math.Abs(x[1]-1.8) > 1e-8 {
+		t.Fatalf("x = %v", x)
+	}
+}
+
+func TestSolveSingleConstraint(t *testing.T) {
+	// min 2x + 3y s.t. x + y >= 5: put everything on the cheaper var.
+	p := Problem{C: []float64{2, 3}, A: [][]float64{{1, 1}}, B: []float64{5}}
+	x, v, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(v-10) > 1e-8 || math.Abs(x[0]-5) > 1e-8 {
+		t.Fatalf("x=%v v=%v", x, v)
+	}
+}
+
+func TestSolveInfeasible(t *testing.T) {
+	// x >= 1 and -x >= 1 cannot both hold with x >= 0.
+	p := Problem{C: []float64{1}, A: [][]float64{{1}, {-1}}, B: []float64{1, 1}}
+	if _, _, err := Solve(p); !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("want ErrInfeasible, got %v", err)
+	}
+}
+
+func TestSolveUnbounded(t *testing.T) {
+	// min -x s.t. x >= 1: drive x to infinity.
+	p := Problem{C: []float64{-1}, A: [][]float64{{1}}, B: []float64{1}}
+	if _, _, err := Solve(p); !errors.Is(err, ErrUnbounded) {
+		t.Fatalf("want ErrUnbounded, got %v", err)
+	}
+}
+
+func TestSolveNoConstraints(t *testing.T) {
+	p := Problem{C: []float64{2, 1}}
+	x, v, err := Solve(p)
+	if err != nil || v != 0 || x[0] != 0 || x[1] != 0 {
+		t.Fatalf("x=%v v=%v err=%v", x, v, err)
+	}
+	p2 := Problem{C: []float64{-1}}
+	if _, _, err := Solve(p2); !errors.Is(err, ErrUnbounded) {
+		t.Fatalf("want ErrUnbounded, got %v", err)
+	}
+}
+
+func TestSolveNegativeRHS(t *testing.T) {
+	// A constraint with negative rhs is trivially satisfiable: x >= -3.
+	p := Problem{C: []float64{1}, A: [][]float64{{1}}, B: []float64{-3}}
+	x, v, err := Solve(p)
+	if err != nil || math.Abs(v) > 1e-9 || math.Abs(x[0]) > 1e-9 {
+		t.Fatalf("x=%v v=%v err=%v", x, v, err)
+	}
+}
+
+func TestSolveRedundantConstraints(t *testing.T) {
+	// Duplicate rows should not break phase 1 artificial handling.
+	p := Problem{
+		C: []float64{1, 1},
+		A: [][]float64{{1, 1}, {1, 1}, {2, 2}},
+		B: []float64{2, 2, 4},
+	}
+	x, v, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(v-2) > 1e-8 {
+		t.Fatalf("value = %v, want 2 (x=%v)", v, x)
+	}
+}
+
+func TestShapeErrors(t *testing.T) {
+	if _, _, err := Solve(Problem{C: []float64{1}, A: [][]float64{{1, 2}}, B: []float64{1}}); err == nil {
+		t.Fatal("row width mismatch should error")
+	}
+	if _, _, err := Solve(Problem{C: []float64{1}, A: [][]float64{{1}}, B: []float64{1, 2}}); err == nil {
+		t.Fatal("rhs length mismatch should error")
+	}
+}
+
+func TestFeasibleAndDual(t *testing.T) {
+	p := Problem{
+		C: []float64{1, 1},
+		A: [][]float64{{1, 2}, {3, 1}},
+		B: []float64{4, 3},
+	}
+	if !Feasible(p, []float64{4, 0}, 1e-9) {
+		t.Fatal("(4,0) is feasible")
+	}
+	if Feasible(p, []float64{0, 0}, 1e-9) {
+		t.Fatal("(0,0) is infeasible")
+	}
+	if Feasible(p, []float64{-1, 10}, 1e-9) {
+		t.Fatal("negative x is infeasible")
+	}
+	if Feasible(p, []float64{1}, 1e-9) {
+		t.Fatal("wrong length is infeasible")
+	}
+	// Dual optimum: t = (2/5, 1/5) gives b't = 4*(2/5)+3*(1/5) = 11/5.
+	tstar := []float64{0.4, 0.2}
+	if !DualFeasible(p, tstar, 1e-9) {
+		t.Fatal("dual optimum should be dual feasible")
+	}
+	if math.Abs(DualObjective(p, tstar)-2.2) > 1e-9 {
+		t.Fatalf("dual objective = %v", DualObjective(p, tstar))
+	}
+	if DualFeasible(p, []float64{10, 10}, 1e-9) {
+		t.Fatal("large t violates A't <= c")
+	}
+	if DualFeasible(p, []float64{1}, 1e-9) {
+		t.Fatal("wrong length dual")
+	}
+	if DualFeasible(p, []float64{-1, 0}, 1e-9) {
+		t.Fatal("negative dual")
+	}
+}
+
+// Property: on random feasible problems, the solver's optimum is
+// primal feasible and weak duality holds against random dual-feasible
+// points.
+func TestWeakDualityQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(4)
+		m := 1 + rng.Intn(4)
+		p := Problem{
+			C: make([]float64, n),
+			A: make([][]float64, m),
+			B: make([]float64, m),
+		}
+		for j := range p.C {
+			p.C[j] = rng.Float64() + 0.1 // positive costs => bounded
+		}
+		for i := range p.A {
+			p.A[i] = make([]float64, n)
+			for j := range p.A[i] {
+				p.A[i][j] = rng.Float64() // nonneg A => feasible
+			}
+			p.B[i] = rng.Float64() * 2
+		}
+		// Ensure every row has at least one strictly positive entry so
+		// the problem is feasible.
+		for i := range p.A {
+			p.A[i][rng.Intn(n)] += 0.5
+		}
+		x, v, err := Solve(p)
+		if err != nil {
+			return false
+		}
+		if !Feasible(p, x, 1e-6) {
+			return false
+		}
+		// Random scaled-down dual candidates must satisfy b't <= v.
+		for trial := 0; trial < 5; trial++ {
+			tv := make([]float64, m)
+			for i := range tv {
+				tv[i] = rng.Float64() * 0.1
+			}
+			if DualFeasible(p, tv, 1e-9) && DualObjective(p, tv) > v+1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Degenerate problems exercise Bland's rule.
+func TestDegeneratePivoting(t *testing.T) {
+	p := Problem{
+		C: []float64{1, 1, 1},
+		A: [][]float64{
+			{1, 0, 0},
+			{1, 1, 0},
+			{1, 1, 1},
+		},
+		B: []float64{1, 1, 1},
+	}
+	x, v, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(v-1) > 1e-8 {
+		t.Fatalf("value = %v, want 1 (x=%v)", v, x)
+	}
+}

@@ -1,0 +1,152 @@
+// Package memsim implements the paper's two-level sequential memory
+// model (Section II-C): a processor attached to a fast memory of
+// capacity M words and a slow memory of unbounded capacity. The only
+// communication operations are loads (slow -> fast) and stores
+// (fast -> slow), each moving one word.
+//
+// Algorithms are written against a Machine and explicitly account for
+// every word they move and every word resident in fast memory. The
+// Machine enforces the capacity constraint, so an algorithm that would
+// need more than M words of fast memory fails loudly instead of
+// silently under-reporting its communication.
+package memsim
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrCapacity is returned when an operation would exceed fast memory.
+var ErrCapacity = errors.New("memsim: fast memory capacity exceeded")
+
+// Machine models the two-level memory. The zero value is unusable;
+// construct with New.
+type Machine struct {
+	capacity int64 // M, in words
+	resident int64 // words currently in fast memory
+	peak     int64 // high-water mark of resident
+	loads    int64
+	stores   int64
+}
+
+// New returns a machine with fast memory capacity m words.
+func New(m int64) *Machine {
+	if m <= 0 {
+		panic(fmt.Sprintf("memsim: non-positive capacity %d", m))
+	}
+	return &Machine{capacity: m}
+}
+
+// Capacity returns M.
+func (m *Machine) Capacity() int64 { return m.capacity }
+
+// Resident returns the number of words currently in fast memory.
+func (m *Machine) Resident() int64 { return m.resident }
+
+// Peak returns the high-water mark of fast-memory residency.
+func (m *Machine) Peak() int64 { return m.peak }
+
+// Loads returns the number of words loaded from slow memory so far.
+func (m *Machine) Loads() int64 { return m.loads }
+
+// Stores returns the number of words stored to slow memory so far.
+func (m *Machine) Stores() int64 { return m.stores }
+
+// Words returns total communication: loads + stores.
+func (m *Machine) Words() int64 { return m.loads + m.stores }
+
+// Reset zeroes all counters and empties fast memory.
+func (m *Machine) Reset() {
+	m.resident, m.peak, m.loads, m.stores = 0, 0, 0, 0
+}
+
+// Load moves n words from slow to fast memory. It returns ErrCapacity
+// (wrapped with the attempted residency) if fast memory would overflow.
+func (m *Machine) Load(n int64) error {
+	if n < 0 {
+		panic(fmt.Sprintf("memsim: negative load %d", n))
+	}
+	if m.resident+n > m.capacity {
+		return fmt.Errorf("%w: load %d would make %d resident, capacity %d",
+			ErrCapacity, n, m.resident+n, m.capacity)
+	}
+	m.loads += n
+	m.resident += n
+	if m.resident > m.peak {
+		m.peak = m.resident
+	}
+	return nil
+}
+
+// Store moves n words from fast to slow memory, freeing their space.
+// The words must be resident.
+func (m *Machine) Store(n int64) error {
+	if n < 0 {
+		panic(fmt.Sprintf("memsim: negative store %d", n))
+	}
+	if n > m.resident {
+		return fmt.Errorf("memsim: store %d exceeds resident %d", n, m.resident)
+	}
+	m.stores += n
+	m.resident -= n
+	return nil
+}
+
+// StoreKeep moves n words from fast to slow memory while also keeping
+// them resident (a write-back without eviction).
+func (m *Machine) StoreKeep(n int64) error {
+	if n < 0 {
+		panic(fmt.Sprintf("memsim: negative store %d", n))
+	}
+	if n > m.resident {
+		return fmt.Errorf("memsim: store %d exceeds resident %d", n, m.resident)
+	}
+	m.stores += n
+	return nil
+}
+
+// Evict discards n resident words without writing them back (free
+// operation in the I/O model: discarding inputs costs nothing).
+func (m *Machine) Evict(n int64) error {
+	if n < 0 {
+		panic(fmt.Sprintf("memsim: negative evict %d", n))
+	}
+	if n > m.resident {
+		return fmt.Errorf("memsim: evict %d exceeds resident %d", n, m.resident)
+	}
+	m.resident -= n
+	return nil
+}
+
+// Alloc reserves n words of fast memory for values created in place
+// (e.g. an output accumulator initialized to zero); it costs no
+// communication but counts against capacity.
+func (m *Machine) Alloc(n int64) error {
+	if n < 0 {
+		panic(fmt.Sprintf("memsim: negative alloc %d", n))
+	}
+	if m.resident+n > m.capacity {
+		return fmt.Errorf("%w: alloc %d would make %d resident, capacity %d",
+			ErrCapacity, n, m.resident+n, m.capacity)
+	}
+	m.resident += n
+	if m.resident > m.peak {
+		m.peak = m.resident
+	}
+	return nil
+}
+
+// Counts is a snapshot of a machine's counters.
+type Counts struct {
+	Loads  int64
+	Stores int64
+	Peak   int64
+}
+
+// Snapshot returns the current counters.
+func (m *Machine) Snapshot() Counts {
+	return Counts{Loads: m.loads, Stores: m.stores, Peak: m.peak}
+}
+
+// Words returns total traffic for a snapshot.
+func (c Counts) Words() int64 { return c.Loads + c.Stores }

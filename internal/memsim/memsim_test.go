@@ -1,0 +1,141 @@
+package memsim
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestLoadStoreCounting(t *testing.T) {
+	m := New(10)
+	if err := m.Load(4); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Load(3); err != nil {
+		t.Fatal(err)
+	}
+	if m.Loads() != 7 || m.Resident() != 7 || m.Peak() != 7 {
+		t.Fatalf("loads=%d resident=%d peak=%d", m.Loads(), m.Resident(), m.Peak())
+	}
+	if err := m.Store(5); err != nil {
+		t.Fatal(err)
+	}
+	if m.Stores() != 5 || m.Resident() != 2 || m.Words() != 12 {
+		t.Fatalf("stores=%d resident=%d words=%d", m.Stores(), m.Resident(), m.Words())
+	}
+	if m.Peak() != 7 {
+		t.Fatalf("peak should stay at high-water mark, got %d", m.Peak())
+	}
+}
+
+func TestCapacityEnforced(t *testing.T) {
+	m := New(5)
+	if err := m.Load(5); err != nil {
+		t.Fatal(err)
+	}
+	err := m.Load(1)
+	if !errors.Is(err, ErrCapacity) {
+		t.Fatalf("want ErrCapacity, got %v", err)
+	}
+	if m.Loads() != 5 {
+		t.Fatal("failed load must not count")
+	}
+	if err := m.Alloc(1); !errors.Is(err, ErrCapacity) {
+		t.Fatalf("alloc should also hit capacity, got %v", err)
+	}
+}
+
+func TestStoreMoreThanResident(t *testing.T) {
+	m := New(5)
+	if err := m.Load(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Store(3); err == nil {
+		t.Fatal("storing more than resident should fail")
+	}
+	if err := m.Evict(3); err == nil {
+		t.Fatal("evicting more than resident should fail")
+	}
+	if err := m.StoreKeep(3); err == nil {
+		t.Fatal("storeKeep more than resident should fail")
+	}
+}
+
+func TestEvictIsFree(t *testing.T) {
+	m := New(5)
+	if err := m.Load(4); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Evict(4); err != nil {
+		t.Fatal(err)
+	}
+	if m.Words() != 4 || m.Resident() != 0 {
+		t.Fatalf("evict should not count as communication: words=%d", m.Words())
+	}
+}
+
+func TestStoreKeepKeepsResidency(t *testing.T) {
+	m := New(5)
+	if err := m.Alloc(3); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.StoreKeep(3); err != nil {
+		t.Fatal(err)
+	}
+	if m.Resident() != 3 || m.Stores() != 3 {
+		t.Fatalf("resident=%d stores=%d", m.Resident(), m.Stores())
+	}
+}
+
+func TestAllocCountsNoTraffic(t *testing.T) {
+	m := New(8)
+	if err := m.Alloc(6); err != nil {
+		t.Fatal(err)
+	}
+	if m.Words() != 0 || m.Resident() != 6 || m.Peak() != 6 {
+		t.Fatalf("alloc miscounted: words=%d resident=%d peak=%d", m.Words(), m.Resident(), m.Peak())
+	}
+}
+
+func TestReset(t *testing.T) {
+	m := New(8)
+	_ = m.Load(5)
+	_ = m.Store(2)
+	m.Reset()
+	if m.Loads() != 0 || m.Stores() != 0 || m.Resident() != 0 || m.Peak() != 0 {
+		t.Fatal("reset did not zero counters")
+	}
+	if m.Capacity() != 8 {
+		t.Fatal("reset changed capacity")
+	}
+}
+
+func TestSnapshot(t *testing.T) {
+	m := New(8)
+	_ = m.Load(5)
+	_ = m.Store(2)
+	s := m.Snapshot()
+	if s.Loads != 5 || s.Stores != 2 || s.Peak != 5 || s.Words() != 7 {
+		t.Fatalf("snapshot %+v", s)
+	}
+}
+
+func TestNegativePanics(t *testing.T) {
+	m := New(4)
+	for _, f := range []func(){
+		func() { _ = m.Load(-1) },
+		func() { _ = m.Store(-1) },
+		func() { _ = m.Evict(-1) },
+		func() { _ = m.Alloc(-1) },
+		func() { _ = m.StoreKeep(-1) },
+		func() { New(0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,134 @@
+// Package par implements the paper's distributed-memory MTTKRP
+// algorithms on the simulated machine:
+//
+//   - Algorithm 3, the stationary-tensor algorithm (Section V-C): the
+//     tensor never moves; factor block rows are All-Gathered within
+//     processor-grid hyperslices, a local MTTKRP runs, and the output
+//     is formed by a Reduce-Scatter.
+//   - Algorithm 4, the general algorithm (Section V-D): an (N+1)-way
+//     grid also splits the rank dimension into P0 parts; the tensor
+//     block is additionally All-Gathered across P0-fibers. P0 = 1
+//     recovers Algorithm 3.
+//   - A 1D-parallel MTTKRP-via-matrix-multiplication baseline
+//     (Section VI-B's comparator).
+//
+// Every rank is a goroutine exchanging real data through
+// simnet/comm, so each run verifies correctness and measures the words
+// each processor sends and receives.
+package par
+
+import (
+	"fmt"
+
+	"repro/internal/simnet"
+	"repro/internal/tensor"
+)
+
+// Result carries a parallel run's reassembled output and its
+// communication statistics.
+type Result struct {
+	B     *tensor.Matrix // reassembled In x R output (driver-side check)
+	Stats []simnet.Stats // per-rank traffic
+
+	// Phase breakdown, per rank: words (sent+received) during input
+	// gathers and during the output reduce-scatter.
+	GatherWords []int64
+	ReduceWords []int64
+
+	// ResidentWords is each rank's peak storage (local tensor data,
+	// gathered factor blocks, and the local contribution matrix) — the
+	// measured counterpart of the paper's per-processor memory bounds,
+	// Eq. (16) for Algorithm 3 and Eq. (20) for Algorithm 4.
+	ResidentWords []int64
+}
+
+// MaxResident returns the largest per-rank storage.
+func (r *Result) MaxResident() int64 {
+	var m int64
+	for _, v := range r.ResidentWords {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// MaxWords returns the maximum over ranks of words sent plus received,
+// the per-processor quantity bounded below by Theorems 4.2/4.3.
+func (r *Result) MaxWords() int64 {
+	var m int64
+	for _, s := range r.Stats {
+		if w := s.Words(); w > m {
+			m = w
+		}
+	}
+	return m
+}
+
+// MaxSent returns the maximum over ranks of words sent — the quantity
+// the algorithm analyses (Eqs. 14 and 18) bound via (q-1)*w bucket
+// collective costs.
+func (r *Result) MaxSent() int64 {
+	var m int64
+	for _, s := range r.Stats {
+		if s.SentWords > m {
+			m = s.SentWords
+		}
+	}
+	return m
+}
+
+// TotalSent returns the total words sent across all ranks.
+func (r *Result) TotalSent() int64 {
+	var t int64
+	for _, s := range r.Stats {
+		t += s.SentWords
+	}
+	return t
+}
+
+// MaxMsgs returns the maximum over ranks of messages sent plus
+// received — the latency proxy the paper explicitly does not optimize
+// ("we focus on the amount of data communicated and ignore the number
+// of messages"), reported for completeness. Bucket collectives cost
+// q-1 messages each.
+func (r *Result) MaxMsgs() int64 {
+	var m int64
+	for _, s := range r.Stats {
+		if v := s.SentMsgs + s.RecvMsgs; v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+func checkProblem(x *tensor.Dense, factors []*tensor.Matrix, n int) (N, R int) {
+	N = x.Order()
+	if len(factors) != N {
+		panic(fmt.Sprintf("par: %d factors for order-%d tensor", len(factors), N))
+	}
+	if n < 0 || n >= N {
+		panic(fmt.Sprintf("par: mode %d out of range", n))
+	}
+	R = -1
+	for k, f := range factors {
+		if k == n {
+			continue
+		}
+		if f == nil {
+			panic(fmt.Sprintf("par: factor %d is nil", k))
+		}
+		if f.Rows() != x.Dim(k) {
+			panic(fmt.Sprintf("par: factor %d rows %d != dim %d", k, f.Rows(), x.Dim(k)))
+		}
+		if R == -1 {
+			R = f.Cols()
+		} else if R != f.Cols() {
+			panic(fmt.Sprintf("par: inconsistent rank: %d vs %d", R, f.Cols()))
+		}
+	}
+	if R == -1 {
+		panic("par: no participating factors")
+	}
+	return N, R
+}

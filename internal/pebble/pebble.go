@@ -1,0 +1,314 @@
+// Package pebble computes the exact optimal communication of tiny
+// MTTKRP instances in the two-level memory model by exhaustive search
+// over machine states — a red-blue-pebble-game-style validator for
+// Theorem 4.1. Where packages seq and cachesim measure particular
+// executions, this package minimizes over *all* executions: every
+// ordering of the atomic multiply-accumulates and every residency
+// decision. The result OPT satisfies
+//
+//	max(Theorem 4.1, Fact 4.1, 0)  <=  OPT  <=  cost of Algorithm 2,
+//
+// and the tests pin both inequalities on instances small enough to
+// solve exactly.
+//
+// Model (matching Section II-C, with inputs initially in slow memory
+// and outputs required in slow memory at the end):
+//
+//   - values: tensor entries X(i) and factor entries A(k)(i_k, r)
+//     (read-only inputs), and output accumulators B(i_n, r);
+//   - an atomic op (i, r) executes free of charge when its N inputs
+//     and its accumulator are all in fast memory;
+//   - loading any absent value costs 1; a zero accumulator may be
+//     created in fast memory for free (sums start at 0);
+//   - evicting an input or a clean accumulator is free; evicting a
+//     dirty accumulator costs 1 store (its partial sum must survive);
+//   - at the end every accumulator's final value must be in slow
+//     memory.
+//
+// The search is Dijkstra over (resident set, done ops, dirty bits).
+// Two safe reductions keep it tractable: ops whose accumulator is
+// already dirty fire eagerly (they are free and forfeit nothing), and
+// evictions are deferred until space is needed (delaying a free action
+// preserves optimality). Ops on clean accumulators remain explicit
+// decisions, since firing one early can cost a store/reload pair a
+// delayed schedule avoids.
+package pebble
+
+import (
+	"container/heap"
+	"fmt"
+	"math/bits"
+)
+
+// Instance describes a tiny MTTKRP to solve exactly.
+type Instance struct {
+	Dims []int
+	R    int
+	N    int // output mode n
+	M    int // fast memory capacity in words
+}
+
+// ErrTooLarge is returned when the instance exceeds the encodable or
+// explorable state budget.
+var ErrTooLarge = fmt.Errorf("pebble: instance too large for exact search")
+
+// ErrInfeasible is returned when no execution fits in fast memory
+// (M < N+1).
+var ErrInfeasible = fmt.Errorf("pebble: no schedule fits in fast memory")
+
+type op struct {
+	inputs []int // value ids that must be resident
+	acc    int   // accumulator id
+}
+
+type problem struct {
+	nValues int // inputs + accumulators
+	nInputs int
+	nAccs   int
+	ops     []op
+	accBase int // first accumulator id
+	m       int
+}
+
+// build enumerates values and ops. Value ids: tensor entries first,
+// then used factor entries, then accumulators.
+func build(inst Instance) (*problem, error) {
+	N := len(inst.Dims)
+	if N < 2 || inst.R < 1 || inst.N < 0 || inst.N >= N || inst.M < 1 {
+		return nil, fmt.Errorf("pebble: bad instance %+v", inst)
+	}
+	I := 1
+	for _, d := range inst.Dims {
+		if d < 1 {
+			return nil, fmt.Errorf("pebble: bad dims %v", inst.Dims)
+		}
+		I *= d
+	}
+	// Tensor entry ids: column-major offset.
+	xID := func(idx []int) int {
+		off, mult := 0, 1
+		for k, d := range inst.Dims {
+			off += idx[k] * mult
+			mult *= d
+		}
+		return off
+	}
+	at := I
+	// Factor entry ids for k != n.
+	aID := make(map[[3]int]int)
+	for k := 0; k < N; k++ {
+		if k == inst.N {
+			continue
+		}
+		for i := 0; i < inst.Dims[k]; i++ {
+			for r := 0; r < inst.R; r++ {
+				aID[[3]int{k, i, r}] = at
+				at++
+			}
+		}
+	}
+	nInputs := at
+	// Accumulators.
+	bID := func(in, r int) int { return nInputs + in*inst.R + r }
+	nAccs := inst.Dims[inst.N] * inst.R
+	nValues := nInputs + nAccs
+
+	var ops []op
+	idx := make([]int, N)
+	for c := 0; c < I; c++ {
+		for r := 0; r < inst.R; r++ {
+			inputs := []int{xID(idx)}
+			for k := 0; k < N; k++ {
+				if k == inst.N {
+					continue
+				}
+				inputs = append(inputs, aID[[3]int{k, idx[k], r}])
+			}
+			ops = append(ops, op{inputs: inputs, acc: bID(idx[inst.N], r)})
+		}
+		for k := 0; k < N; k++ {
+			idx[k]++
+			if idx[k] < inst.Dims[k] {
+				break
+			}
+			idx[k] = 0
+		}
+	}
+	if nValues+len(ops)+nAccs > 62 {
+		return nil, fmt.Errorf("%w: %d state bits needed", ErrTooLarge, nValues+len(ops)+nAccs)
+	}
+	return &problem{
+		nValues: nValues,
+		nInputs: nInputs,
+		nAccs:   nAccs,
+		ops:     ops,
+		accBase: nInputs,
+		m:       inst.M,
+	}, nil
+}
+
+// state encoding: bits [0, nValues) resident; [nValues,
+// nValues+len(ops)) done; then nAccs dirty bits (dirty implies
+// resident accumulator).
+type state = uint64
+
+func (p *problem) residentCount(s state) int {
+	return bits.OnesCount64(uint64(s) & (1<<uint(p.nValues) - 1))
+}
+
+func (p *problem) isResident(s state, v int) bool { return s&(1<<uint(v)) != 0 }
+func (p *problem) isDone(s state, o int) bool     { return s&(1<<uint(p.nValues+o)) != 0 }
+func (p *problem) dirtyBit(a int) state           { return 1 << uint(p.nValues+len(p.ops)+a) }
+
+// progress reports whether any op targeting accumulator id acc is done.
+func (p *problem) progress(s state, acc int) bool {
+	for o, oo := range p.ops {
+		if oo.acc == acc && p.isDone(s, o) {
+			return true
+		}
+	}
+	return false
+}
+
+// executable reports whether op o can fire in state s.
+func (p *problem) executable(s state, o int) bool {
+	oo := p.ops[o]
+	if p.isDone(s, o) || !p.isResident(s, oo.acc) {
+		return false
+	}
+	for _, v := range oo.inputs {
+		if !p.isResident(s, v) {
+			return false
+		}
+	}
+	return true
+}
+
+// fire executes op o (must be executable).
+func (p *problem) fire(s state, o int) state {
+	s |= 1 << uint(p.nValues+o)
+	s |= p.dirtyBit(p.ops[o].acc - p.accBase)
+	return s
+}
+
+// closure eagerly fires every executable op whose accumulator is
+// already dirty: such firings are free and forfeit nothing (the
+// accumulator already owes a store). Ops on *clean* accumulators are
+// left as explicit branch decisions — firing them early can cost a
+// store/reload pair that a delayed schedule avoids.
+func (p *problem) closure(s state) state {
+	for {
+		changed := false
+		for o := range p.ops {
+			if p.executable(s, o) && s&p.dirtyBit(p.ops[o].acc-p.accBase) != 0 {
+				s = p.fire(s, o)
+				changed = true
+			}
+		}
+		if !changed {
+			return s
+		}
+	}
+}
+
+func (p *problem) allDone(s state) bool {
+	mask := state(1)<<uint(len(p.ops)) - 1
+	return (s>>uint(p.nValues))&mask == mask
+}
+
+func (p *problem) dirtyCount(s state) int {
+	mask := state(1)<<uint(p.nAccs) - 1
+	return bits.OnesCount64(uint64((s >> uint(p.nValues+len(p.ops))) & mask))
+}
+
+type pqItem struct {
+	s    state
+	cost int64
+}
+type pq []pqItem
+
+func (q pq) Len() int           { return len(q) }
+func (q pq) Less(i, j int) bool { return q[i].cost < q[j].cost }
+func (q pq) Swap(i, j int)      { q[i], q[j] = q[j], q[i] }
+func (q *pq) Push(x any)        { *q = append(*q, x.(pqItem)) }
+func (q *pq) Pop() any          { old := *q; n := len(old); it := old[n-1]; *q = old[:n-1]; return it }
+
+// Optimal returns the minimum loads+stores over all executions of the
+// instance, exploring at most maxStates distinct states.
+func Optimal(inst Instance, maxStates int) (int64, error) {
+	p, err := build(inst)
+	if err != nil {
+		return 0, err
+	}
+	start := p.closure(0)
+	best := map[state]int64{start: 0}
+	q := &pq{{s: start, cost: 0}}
+	explored := 0
+	for q.Len() > 0 {
+		it := heap.Pop(q).(pqItem)
+		if c, ok := best[it.s]; ok && it.cost > c {
+			continue
+		}
+		if p.allDone(it.s) {
+			return it.cost + int64(p.dirtyCount(it.s)), nil
+		}
+		explored++
+		if explored > maxStates {
+			return 0, fmt.Errorf("%w: state budget %d exhausted", ErrTooLarge, maxStates)
+		}
+		relax := func(ns state, nc int64) {
+			ns = p.closure(ns)
+			if c, ok := best[ns]; !ok || nc < c {
+				best[ns] = nc
+				heap.Push(q, pqItem{s: ns, cost: nc})
+			}
+		}
+		// Fire an executable op on a clean accumulator (free, but an
+		// explicit decision: it makes the accumulator dirty). Possible
+		// whether or not memory is full.
+		for o := range p.ops {
+			if p.executable(it.s, o) {
+				relax(p.fire(it.s, o), it.cost)
+			}
+		}
+		if p.residentCount(it.s) >= p.m {
+			// Full: evictions (deferred until space is needed).
+			for v := 0; v < p.nValues; v++ {
+				if !p.isResident(it.s, v) {
+					continue
+				}
+				ns := it.s &^ (1 << uint(v))
+				cost := it.cost
+				if v >= p.accBase {
+					a := v - p.accBase
+					if it.s&p.dirtyBit(a) != 0 {
+						cost++ // store the partial/complete sum
+						ns &^= p.dirtyBit(a)
+					}
+				}
+				relax(ns, cost)
+			}
+			continue
+		}
+		// Loads of absent inputs.
+		for v := 0; v < p.nInputs; v++ {
+			if !p.isResident(it.s, v) {
+				relax(it.s|1<<uint(v), it.cost+1)
+			}
+		}
+		// Accumulators: reload (progress exists in slow memory) costs
+		// 1; fresh creation is free.
+		for a := 0; a < p.nAccs; a++ {
+			v := p.accBase + a
+			if p.isResident(it.s, v) {
+				continue
+			}
+			cost := it.cost
+			if p.progress(it.s, v) {
+				cost++
+			}
+			relax(it.s|1<<uint(v), cost)
+		}
+	}
+	return 0, ErrInfeasible
+}

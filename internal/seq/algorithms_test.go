@@ -1,0 +1,328 @@
+package seq
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/memsim"
+	"repro/internal/tensor"
+)
+
+func TestUnblockedCorrectAndExactCost(t *testing.T) {
+	dims := []int{4, 3, 5}
+	R := 3
+	x := tensor.RandomDense(11, dims...)
+	fs := tensor.RandomFactors(13, dims, R)
+	for n := range dims {
+		mach := memsim.New(16)
+		res, err := Unblocked(x, fs, n, mach)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.B.EqualApprox(Ref(x, fs, n), 1e-10) {
+			t.Fatalf("Unblocked wrong result, mode %d", n)
+		}
+		// Exact counts from the pseudocode: loads = I + I*R*N,
+		// stores = I*R, total = I + I*R*(N+1).
+		I := int64(x.Elems())
+		N := int64(len(dims))
+		wantLoads := I + I*int64(R)*N
+		wantStores := I * int64(R)
+		if res.Counts.Loads != wantLoads || res.Counts.Stores != wantStores {
+			t.Fatalf("mode %d: loads=%d stores=%d, want %d/%d",
+				n, res.Counts.Loads, res.Counts.Stores, wantLoads, wantStores)
+		}
+		if got, want := res.Counts.Words(), UpperUnblocked(dims, R); got != want {
+			t.Fatalf("words=%d, upper bound says exactly %d", got, want)
+		}
+		// Peak residency is tiny: N+1 words.
+		if res.Counts.Peak > N+1 {
+			t.Fatalf("peak residency %d > N+1", res.Counts.Peak)
+		}
+	}
+}
+
+func TestUnblockedNeedsNPlusOneWords(t *testing.T) {
+	dims := []int{2, 2, 2}
+	x := tensor.RandomDense(1, dims...)
+	fs := tensor.RandomFactors(2, dims, 2)
+	if _, err := Unblocked(x, fs, 0, memsim.New(3)); err == nil {
+		t.Fatal("M=N should be rejected (need N+1)")
+	}
+	if _, err := Unblocked(x, fs, 0, memsim.New(4)); err != nil {
+		t.Fatalf("M=N+1 should work: %v", err)
+	}
+}
+
+func TestBlockedCorrectAllModesAndBlockSizes(t *testing.T) {
+	dims := []int{6, 4, 5}
+	R := 3
+	x := tensor.RandomDense(3, dims...)
+	fs := tensor.RandomFactors(4, dims, R)
+	want := make([]*tensor.Matrix, len(dims))
+	for n := range dims {
+		want[n] = Ref(x, fs, n)
+	}
+	for _, b := range []int{1, 2, 3, 4, 6, 7} {
+		for n := range dims {
+			mach := memsim.New(int64(b*b*b + 3*b + 8))
+			res, err := Blocked(x, fs, n, b, mach)
+			if err != nil {
+				t.Fatalf("b=%d mode=%d: %v", b, n, err)
+			}
+			if !res.B.EqualApprox(want[n], 1e-10) {
+				t.Fatalf("Blocked wrong result, b=%d mode=%d", b, n)
+			}
+		}
+	}
+}
+
+func TestBlockedCostMatchesEq12WhenDivisible(t *testing.T) {
+	// When b divides every dimension, Eq. (12) should hold with
+	// equality: I + (I/b^N) * R * (N+1) * b.
+	dims := []int{6, 6, 6}
+	R := 2
+	b := 3
+	x := tensor.RandomDense(5, dims...)
+	fs := tensor.RandomFactors(6, dims, R)
+	mach := memsim.New(int64(b*b*b + 3*b))
+	res, err := Blocked(x, fs, 0, b, mach)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := res.Counts.Words(), UpperBlocked(dims, R, b); got != want {
+		t.Fatalf("words=%d, Eq.(12)=%d", got, want)
+	}
+}
+
+func TestBlockedCostAtMostEq12Always(t *testing.T) {
+	dims := []int{5, 7, 4}
+	R := 3
+	x := tensor.RandomDense(7, dims...)
+	fs := tensor.RandomFactors(8, dims, R)
+	for _, b := range []int{1, 2, 3, 4, 5} {
+		mach := memsim.New(int64(b*b*b + 3*b + 2))
+		res, err := Blocked(x, fs, 1, b, mach)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Counts.Words() > UpperBlocked(dims, R, b) {
+			t.Fatalf("b=%d: measured %d exceeds Eq.(12) %d",
+				b, res.Counts.Words(), UpperBlocked(dims, R, b))
+		}
+	}
+}
+
+func TestBlockedPeakRespectsEq11(t *testing.T) {
+	dims := []int{8, 8, 8}
+	b := 2
+	x := tensor.RandomDense(9, dims...)
+	fs := tensor.RandomFactors(10, dims, 2)
+	M := int64(b*b*b + 3*b)
+	mach := memsim.New(M)
+	res, err := Blocked(x, fs, 0, b, mach)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counts.Peak > M {
+		t.Fatalf("peak %d exceeds M %d", res.Counts.Peak, M)
+	}
+}
+
+func TestBlockedRejectsOversizedBlock(t *testing.T) {
+	dims := []int{4, 4, 4}
+	x := tensor.RandomDense(1, dims...)
+	fs := tensor.RandomFactors(2, dims, 2)
+	// b=3: 27 + 9 = 36 > M = 35.
+	if _, err := Blocked(x, fs, 0, 3, memsim.New(35)); err == nil {
+		t.Fatal("expected block-size rejection")
+	}
+	if _, err := Blocked(x, fs, 0, 0, memsim.New(100)); err == nil {
+		t.Fatal("expected rejection of b=0")
+	}
+}
+
+func TestBlockFits(t *testing.T) {
+	// b^N + N*b <= M boundary cases.
+	if !BlockFits(2, 3, 14) { // 8 + 6 = 14
+		t.Fatal("b=2,N=3,M=14 should fit")
+	}
+	if BlockFits(2, 3, 13) {
+		t.Fatal("b=2,N=3,M=13 should not fit")
+	}
+	if BlockFits(0, 3, 100) {
+		t.Fatal("b=0 never fits")
+	}
+	if !BlockFits(1, 4, 5) { // 1 + 4 = 5
+		t.Fatal("b=1,N=4,M=5 should fit")
+	}
+}
+
+func TestChooseBlock(t *testing.T) {
+	b, err := ChooseBlock(1000, 3, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !BlockFits(b, 3, 1000) {
+		t.Fatalf("chosen block %d does not fit", b)
+	}
+	// Should be near (0.5*1000)^(1/3) ~ 7.9 -> 7.
+	if b < 6 || b > 8 {
+		t.Fatalf("b = %d, expected near 7", b)
+	}
+	if _, err := ChooseBlock(3, 3, 0.5); err == nil {
+		t.Fatal("M=3 < N+1 should fail")
+	}
+	if _, err := ChooseBlock(100, 3, 1.5); err == nil {
+		t.Fatal("alpha >= 1 should fail")
+	}
+}
+
+func TestViaMatmulCorrect(t *testing.T) {
+	dims := []int{4, 5, 3}
+	R := 3
+	x := tensor.RandomDense(21, dims...)
+	fs := tensor.RandomFactors(22, dims, R)
+	for n := range dims {
+		mach := memsim.New(256)
+		res, err := ViaMatmul(x, fs, n, mach)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.B.EqualApprox(Ref(x, fs, n), 1e-9) {
+			t.Fatalf("ViaMatmul wrong result, mode %d", n)
+		}
+	}
+}
+
+func TestViaMatmulMode0SkipsPermutation(t *testing.T) {
+	dims := []int{8, 8, 8}
+	R := 2
+	x := tensor.RandomDense(31, dims...)
+	fs := tensor.RandomFactors(32, dims, R)
+	m0 := memsim.New(300)
+	r0, err := ViaMatmul(x, fs, 0, m0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1 := memsim.New(300)
+	r1, err := ViaMatmul(x, fs, 1, m1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	I := int64(x.Elems())
+	if r1.Counts.Words()-r0.Counts.Words() != 2*I {
+		t.Fatalf("mode-1 should cost exactly 2I more (permutation): diff=%d want %d",
+			r1.Counts.Words()-r0.Counts.Words(), 2*I)
+	}
+}
+
+func TestViaMatmulFlopsFewerThanAtomic(t *testing.T) {
+	// Breaking atomicity reduces arithmetic: 2IR+... vs (N+1)IR.
+	dims := []int{8, 8, 8}
+	R := 4
+	x := tensor.RandomDense(41, dims...)
+	fs := tensor.RandomFactors(42, dims, R)
+	mach := memsim.New(512)
+	res, err := ViaMatmul(x, fs, 0, mach)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Flops >= RefFlops(x, R) {
+		t.Fatalf("via-matmul flops %d should be < atomic %d", res.Flops, RefFlops(x, R))
+	}
+}
+
+func TestGemmTile(t *testing.T) {
+	if got := GemmTile(75); got != 5 { // 3*25 = 75
+		t.Fatalf("GemmTile(75) = %d, want 5", got)
+	}
+	if got := GemmTile(74); got != 4 {
+		t.Fatalf("GemmTile(74) = %d, want 4", got)
+	}
+	if got := GemmTile(1); got != 1 {
+		t.Fatalf("GemmTile(1) = %d, want 1", got)
+	}
+}
+
+// Property: all three instrumented algorithms agree with Ref on random
+// problems.
+func TestAllAlgorithmsAgreeQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nd := 2 + rng.Intn(2)
+		dims := make([]int, nd)
+		for i := range dims {
+			dims[i] = 2 + rng.Intn(4)
+		}
+		R := 1 + rng.Intn(3)
+		n := rng.Intn(nd)
+		x := tensor.RandomDense(seed, dims...)
+		fs := tensor.RandomFactors(seed+1, dims, R)
+		want := Ref(x, fs, n)
+
+		ru, err := Unblocked(x, fs, n, memsim.New(64))
+		if err != nil || !ru.B.EqualApprox(want, 1e-9) {
+			return false
+		}
+		b := 1 + rng.Intn(3)
+		rb, err := Blocked(x, fs, n, b, memsim.New(int64(b*b*b*b+4*b+16)))
+		if err != nil || !rb.B.EqualApprox(want, 1e-9) {
+			return false
+		}
+		rm, err := ViaMatmul(x, fs, n, memsim.New(512))
+		if err != nil || !rm.B.EqualApprox(want, 1e-9) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The headline sequential claim (Section VI-A): in the factor-dominated
+// regime the blocked algorithm beats via-matmul; in the
+// tensor-dominated regime they are comparable.
+func TestBlockedBeatsMatmulWhenFactorsDominate(t *testing.T) {
+	dims := []int{12, 12, 12}
+	R := 32 // large R relative to M: factor traffic dominates
+	M := int64(64)
+	x := tensor.RandomDense(51, dims...)
+	fs := tensor.RandomFactors(52, dims, R)
+	b, err := ChooseBlock(M, 3, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	machB := memsim.New(M)
+	rb, err := Blocked(x, fs, 0, b, machB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	machM := memsim.New(M)
+	rm, err := ViaMatmul(x, fs, 0, machM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rb.Counts.Words() >= rm.Counts.Words() {
+		t.Fatalf("blocked (%d words) should beat via-matmul (%d words) when NR >> M^(1-1/N)",
+			rb.Counts.Words(), rm.Counts.Words())
+	}
+}
+
+func TestUpperBoundFormulas(t *testing.T) {
+	dims := []int{6, 6, 6}
+	if got, want := UpperUnblocked(dims, 2), int64(216+216*2*4); got != want {
+		t.Fatalf("UpperUnblocked = %d, want %d", got, want)
+	}
+	if got, want := UpperBlocked(dims, 2, 3), int64(216+8*2*4*3); got != want {
+		t.Fatalf("UpperBlocked = %d, want %d", got, want)
+	}
+	if UpperBlockedSimplified(dims, 2, 100) <= float64(216) {
+		t.Fatal("simplified bound should exceed I")
+	}
+	if UpperViaMatmul(dims, 2, 1, 100) <= UpperViaMatmul(dims, 2, 0, 100) {
+		t.Fatal("non-zero mode should cost more (permutation)")
+	}
+}

@@ -1,0 +1,83 @@
+package seq
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/tensor"
+)
+
+// RefParallel computes the MTTKRP with the atomic kernel split across
+// `workers` goroutines (0 means GOMAXPROCS). The tensor's element
+// range is divided into contiguous chunks; each worker accumulates
+// into a private output matrix, and the privates are summed at the
+// end. This is the shared-memory counterpart of the distributed
+// algorithms: within one node, the "communication" is the final
+// R * I_n * workers reduction, mirroring the C-matrix reductions of
+// Algorithms 3-4.
+//
+// Results equal Ref up to floating-point reassociation of the final
+// reduction.
+func RefParallel(x *tensor.Dense, factors []*tensor.Matrix, n, workers int) *tensor.Matrix {
+	_, R := checkArgs(x, factors, n)
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	total := x.Elems()
+	if workers > total {
+		workers = total
+	}
+	if workers == 1 {
+		return Ref(x, factors, n)
+	}
+	dims := x.Dims()
+	data := x.Data()
+	privates := make([]*tensor.Matrix, workers)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			lo := w * total / workers
+			hi := (w + 1) * total / workers
+			b := tensor.NewMatrix(x.Dim(n), R)
+			idx := multiIndexOf(lo, dims)
+			for off := lo; off < hi; off++ {
+				v := data[off]
+				in := idx[n]
+				for r := 0; r < R; r++ {
+					p := v
+					for k, f := range factors {
+						if k == n {
+							continue
+						}
+						p *= f.At(idx[k], r)
+					}
+					b.AddAt(in, r, p)
+				}
+				incIndex(idx, dims)
+			}
+			privates[w] = b
+		}(w)
+	}
+	wg.Wait()
+	out := privates[0]
+	for w := 1; w < workers; w++ {
+		out.Add(1, privates[w])
+	}
+	return out
+}
+
+// multiIndexOf converts a column-major linear offset to a multi-index.
+func multiIndexOf(off int, dims []int) []int {
+	idx := make([]int, len(dims))
+	for k, d := range dims {
+		idx[k] = off % d
+		off /= d
+	}
+	if off != 0 {
+		panic(fmt.Sprintf("seq: offset out of range for dims %v", dims))
+	}
+	return idx
+}

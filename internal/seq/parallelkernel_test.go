@@ -1,0 +1,72 @@
+package seq
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/tensor"
+)
+
+func TestRefParallelMatchesRef(t *testing.T) {
+	dims := []int{7, 6, 5}
+	R := 4
+	x := tensor.RandomDense(41, dims...)
+	fs := tensor.RandomFactors(42, dims, R)
+	for _, workers := range []int{0, 1, 2, 3, 8, 1000} {
+		for n := range dims {
+			got := RefParallel(x, fs, n, workers)
+			want := Ref(x, fs, n)
+			if !got.EqualApprox(want, 1e-10) {
+				t.Fatalf("workers=%d mode=%d: maxdiff %v", workers, n, got.MaxAbsDiff(want))
+			}
+		}
+	}
+}
+
+func TestRefParallelTinyTensor(t *testing.T) {
+	// workers > elements must clamp.
+	x := tensor.RandomDense(43, 2, 2)
+	fs := tensor.RandomFactors(44, []int{2, 2}, 2)
+	got := RefParallel(x, fs, 0, 64)
+	if !got.EqualApprox(Ref(x, fs, 0), 1e-12) {
+		t.Fatal("clamped workers produced wrong result")
+	}
+}
+
+func TestMultiIndexOf(t *testing.T) {
+	dims := []int{3, 4, 2}
+	for off := 0; off < 24; off++ {
+		idx := multiIndexOf(off, dims)
+		back := idx[0] + 3*idx[1] + 12*idx[2]
+		if back != off {
+			t.Fatalf("offset %d -> %v -> %d", off, idx, back)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	multiIndexOf(24, dims)
+}
+
+func TestRefParallelQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nd := 2 + rng.Intn(2)
+		dims := make([]int, nd)
+		for i := range dims {
+			dims[i] = 1 + rng.Intn(5)
+		}
+		R := 1 + rng.Intn(3)
+		x := tensor.RandomDense(seed, dims...)
+		fs := tensor.RandomFactors(seed+1, dims, R)
+		n := rng.Intn(nd)
+		w := 1 + rng.Intn(6)
+		return RefParallel(x, fs, n, w).EqualApprox(Ref(x, fs, n), 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

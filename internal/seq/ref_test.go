@@ -1,0 +1,153 @@
+package seq
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/linalg"
+	"repro/internal/tensor"
+)
+
+// viaUnfold computes MTTKRP the textbook way (X_(n) * KRP) as an
+// independent oracle for Ref.
+func viaUnfold(x *tensor.Dense, factors []*tensor.Matrix, n int) *tensor.Matrix {
+	return linalg.MatMul(tensor.Unfold(x, n), tensor.KRPAll(factors, n))
+}
+
+func TestRefMatchesUnfoldOracle(t *testing.T) {
+	dimsets := [][]int{{4, 5}, {3, 4, 5}, {2, 3, 2, 3}, {2, 2, 2, 2, 2}}
+	for _, dims := range dimsets {
+		x := tensor.RandomDense(17, dims...)
+		fs := tensor.RandomFactors(23, dims, 3)
+		for n := range dims {
+			got := Ref(x, fs, n)
+			want := viaUnfold(x, fs, n)
+			if !got.EqualApprox(want, 1e-10) {
+				t.Fatalf("Ref differs from oracle, dims=%v mode=%d, maxdiff=%v",
+					dims, n, got.MaxAbsDiff(want))
+			}
+		}
+	}
+}
+
+func TestRefHandExample(t *testing.T) {
+	// 2x2 matrix case (N=2): MTTKRP reduces to X * A(1) for n=0.
+	x := tensor.NewDenseFromData([]float64{1, 2, 3, 4}, 2, 2) // cols [1 2],[3 4]
+	a1 := tensor.NewMatrixFromData([]float64{1, 1, 2, 0}, 2, 2)
+	fs := []*tensor.Matrix{nil, a1}
+	b := Ref(x, fs, 0)
+	// B(i, r) = sum_j X(i,j) A1(j,r).
+	want := linalg.MatMul(tensor.NewMatrixFromData([]float64{1, 2, 3, 4}, 2, 2), a1)
+	if !b.EqualApprox(want, 1e-12) {
+		t.Fatalf("hand example mismatch: got %v want %v", b.Data(), want.Data())
+	}
+}
+
+func TestRefRankOneExact(t *testing.T) {
+	// For an exact rank-1 tensor with unit factors, the MTTKRP has a
+	// closed form: B(n)(i,r) = a_n(i) * prod_{k!=n} <a_k, a_k(r-col)>.
+	dims := []int{3, 4, 5}
+	fs := tensor.RandomFactors(5, dims, 1)
+	x := tensor.FromFactors(fs)
+	for n := range dims {
+		b := Ref(x, fs, n)
+		scale := 1.0
+		for k := range dims {
+			if k == n {
+				continue
+			}
+			col := fs[k].Col(0)
+			var s float64
+			for _, v := range col {
+				s += v * v
+			}
+			scale *= s
+		}
+		for i := 0; i < dims[n]; i++ {
+			want := fs[n].At(i, 0) * scale
+			if math.Abs(b.At(i, 0)-want) > 1e-10 {
+				t.Fatalf("rank-1 closed form fails at mode %d row %d", n, i)
+			}
+		}
+	}
+}
+
+func TestAccumulateRefAddsContributions(t *testing.T) {
+	dims := []int{3, 3, 3}
+	x := tensor.RandomDense(31, dims...)
+	fs := tensor.RandomFactors(32, dims, 2)
+	b := tensor.NewMatrix(3, 2)
+	AccumulateRef(b, x, fs, 0)
+	AccumulateRef(b, x, fs, 0)
+	single := Ref(x, fs, 0)
+	single.Add(1, Ref(x, fs, 0))
+	if !b.EqualApprox(single, 1e-10) {
+		t.Fatal("AccumulateRef does not accumulate")
+	}
+}
+
+func TestCheckArgsPanics(t *testing.T) {
+	x := tensor.RandomDense(1, 3, 4)
+	fs := tensor.RandomFactors(2, []int{3, 4}, 2)
+	for _, f := range []func(){
+		func() { Ref(x, fs[:1], 0) },
+		func() { Ref(x, fs, 2) },
+		func() { Ref(x, fs, -1) },
+		func() { Ref(x, []*tensor.Matrix{nil, nil}, 0) },
+		func() { Ref(x, []*tensor.Matrix{fs[0], tensor.NewMatrix(5, 2)}, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+	// Mismatched R across two participating factors.
+	x3 := tensor.RandomDense(1, 2, 3, 4)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic for mismatched R")
+			}
+		}()
+		Ref(x3, []*tensor.Matrix{nil, tensor.NewMatrix(3, 2), tensor.NewMatrix(4, 3)}, 0)
+	}()
+}
+
+func TestRefFlops(t *testing.T) {
+	x := tensor.NewDense(2, 3, 4)
+	if got, want := RefFlops(x, 5), int64(24*5*4); got != want {
+		t.Fatalf("RefFlops = %d, want %d", got, want)
+	}
+}
+
+// Property: MTTKRP is linear in the tensor argument.
+func TestRefLinearInTensorQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nd := 2 + rng.Intn(2)
+		dims := make([]int, nd)
+		for i := range dims {
+			dims[i] = 1 + rng.Intn(4)
+		}
+		R := 1 + rng.Intn(3)
+		fs := tensor.RandomFactors(seed, dims, R)
+		x := tensor.RandomDense(seed+1, dims...)
+		y := tensor.RandomDense(seed+2, dims...)
+		n := rng.Intn(nd)
+		z := x.Clone()
+		z.Add(2.5, y)
+		bz := Ref(z, fs, n)
+		bx := Ref(x, fs, n)
+		bx.Add(2.5, Ref(y, fs, n))
+		return bz.EqualApprox(bx, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,67 @@
+package seq
+
+import "math"
+
+// This file evaluates the paper's closed-form sequential communication
+// upper bounds so tests and experiments can compare measured counts
+// against them.
+
+// UpperUnblocked returns the Algorithm 1 bound W <= I + I*R*(N+1)
+// (Section V-A).
+func UpperUnblocked(dims []int, R int) int64 {
+	I := prodInt64(dims)
+	N := int64(len(dims))
+	return I + I*int64(R)*(N+1)
+}
+
+// UpperBlocked returns the Algorithm 2 bound of Eq. (12):
+//
+//	I + ceil(I1/b)*...*ceil(IN/b) * R * (N+1) * b.
+func UpperBlocked(dims []int, R, b int) int64 {
+	I := prodInt64(dims)
+	N := int64(len(dims))
+	blocks := int64(1)
+	for _, d := range dims {
+		blocks *= int64((d + b - 1) / b)
+	}
+	return I + blocks*int64(R)*(N+1)*int64(b)
+}
+
+// UpperBlockedSimplified returns the asymptotic form of Eq. (13),
+// I + N*I*R / M^(1-1/N), evaluated without hidden constants. It is the
+// shape Algorithm 2's cost takes with b ~ M^(1/N).
+func UpperBlockedSimplified(dims []int, R int, M int64) float64 {
+	I := float64(prodInt64(dims))
+	N := float64(len(dims))
+	return I + N*I*float64(R)/math.Pow(float64(M), 1-1/N)
+}
+
+// UpperViaMatmul returns the via-matrix-multiplication baseline cost
+// shape of Section VI-A, I + I*R/sqrt(M) (plus the permutation term 2*I
+// for modes that require an explicit matricization pass and the KRP
+// formation term, both included here for a fair comparison).
+func UpperViaMatmul(dims []int, R, n int, M int64) float64 {
+	I := float64(prodInt64(dims))
+	In := float64(dims[n])
+	J := I / In
+	perm := 0.0
+	if n != 0 {
+		perm = 2 * I
+	}
+	krp := J * float64(R) // stores of the explicit KRP
+	for k, d := range dims {
+		if k != n {
+			krp += float64(R) * float64(d) // factor column loads
+		}
+	}
+	gemm := I + 2*I*float64(R)/math.Sqrt(float64(M)/3) + In*float64(R)
+	return perm + krp + gemm
+}
+
+func prodInt64(dims []int) int64 {
+	p := int64(1)
+	for _, d := range dims {
+		p *= int64(d)
+	}
+	return p
+}

@@ -1,0 +1,178 @@
+// Package simnet simulates the paper's distributed-memory parallel
+// machine (Section II-C): P processors, each with a private local
+// memory, connected by a network over which they exchange individual
+// values. Communication cost is the number of words sent and received
+// per processor (bandwidth cost); latency is not modeled, matching the
+// paper's focus.
+//
+// Each processor runs as a goroutine. Point-to-point channels carry
+// float64 payloads; the network counts words and messages per rank.
+// Data actually moves — algorithms built on simnet compute real
+// results, so correctness and communication cost are verified together.
+package simnet
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Network connects P ranks with buffered point-to-point channels and
+// per-rank traffic counters.
+type Network struct {
+	p     int
+	chans [][]chan []float64 // chans[src][dst]
+	stats []Stats            // owned by rank goroutines during Run
+}
+
+// Stats counts one rank's traffic.
+type Stats struct {
+	SentWords int64
+	RecvWords int64
+	SentMsgs  int64
+	RecvMsgs  int64
+}
+
+// Words returns sends plus receives, the per-processor quantity the
+// paper's lower bounds constrain.
+func (s Stats) Words() int64 { return s.SentWords + s.RecvWords }
+
+// New creates a network with p ranks. Channel buffers hold up to cap
+// in-flight messages per (src, dst) pair; the ring collectives in
+// package comm need only 1, but a little slack keeps ad-hoc
+// point-to-point patterns from serializing.
+func New(p int) *Network {
+	if p < 1 {
+		panic(fmt.Sprintf("simnet: need at least 1 rank, got %d", p))
+	}
+	n := &Network{
+		p:     p,
+		chans: make([][]chan []float64, p),
+		stats: make([]Stats, p),
+	}
+	for i := range n.chans {
+		n.chans[i] = make([]chan []float64, p)
+		for j := range n.chans[i] {
+			if i != j {
+				n.chans[i][j] = make(chan []float64, 8)
+			}
+		}
+	}
+	return n
+}
+
+// P returns the number of ranks.
+func (n *Network) P() int { return n.p }
+
+// Send transmits data from rank src to rank dst. The payload is copied,
+// so the caller may reuse its buffer. Self-sends are forbidden (local
+// data movement is free in the model and needs no channel).
+func (n *Network) Send(src, dst int, data []float64) {
+	n.checkRank(src)
+	n.checkRank(dst)
+	if src == dst {
+		panic(fmt.Sprintf("simnet: rank %d sending to itself", src))
+	}
+	buf := make([]float64, len(data))
+	copy(buf, data)
+	n.stats[src].SentWords += int64(len(data))
+	n.stats[src].SentMsgs++
+	n.chans[src][dst] <- buf
+}
+
+// Recv blocks until a message from src arrives at dst and returns it.
+func (n *Network) Recv(src, dst int) []float64 {
+	n.checkRank(src)
+	n.checkRank(dst)
+	if src == dst {
+		panic(fmt.Sprintf("simnet: rank %d receiving from itself", dst))
+	}
+	data := <-n.chans[src][dst]
+	n.stats[dst].RecvWords += int64(len(data))
+	n.stats[dst].RecvMsgs++
+	return data
+}
+
+func (n *Network) checkRank(r int) {
+	if r < 0 || r >= n.p {
+		panic(fmt.Sprintf("simnet: rank %d out of [0,%d)", r, n.p))
+	}
+}
+
+// RankStats returns rank r's counters. Call only when rank goroutines
+// are quiescent (before Run or after it returns).
+func (n *Network) RankStats(r int) Stats {
+	n.checkRank(r)
+	return n.stats[r]
+}
+
+// AllStats returns a copy of every rank's counters.
+func (n *Network) AllStats() []Stats {
+	out := make([]Stats, n.p)
+	copy(out, n.stats)
+	return out
+}
+
+// MaxWords returns the maximum over ranks of sent+received words — the
+// quantity compared against "some processor performs at least W sends
+// and receives" lower bounds.
+func (n *Network) MaxWords() int64 {
+	var m int64
+	for _, s := range n.stats {
+		if w := s.Words(); w > m {
+			m = w
+		}
+	}
+	return m
+}
+
+// TotalWords returns the sum over ranks of words sent (each word is
+// counted once as a send and once as a receive; this counts sends).
+func (n *Network) TotalWords() int64 {
+	var t int64
+	for _, s := range n.stats {
+		t += s.SentWords
+	}
+	return t
+}
+
+// Run spawns one goroutine per rank executing body(rank) and waits for
+// all of them. The first error (by rank order) is returned. A panic in
+// any rank is re-panicked in the caller after all ranks finish or
+// deadlock is avoided by the panic's unwinding.
+func (n *Network) Run(body func(rank int) error) error {
+	errs := make([]error, n.p)
+	panics := make([]any, n.p)
+	var wg sync.WaitGroup
+	wg.Add(n.p)
+	for r := 0; r < n.p; r++ {
+		go func(rank int) {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					panics[rank] = p
+					// Unblock peers waiting on this rank: receivers on a
+					// closed channel get an empty payload immediately
+					// instead of deadlocking the whole run.
+					for dst, ch := range n.chans[rank] {
+						if dst != rank {
+							close(ch)
+						}
+					}
+				}
+			}()
+			errs[rank] = body(rank)
+		}(r)
+	}
+	wg.Wait()
+	for _, p := range panics {
+		if p != nil {
+			panic(p)
+		}
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,248 @@
+package sparse
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/simnet"
+	"repro/internal/tensor"
+)
+
+// ParallelResult carries a distributed sparse MTTKRP's output and
+// traffic statistics.
+type ParallelResult struct {
+	B     *tensor.Matrix
+	Stats []simnet.Stats
+}
+
+// TotalSent returns the total words sent — by construction equal to
+// the (lambda-1) communication volume of the partition.
+func (r *ParallelResult) TotalSent() int64 {
+	var t int64
+	for _, s := range r.Stats {
+		t += s.SentWords
+	}
+	return t
+}
+
+// MaxWords returns the maximum per-rank sends+receives.
+func (r *ParallelResult) MaxWords() int64 {
+	var m int64
+	for _, s := range r.Stats {
+		if w := s.Words(); w > m {
+			m = w
+		}
+	}
+	return m
+}
+
+// ParallelMTTKRP runs an owner-computes expand/fold sparse MTTKRP on
+// the simulated machine: each processor owns the nonzeros its
+// partition assigns it; every factor/output row is owned by the
+// lowest-numbered part touching it. The expand phase sends each input
+// row to its non-owner touchers; the fold phase sends partial output
+// rows to their owners. Total words sent equal CommVolume(c, part, n, R)
+// exactly, making the hypergraph metric a measured quantity.
+func ParallelMTTKRP(c *COO, factors []*tensor.Matrix, n int, part Partition) (*ParallelResult, error) {
+	N := c.Order()
+	if len(part.Assign) != c.NNZ() {
+		return nil, fmt.Errorf("sparse: partition covers %d of %d entries", len(part.Assign), c.NNZ())
+	}
+	R := -1
+	for k, f := range factors {
+		if k == n {
+			continue
+		}
+		if f == nil || f.Rows() != c.dims[k] {
+			return nil, fmt.Errorf("sparse: factor %d bad shape", k)
+		}
+		if R == -1 {
+			R = f.Cols()
+		} else if R != f.Cols() {
+			return nil, fmt.Errorf("sparse: inconsistent rank")
+		}
+	}
+	if R == -1 {
+		return nil, fmt.Errorf("sparse: no participating factors")
+	}
+	P := part.P
+
+	// Row touchers and owners (lowest-numbered toucher).
+	touch := lambda(c, part, n)
+	owner := make(map[rowKey]int, len(touch))
+	for key, parts := range touch {
+		o := P
+		for p := range parts {
+			if p < o {
+				o = p
+			}
+		}
+		owner[key] = o
+	}
+
+	// Local nonzeros per part.
+	localEntries := make([][]Entry, P)
+	for e, ent := range c.entries {
+		p := part.Assign[e]
+		localEntries[p] = append(localEntries[p], ent)
+	}
+
+	// Deterministic communication schedules. Keys sorted for matching
+	// send/receive order on both sides.
+	type schedule struct {
+		keys map[[2]int][]rowKey // (src,dst) -> ordered row keys
+	}
+	expand := schedule{keys: make(map[[2]int][]rowKey)}
+	fold := schedule{keys: make(map[[2]int][]rowKey)}
+	sortedKeys := make([]rowKey, 0, len(touch))
+	for key := range touch {
+		sortedKeys = append(sortedKeys, key)
+	}
+	sort.Slice(sortedKeys, func(a, b int) bool {
+		if sortedKeys[a].mode != sortedKeys[b].mode {
+			return sortedKeys[a].mode < sortedKeys[b].mode
+		}
+		return sortedKeys[a].idx < sortedKeys[b].idx
+	})
+	for _, key := range sortedKeys {
+		o := owner[key]
+		for p := 0; p < P; p++ {
+			if p == o || !touch[key][p] {
+				continue
+			}
+			if key.mode != n {
+				// Input row: owner -> toucher.
+				expand.keys[[2]int{o, p}] = append(expand.keys[[2]int{o, p}], key)
+			} else {
+				// Output row: toucher -> owner.
+				fold.keys[[2]int{p, o}] = append(fold.keys[[2]int{p, o}], key)
+			}
+		}
+	}
+
+	// Owned factor rows handed out by the driver (inputs start
+	// distributed at their owners, free in the model).
+	ownedRows := make([]map[rowKey][]float64, P)
+	for p := 0; p < P; p++ {
+		ownedRows[p] = make(map[rowKey][]float64)
+	}
+	for key, o := range owner {
+		if key.mode == n {
+			continue
+		}
+		row := make([]float64, R)
+		for r := 0; r < R; r++ {
+			row[r] = factors[key.mode].At(key.idx, r)
+		}
+		ownedRows[o][key] = row
+	}
+
+	net := simnet.New(P)
+	finalRows := make([]map[int][]float64, P) // output row -> values, at owner
+	err := net.Run(func(rank int) error {
+		// Expand phase: send owned rows to touchers, one batched
+		// message per destination.
+		for dst := 0; dst < P; dst++ {
+			keys := expand.keys[[2]int{rank, dst}]
+			if len(keys) == 0 {
+				continue
+			}
+			payload := make([]float64, 0, len(keys)*R)
+			for _, key := range keys {
+				payload = append(payload, ownedRows[rank][key]...)
+			}
+			net.Send(rank, dst, payload)
+		}
+		haveRows := make(map[rowKey][]float64, len(ownedRows[rank]))
+		for key, row := range ownedRows[rank] {
+			haveRows[key] = row
+		}
+		for src := 0; src < P; src++ {
+			keys := expand.keys[[2]int{src, rank}]
+			if len(keys) == 0 {
+				continue
+			}
+			payload := net.Recv(src, rank)
+			if len(payload) != len(keys)*R {
+				return fmt.Errorf("sparse: rank %d expand payload %d, want %d", rank, len(payload), len(keys)*R)
+			}
+			for i, key := range keys {
+				haveRows[key] = payload[i*R : (i+1)*R]
+			}
+		}
+
+		// Local owner-computes accumulation into partial output rows.
+		partial := make(map[int][]float64)
+		for _, ent := range localEntries[rank] {
+			out := partial[ent.Idx[n]]
+			if out == nil {
+				out = make([]float64, R)
+				partial[ent.Idx[n]] = out
+			}
+			for r := 0; r < R; r++ {
+				p := ent.Val
+				for k := 0; k < N; k++ {
+					if k == n {
+						continue
+					}
+					p *= haveRows[rowKey{k, ent.Idx[k]}][r]
+				}
+				out[r] += p
+			}
+		}
+
+		// Fold phase: ship partial rows to their owners.
+		for dst := 0; dst < P; dst++ {
+			keys := fold.keys[[2]int{rank, dst}]
+			if len(keys) == 0 {
+				continue
+			}
+			payload := make([]float64, 0, len(keys)*R)
+			for _, key := range keys {
+				row := partial[key.idx]
+				if row == nil {
+					row = make([]float64, R)
+				}
+				payload = append(payload, row...)
+				delete(partial, key.idx) // shipped away
+			}
+			net.Send(rank, dst, payload)
+		}
+		for src := 0; src < P; src++ {
+			keys := fold.keys[[2]int{src, rank}]
+			if len(keys) == 0 {
+				continue
+			}
+			payload := net.Recv(src, rank)
+			if len(payload) != len(keys)*R {
+				return fmt.Errorf("sparse: rank %d fold payload %d, want %d", rank, len(payload), len(keys)*R)
+			}
+			for i, key := range keys {
+				out := partial[key.idx]
+				if out == nil {
+					out = make([]float64, R)
+					partial[key.idx] = out
+				}
+				for r := 0; r < R; r++ {
+					out[r] += payload[i*R+r]
+				}
+			}
+		}
+		finalRows[rank] = partial
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Assemble B from the owners.
+	b := tensor.NewMatrix(c.dims[n], R)
+	for p := 0; p < P; p++ {
+		for row, vals := range finalRows[p] {
+			for r := 0; r < R; r++ {
+				b.AddAt(row, r, vals[r])
+			}
+		}
+	}
+	return &ParallelResult{B: b, Stats: net.AllStats()}, nil
+}

@@ -1,0 +1,130 @@
+package sparse
+
+import (
+	"testing"
+
+	"repro/internal/seq"
+	"repro/internal/tensor"
+)
+
+func TestParallelSparseCorrect(t *testing.T) {
+	dims := []int{6, 5, 4}
+	R := 3
+	s := Random(11, 40, dims...)
+	fs := tensor.RandomFactors(12, dims, R)
+	x := s.ToDense()
+	for _, P := range []int{1, 2, 4, 7} {
+		for n := range dims {
+			for name, part := range map[string]Partition{
+				"block":  BlockPartition(s, P),
+				"random": RandomPartition(s, P, 13),
+			} {
+				res, err := ParallelMTTKRP(s, fs, n, part)
+				if err != nil {
+					t.Fatalf("%s P=%d mode=%d: %v", name, P, n, err)
+				}
+				want := seq.Ref(x, fs, n)
+				if !res.B.EqualApprox(want, 1e-9) {
+					t.Fatalf("%s P=%d mode=%d: wrong result (%v)",
+						name, P, n, res.B.MaxAbsDiff(want))
+				}
+			}
+		}
+	}
+}
+
+// The measured traffic equals the hypergraph (lambda-1) metric exactly
+// — communication is literally the connectivity of the partition.
+func TestMeasuredEqualsCommVolume(t *testing.T) {
+	dims := []int{8, 8, 8}
+	R := 4
+	s := Random(17, 120, dims...)
+	fs := tensor.RandomFactors(18, dims, R)
+	for _, P := range []int{2, 4, 8} {
+		for _, part := range []Partition{
+			BlockPartition(s, P),
+			RandomPartition(s, P, 19),
+		} {
+			res, err := ParallelMTTKRP(s, fs, 0, part)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := CommVolume(s, part, 0, R)
+			if res.TotalSent() != want {
+				t.Fatalf("P=%d: measured %d words, metric %d", P, res.TotalSent(), want)
+			}
+		}
+	}
+}
+
+// Structure pays: on a blocky tensor, the contiguous partition has
+// lower communication volume (metric and measured) than the random
+// one — the phenomenon that motivates hypergraph partitioning.
+func TestBlockBeatsRandomOnBlockyTensor(t *testing.T) {
+	dims := []int{24, 24, 24}
+	R := 4
+	s := RandomBlocky(21, 8, 60, 5, dims...)
+	fs := tensor.RandomFactors(22, dims, R)
+	P := 8
+	block := BlockPartition(s, P)
+	random := RandomPartition(s, P, 23)
+	vb := CommVolume(s, block, 0, R)
+	vr := CommVolume(s, random, 0, R)
+	if vb >= vr {
+		t.Fatalf("block volume %d should beat random %d on blocky data", vb, vr)
+	}
+	rb, err := ParallelMTTKRP(s, fs, 0, block)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr, err := ParallelMTTKRP(s, fs, 0, random)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rb.TotalSent() >= rr.TotalSent() {
+		t.Fatalf("measured: block %d should beat random %d", rb.TotalSent(), rr.TotalSent())
+	}
+	// And both compute the right thing.
+	want := seq.Ref(s.ToDense(), fs, 0)
+	if !rb.B.EqualApprox(want, 1e-9) || !rr.B.EqualApprox(want, 1e-9) {
+		t.Fatal("wrong results")
+	}
+}
+
+func TestSinglePartNoComm(t *testing.T) {
+	s := Random(25, 20, 5, 5)
+	fs := tensor.RandomFactors(26, []int{5, 5}, 2)
+	part := BlockPartition(s, 1)
+	res, err := ParallelMTTKRP(s, fs, 0, part)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalSent() != 0 {
+		t.Fatalf("P=1 sent %d words", res.TotalSent())
+	}
+	if CommVolume(s, part, 0, 2) != 0 {
+		t.Fatal("P=1 volume should be 0")
+	}
+}
+
+func TestMaxPartLoad(t *testing.T) {
+	part := Partition{P: 3, Assign: []int{0, 0, 1, 2, 0}}
+	if MaxPartLoad(part) != 3 {
+		t.Fatalf("MaxPartLoad = %d", MaxPartLoad(part))
+	}
+}
+
+func TestParallelErrors(t *testing.T) {
+	s := Random(27, 10, 4, 4)
+	fs := tensor.RandomFactors(28, []int{4, 4}, 2)
+	if _, err := ParallelMTTKRP(s, fs, 0, Partition{P: 2, Assign: []int{0}}); err == nil {
+		t.Fatal("short partition should error")
+	}
+	bad := []*tensor.Matrix{nil, tensor.NewMatrix(9, 2)}
+	if _, err := ParallelMTTKRP(s, bad, 0, BlockPartition(s, 2)); err == nil {
+		t.Fatal("bad factor shape should error")
+	}
+	if _, err := ParallelMTTKRP(s, []*tensor.Matrix{nil, nil}, 0, BlockPartition(s, 2)); err == nil {
+		t.Fatal("no participating factors should error")
+	}
+}

@@ -1,0 +1,132 @@
+package sparse
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/seq"
+	"repro/internal/tensor"
+)
+
+func TestFromDenseToDenseRoundTrip(t *testing.T) {
+	x := tensor.RandomDense(1, 4, 5, 3)
+	s := FromDense(x, 0)
+	if s.NNZ() != x.Elems() {
+		t.Fatalf("nnz %d, want all %d", s.NNZ(), x.Elems())
+	}
+	if !s.ToDense().EqualApprox(x, 0) {
+		t.Fatal("round trip failed")
+	}
+}
+
+func TestFromDenseThreshold(t *testing.T) {
+	x := tensor.NewDense(2, 2)
+	x.Set(0.5, 0, 0)
+	x.Set(0.01, 1, 1)
+	s := FromDense(x, 0.1)
+	if s.NNZ() != 1 {
+		t.Fatalf("nnz = %d, want 1", s.NNZ())
+	}
+}
+
+func TestSparseMTTKRPMatchesDense(t *testing.T) {
+	dims := []int{5, 4, 6}
+	R := 3
+	s := Random(7, 30, dims...)
+	fs := tensor.RandomFactors(8, dims, R)
+	x := s.ToDense()
+	for n := range dims {
+		got := MTTKRP(s, fs, n)
+		want := seq.Ref(x, fs, n)
+		if !got.EqualApprox(want, 1e-10) {
+			t.Fatalf("mode %d mismatch %v", n, got.MaxAbsDiff(want))
+		}
+	}
+}
+
+func TestSparseMTTKRPSumsDuplicates(t *testing.T) {
+	s := NewCOO(3, 3)
+	s.Append(1, 1, 1)
+	s.Append(2, 1, 1) // duplicate coordinate
+	fs := tensor.RandomFactors(9, []int{3, 3}, 2)
+	got := MTTKRP(s, fs, 0)
+	want := seq.Ref(s.ToDense(), fs, 0)
+	if !got.EqualApprox(want, 1e-12) {
+		t.Fatal("duplicates not summed")
+	}
+}
+
+func TestRandomGeneratesDistinct(t *testing.T) {
+	s := Random(3, 20, 4, 4, 4)
+	if s.NNZ() != 20 {
+		t.Fatalf("nnz = %d", s.NNZ())
+	}
+	seen := make(map[[3]int]bool)
+	for _, e := range s.Entries() {
+		key := [3]int{e.Idx[0], e.Idx[1], e.Idx[2]}
+		if seen[key] {
+			t.Fatal("duplicate coordinate from Random")
+		}
+		seen[key] = true
+	}
+}
+
+func TestSortLinear(t *testing.T) {
+	s := Random(5, 12, 4, 4)
+	s.SortLinear()
+	prev := -1
+	for _, e := range s.Entries() {
+		off := e.Idx[0] + 4*e.Idx[1]
+		if off < prev {
+			t.Fatal("not sorted by linear offset")
+		}
+		prev = off
+	}
+}
+
+func TestPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewCOO(3) },
+		func() { NewCOO(3, 0) },
+		func() { NewCOO(3, 3).Append(1, 5, 0) },
+		func() { NewCOO(3, 3).Append(1, 0) },
+		func() { Random(1, 100, 2, 2) },
+		func() { MTTKRP(Random(1, 2, 2, 2), tensor.RandomFactors(1, []int{2, 2}, 2), 5) },
+		func() { MTTKRP(Random(1, 2, 2, 2), nil, 0) },
+		func() { BlockPartition(Random(1, 2, 2, 2), 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// Property: sparse kernel equals dense reference on random sparse
+// tensors, all modes.
+func TestSparseMatchesDenseQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		N := 2 + rng.Intn(2)
+		dims := make([]int, N)
+		I := 1
+		for i := range dims {
+			dims[i] = 2 + rng.Intn(4)
+			I *= dims[i]
+		}
+		nnz := 1 + rng.Intn(I)
+		R := 1 + rng.Intn(3)
+		s := Random(seed, nnz, dims...)
+		fs := tensor.RandomFactors(seed+1, dims, R)
+		n := rng.Intn(N)
+		return MTTKRP(s, fs, n).EqualApprox(seq.Ref(s.ToDense(), fs, n), 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

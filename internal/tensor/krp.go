@@ -1,0 +1,78 @@
+package tensor
+
+import "fmt"
+
+// KRP returns the Khatri-Rao (columnwise Kronecker) product of two
+// matrices with the same column count: row index (i, j) of the result
+// has j (from b) varying fastest, i.e.
+//
+//	(a krp b)(i*b.rows + j, r) = a(i, r) * b(j, r).
+func KRP(a, b *Matrix) *Matrix {
+	if a.cols != b.cols {
+		panic(fmt.Sprintf("tensor: KRP column mismatch %d vs %d", a.cols, b.cols))
+	}
+	out := NewMatrix(a.rows*b.rows, a.cols)
+	for r := 0; r < a.cols; r++ {
+		ac, bc, oc := a.Col(r), b.Col(r), out.Col(r)
+		for i := 0; i < a.rows; i++ {
+			av := ac[i]
+			base := i * b.rows
+			for j := 0; j < b.rows; j++ {
+				oc[base+j] = av * bc[j]
+			}
+		}
+	}
+	return out
+}
+
+// KRPAll returns A(N) krp A(N-1) krp ... krp A(1) skipping mode n, the
+// Khatri-Rao product whose row ordering matches Unfold's column
+// ordering (smallest mode varying fastest). factors must have length N
+// (the order of the tensor); factors[n] is ignored and may be nil.
+//
+// The result has (prod_{k != n} I_k) rows, and row j, column r equals
+// prod_{k != n} A(k)(i_k, r) where j flattens (i_1, ..., i_N) without
+// i_n, smallest mode fastest.
+func KRPAll(factors []*Matrix, n int) *Matrix {
+	N := len(factors)
+	if n < 0 || n >= N {
+		panic(fmt.Sprintf("tensor: KRPAll mode %d out of range for %d factors", n, N))
+	}
+	var acc *Matrix
+	// Accumulate from the largest mode downward so the smallest mode
+	// ends up rightmost (fastest-varying row index).
+	for k := N - 1; k >= 0; k-- {
+		if k == n {
+			continue
+		}
+		if factors[k] == nil {
+			panic(fmt.Sprintf("tensor: KRPAll factor %d is nil", k))
+		}
+		if acc == nil {
+			acc = factors[k].Clone()
+		} else {
+			acc = KRP(acc, factors[k])
+		}
+	}
+	if acc == nil {
+		panic("tensor: KRPAll needs at least one participating factor")
+	}
+	return acc
+}
+
+// KRPRow fills dst[r] = prod_{k != n} A(k)(idx[k], r) for r in [0, R),
+// the single Khatri-Rao row for the given tensor multi-index. It is the
+// atomic (N-1)-ary product of Definition 2.1 evaluated for all r.
+func KRPRow(dst []float64, factors []*Matrix, n int, idx []int) {
+	R := len(dst)
+	for r := 0; r < R; r++ {
+		p := 1.0
+		for k, f := range factors {
+			if k == n {
+				continue
+			}
+			p *= f.data[idx[k]+r*f.rows]
+		}
+		dst[r] = p
+	}
+}

@@ -1,0 +1,205 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestKRPHand(t *testing.T) {
+	a := NewMatrixFromData([]float64{1, 2, 3, 4}, 2, 2) // cols: [1 2], [3 4]
+	b := NewMatrixFromData([]float64{5, 6, 7, 8}, 2, 2) // cols: [5 6], [7 8]
+	k := KRP(a, b)
+	if k.Rows() != 4 || k.Cols() != 2 {
+		t.Fatalf("KRP shape %dx%d", k.Rows(), k.Cols())
+	}
+	// Column 0: a(:,0) kron b(:,0) = [1*5, 1*6, 2*5, 2*6].
+	want0 := []float64{5, 6, 10, 12}
+	for i, w := range want0 {
+		if k.At(i, 0) != w {
+			t.Fatalf("KRP col0[%d] = %v, want %v", i, k.At(i, 0), w)
+		}
+	}
+	want1 := []float64{21, 24, 28, 32}
+	for i, w := range want1 {
+		if k.At(i, 1) != w {
+			t.Fatalf("KRP col1[%d] = %v, want %v", i, k.At(i, 1), w)
+		}
+	}
+}
+
+func TestKRPColumnMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	KRP(NewMatrix(2, 2), NewMatrix(2, 3))
+}
+
+// The defining identity: X_(n) = A(n) * KRPAll(factors, n)^T for an
+// exact CP tensor. This pins down both the unfolding and the KRP row
+// ordering simultaneously.
+func TestUnfoldKRPIdentity(t *testing.T) {
+	dimsets := [][]int{{3, 4}, {2, 3, 4}, {3, 2, 2, 3}}
+	for _, dims := range dimsets {
+		R := 3
+		fs := RandomFactors(42, dims, R)
+		x := FromFactors(fs)
+		for n := range dims {
+			xn := Unfold(x, n)
+			krp := KRPAll(fs, n)
+			// Check X_(n)(i, j) == sum_r A(n)(i,r) * krp(j, r).
+			for i := 0; i < xn.Rows(); i++ {
+				for j := 0; j < xn.Cols(); j++ {
+					var s float64
+					for r := 0; r < R; r++ {
+						s += fs[n].At(i, r) * krp.At(j, r)
+					}
+					if math.Abs(s-xn.At(i, j)) > 1e-10 {
+						t.Fatalf("identity fails dims=%v mode=%d at (%d,%d): %v vs %v",
+							dims, n, i, j, s, xn.At(i, j))
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestKRPAllShape(t *testing.T) {
+	dims := []int{3, 4, 5}
+	fs := RandomFactors(7, dims, 2)
+	for n := range dims {
+		k := KRPAll(fs, n)
+		want := 1
+		for m, d := range dims {
+			if m != n {
+				want *= d
+			}
+		}
+		if k.Rows() != want || k.Cols() != 2 {
+			t.Fatalf("KRPAll mode %d shape %dx%d, want %dx2", n, k.Rows(), k.Cols(), want)
+		}
+	}
+}
+
+func TestKRPAllSkipsNilFactor(t *testing.T) {
+	dims := []int{3, 4}
+	fs := RandomFactors(7, dims, 2)
+	fs[1] = nil // mode being computed may be nil
+	k := KRPAll(fs, 1)
+	if k.Rows() != 3 || k.Cols() != 2 {
+		t.Fatalf("KRPAll shape %dx%d", k.Rows(), k.Cols())
+	}
+}
+
+func TestKRPAllPanics(t *testing.T) {
+	fs := RandomFactors(7, []int{3, 4}, 2)
+	for _, f := range []func(){
+		func() { KRPAll(fs, 2) },
+		func() { KRPAll(fs, -1) },
+		func() { KRPAll([]*Matrix{nil, fs[1]}, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// Property: KRPRow matches the corresponding row of the explicit KRPAll.
+func TestKRPRowMatchesExplicitQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nd := 2 + rng.Intn(3)
+		dims := make([]int, nd)
+		for i := range dims {
+			dims[i] = 1 + rng.Intn(4)
+		}
+		R := 1 + rng.Intn(3)
+		fs := RandomFactors(seed, dims, R)
+		n := rng.Intn(nd)
+		krp := KRPAll(fs, n)
+		idx := make([]int, nd)
+		for k := range idx {
+			idx[k] = rng.Intn(dims[k])
+		}
+		// Row index in krp: flatten idx without mode n, smallest fastest.
+		j, mult := 0, 1
+		for k := 0; k < nd; k++ {
+			if k == n {
+				continue
+			}
+			j += idx[k] * mult
+			mult *= dims[k]
+		}
+		row := make([]float64, R)
+		KRPRow(row, fs, n, idx)
+		for r := 0; r < R; r++ {
+			if math.Abs(row[r]-krp.At(j, r)) > 1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFromFactorsRankOne(t *testing.T) {
+	a := NewMatrixFromData([]float64{1, 2}, 2, 1)
+	b := NewMatrixFromData([]float64{3, 4, 5}, 3, 1)
+	x := FromFactors([]*Matrix{a, b})
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 3; j++ {
+			want := a.At(i, 0) * b.At(j, 0)
+			if x.At(i, j) != want {
+				t.Fatalf("rank-one mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestFromFactorsPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { FromFactors(nil) },
+		func() { FromFactors([]*Matrix{NewMatrix(2, 2), NewMatrix(3, 3)}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestRandomDeterminism(t *testing.T) {
+	a := RandomDense(5, 3, 3)
+	b := RandomDense(5, 3, 3)
+	if !a.EqualApprox(b, 0) {
+		t.Fatal("RandomDense not deterministic for equal seeds")
+	}
+	c := RandomDense(6, 3, 3)
+	if a.EqualApprox(c, 0) {
+		t.Fatal("RandomDense identical for different seeds")
+	}
+}
+
+func TestAddNoiseBounded(t *testing.T) {
+	x := NewDense(10, 10)
+	AddNoise(x, 3, 0.5)
+	for _, v := range x.Data() {
+		if math.Abs(v) > 0.5 {
+			t.Fatalf("noise %v exceeds half-width", v)
+		}
+	}
+}

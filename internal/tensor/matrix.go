@@ -1,0 +1,177 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Matrix is a dense column-major matrix. Factor matrices A(k) are
+// I_k x R; column r is the r-th rank-one component for mode k.
+type Matrix struct {
+	rows, cols int
+	data       []float64 // data[i + r*rows]
+}
+
+// NewMatrix allocates a zero rows x cols matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("tensor: non-positive matrix shape %dx%d", rows, cols))
+	}
+	if rows > math.MaxInt/cols {
+		panic(fmt.Sprintf("tensor: matrix %dx%d overflows", rows, cols))
+	}
+	return &Matrix{rows: rows, cols: cols, data: make([]float64, rows*cols)}
+}
+
+// NewMatrixFromData wraps a column-major slice; len(data) must be rows*cols.
+func NewMatrixFromData(data []float64, rows, cols int) *Matrix {
+	if rows <= 0 || cols <= 0 || len(data) != rows*cols {
+		panic(fmt.Sprintf("tensor: data length %d does not match %dx%d", len(data), rows, cols))
+	}
+	return &Matrix{rows: rows, cols: cols, data: data}
+}
+
+// Rows returns the row count.
+func (m *Matrix) Rows() int { return m.rows }
+
+// Cols returns the column count.
+func (m *Matrix) Cols() int { return m.cols }
+
+// Data returns the underlying column-major storage.
+func (m *Matrix) Data() []float64 { return m.data }
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 {
+	m.check(i, j)
+	return m.data[i+j*m.rows]
+}
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float64) {
+	m.check(i, j)
+	m.data[i+j*m.rows] = v
+}
+
+// AddAt accumulates v into element (i, j).
+func (m *Matrix) AddAt(i, j int, v float64) {
+	m.check(i, j)
+	m.data[i+j*m.rows] += v
+}
+
+func (m *Matrix) check(i, j int) {
+	if i < 0 || i >= m.rows || j < 0 || j >= m.cols {
+		panic(fmt.Sprintf("tensor: matrix index (%d,%d) out of %dx%d", i, j, m.rows, m.cols))
+	}
+}
+
+// Col returns column j as a slice aliasing the matrix storage.
+func (m *Matrix) Col(j int) []float64 {
+	if j < 0 || j >= m.cols {
+		panic(fmt.Sprintf("tensor: column %d out of %d", j, m.cols))
+	}
+	return m.data[j*m.rows : (j+1)*m.rows]
+}
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	c := NewMatrix(m.rows, m.cols)
+	copy(c.data, m.data)
+	return c
+}
+
+// Fill sets every element to v.
+func (m *Matrix) Fill(v float64) {
+	for i := range m.data {
+		m.data[i] = v
+	}
+}
+
+// Zero resets all elements to 0.
+func (m *Matrix) Zero() { m.Fill(0) }
+
+// Norm returns the Frobenius norm.
+func (m *Matrix) Norm() float64 {
+	var s float64
+	for _, v := range m.data {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// MaxAbsDiff returns the largest absolute elementwise difference.
+func (m *Matrix) MaxAbsDiff(u *Matrix) float64 {
+	if m.rows != u.rows || m.cols != u.cols {
+		panic(fmt.Sprintf("tensor: matrix shape mismatch %dx%d vs %dx%d", m.rows, m.cols, u.rows, u.cols))
+	}
+	var d float64
+	for i := range m.data {
+		if a := math.Abs(m.data[i] - u.data[i]); a > d {
+			d = a
+		}
+	}
+	return d
+}
+
+// EqualApprox reports whether all elements agree within tol.
+func (m *Matrix) EqualApprox(u *Matrix, tol float64) bool {
+	if m.rows != u.rows || m.cols != u.cols {
+		return false
+	}
+	return m.MaxAbsDiff(u) <= tol
+}
+
+// RowBlock copies rows [lo, hi) into a new (hi-lo) x cols matrix.
+func (m *Matrix) RowBlock(lo, hi int) *Matrix {
+	if lo < 0 || hi > m.rows || lo >= hi {
+		panic(fmt.Sprintf("tensor: bad row block [%d,%d) of %d rows", lo, hi, m.rows))
+	}
+	out := NewMatrix(hi-lo, m.cols)
+	for j := 0; j < m.cols; j++ {
+		copy(out.Col(j), m.Col(j)[lo:hi])
+	}
+	return out
+}
+
+// Block copies the submatrix rows [rlo,rhi) x cols [clo,chi).
+func (m *Matrix) Block(rlo, rhi, clo, chi int) *Matrix {
+	if rlo < 0 || rhi > m.rows || rlo >= rhi || clo < 0 || chi > m.cols || clo >= chi {
+		panic(fmt.Sprintf("tensor: bad block [%d,%d)x[%d,%d) of %dx%d", rlo, rhi, clo, chi, m.rows, m.cols))
+	}
+	out := NewMatrix(rhi-rlo, chi-clo)
+	for j := clo; j < chi; j++ {
+		copy(out.Col(j-clo), m.Col(j)[rlo:rhi])
+	}
+	return out
+}
+
+// SetBlock writes src into m starting at (rlo, clo).
+func (m *Matrix) SetBlock(rlo, clo int, src *Matrix) {
+	if rlo < 0 || rlo+src.rows > m.rows || clo < 0 || clo+src.cols > m.cols {
+		panic(fmt.Sprintf("tensor: block %dx%d at (%d,%d) exceeds %dx%d", src.rows, src.cols, rlo, clo, m.rows, m.cols))
+	}
+	for j := 0; j < src.cols; j++ {
+		copy(m.Col(clo + j)[rlo:rlo+src.rows], src.Col(j))
+	}
+}
+
+// Add accumulates alpha*u into m.
+func (m *Matrix) Add(alpha float64, u *Matrix) {
+	if m.rows != u.rows || m.cols != u.cols {
+		panic(fmt.Sprintf("tensor: matrix shape mismatch %dx%d vs %dx%d", m.rows, m.cols, u.rows, u.cols))
+	}
+	for i, v := range u.data {
+		m.data[i] += alpha * v
+	}
+}
+
+// Hadamard returns the elementwise product of a and b.
+func Hadamard(a, b *Matrix) *Matrix {
+	if a.rows != b.rows || a.cols != b.cols {
+		panic(fmt.Sprintf("tensor: hadamard shape mismatch %dx%d vs %dx%d", a.rows, a.cols, b.rows, b.cols))
+	}
+	out := NewMatrix(a.rows, a.cols)
+	for i := range out.data {
+		out.data[i] = a.data[i] * b.data[i]
+	}
+	return out
+}

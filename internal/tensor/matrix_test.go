@@ -1,0 +1,155 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMatrixColumnMajorLayout(t *testing.T) {
+	m := NewMatrix(3, 2)
+	m.Set(0, 1, 7)
+	if m.Data()[3] != 7 {
+		t.Fatalf("element (0,1) not at offset rows*1: data=%v", m.Data())
+	}
+	if m.At(0, 1) != 7 {
+		t.Fatalf("At(0,1) = %v", m.At(0, 1))
+	}
+}
+
+func TestMatrixColAliases(t *testing.T) {
+	m := NewMatrix(4, 3)
+	c := m.Col(2)
+	c[1] = 5
+	if m.At(1, 2) != 5 {
+		t.Fatal("Col does not alias matrix storage")
+	}
+}
+
+func TestMatrixAddAt(t *testing.T) {
+	m := NewMatrix(2, 2)
+	m.AddAt(1, 0, 2)
+	m.AddAt(1, 0, 3)
+	if m.At(1, 0) != 5 {
+		t.Fatalf("AddAt accumulated %v, want 5", m.At(1, 0))
+	}
+}
+
+func TestMatrixRowBlock(t *testing.T) {
+	m := RandomMatrix(7, 6, 3)
+	b := m.RowBlock(2, 5)
+	if b.Rows() != 3 || b.Cols() != 3 {
+		t.Fatalf("RowBlock shape %dx%d", b.Rows(), b.Cols())
+	}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			if b.At(i, j) != m.At(2+i, j) {
+				t.Fatalf("RowBlock mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestMatrixBlockAndSetBlock(t *testing.T) {
+	m := RandomMatrix(11, 5, 6)
+	b := m.Block(1, 4, 2, 5)
+	if b.Rows() != 3 || b.Cols() != 3 {
+		t.Fatalf("Block shape %dx%d", b.Rows(), b.Cols())
+	}
+	n := NewMatrix(5, 6)
+	n.SetBlock(1, 2, b)
+	for i := 1; i < 4; i++ {
+		for j := 2; j < 5; j++ {
+			if n.At(i, j) != m.At(i, j) {
+				t.Fatalf("SetBlock mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+	if n.At(0, 0) != 0 {
+		t.Fatal("SetBlock wrote outside target region")
+	}
+}
+
+func TestMatrixHadamard(t *testing.T) {
+	a := RandomMatrix(1, 3, 4)
+	b := RandomMatrix(2, 3, 4)
+	h := Hadamard(a, b)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 4; j++ {
+			want := a.At(i, j) * b.At(i, j)
+			if math.Abs(h.At(i, j)-want) > 1e-15 {
+				t.Fatalf("Hadamard mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestMatrixHadamardMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Hadamard(NewMatrix(2, 2), NewMatrix(2, 3))
+}
+
+func TestMatrixAdd(t *testing.T) {
+	a := RandomMatrix(5, 3, 2)
+	b := RandomMatrix(6, 3, 2)
+	c := a.Clone()
+	c.Add(-1, b)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 2; j++ {
+			want := a.At(i, j) - b.At(i, j)
+			if math.Abs(c.At(i, j)-want) > 1e-15 {
+				t.Fatalf("Add mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestMatrixNorm(t *testing.T) {
+	m := NewMatrix(2, 2)
+	m.Fill(2)
+	if got := m.Norm(); math.Abs(got-4) > 1e-12 {
+		t.Fatalf("Norm = %v, want 4", got)
+	}
+}
+
+func TestMatrixBoundsPanics(t *testing.T) {
+	m := NewMatrix(2, 2)
+	for _, f := range []func(){
+		func() { m.At(2, 0) },
+		func() { m.At(0, -1) },
+		func() { m.Set(-1, 0, 1) },
+		func() { m.Col(2) },
+		func() { m.RowBlock(1, 1) },
+		func() { m.Block(0, 3, 0, 1) },
+		func() { m.SetBlock(1, 1, NewMatrix(2, 2)) },
+		func() { NewMatrix(0, 3) },
+		func() { NewMatrixFromData(make([]float64, 3), 2, 2) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestMatrixEqualApprox(t *testing.T) {
+	a := RandomMatrix(9, 4, 4)
+	b := a.Clone()
+	b.AddAt(3, 3, 1e-9)
+	if !a.EqualApprox(b, 1e-8) {
+		t.Fatal("should be equal within 1e-8")
+	}
+	if a.EqualApprox(b, 1e-10) {
+		t.Fatal("should differ at 1e-10")
+	}
+	if a.EqualApprox(NewMatrix(4, 5), 1) {
+		t.Fatal("different shapes should not be equal")
+	}
+}

@@ -1,0 +1,78 @@
+package tensor
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// RandomDense returns a tensor with elements drawn uniformly from
+// [-1, 1) using the deterministic source seeded by seed.
+func RandomDense(seed int64, dims ...int) *Dense {
+	rng := rand.New(rand.NewSource(seed))
+	t := NewDense(dims...)
+	for i := range t.data {
+		t.data[i] = 2*rng.Float64() - 1
+	}
+	return t
+}
+
+// RandomMatrix returns a rows x cols matrix with elements drawn
+// uniformly from [-1, 1).
+func RandomMatrix(seed int64, rows, cols int) *Matrix {
+	rng := rand.New(rand.NewSource(seed))
+	m := NewMatrix(rows, cols)
+	for i := range m.data {
+		m.data[i] = 2*rng.Float64() - 1
+	}
+	return m
+}
+
+// RandomFactors returns N random factor matrices of shapes dims[k] x R,
+// seeded deterministically per mode.
+func RandomFactors(seed int64, dims []int, R int) []*Matrix {
+	fs := make([]*Matrix, len(dims))
+	for k, d := range dims {
+		fs[k] = RandomMatrix(seed+int64(k)*7919, d, R)
+	}
+	return fs
+}
+
+// FromFactors materializes the rank-R tensor
+// X(i) = sum_r prod_k A(k)(i_k, r) defined by the factor matrices.
+func FromFactors(factors []*Matrix) *Dense {
+	N := len(factors)
+	if N == 0 {
+		panic("tensor: FromFactors needs at least one factor")
+	}
+	R := factors[0].cols
+	dims := make([]int, N)
+	for k, f := range factors {
+		if f.cols != R {
+			panic(fmt.Sprintf("tensor: factor %d has %d columns, want %d", k, f.cols, R))
+		}
+		dims[k] = f.rows
+	}
+	t := NewDense(dims...)
+	idx := make([]int, N)
+	for off := range t.data {
+		var s float64
+		for r := 0; r < R; r++ {
+			p := 1.0
+			for k, f := range factors {
+				p *= f.data[idx[k]+r*f.rows]
+			}
+			s += p
+		}
+		t.data[off] = s
+		incIndex(idx, dims)
+	}
+	return t
+}
+
+// AddNoise perturbs t in place with uniform noise of half-width eps.
+func AddNoise(t *Dense, seed int64, eps float64) {
+	rng := rand.New(rand.NewSource(seed))
+	for i := range t.data {
+		t.data[i] += eps * (2*rng.Float64() - 1)
+	}
+}

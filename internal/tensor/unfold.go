@@ -1,0 +1,68 @@
+package tensor
+
+import "fmt"
+
+// Unfold returns the mode-n matricization X_(n) of size I_n x (I / I_n).
+//
+// Column j of X_(n) corresponds to the multi-index (i_1, ..., i_N) with
+// i_n removed, flattened with the *smallest remaining mode varying
+// fastest* (the Kolda-Bader convention), so that
+//
+//	X_(n) = B(n) * (A(N) krp ... krp A(n+1) krp A(n-1) krp ... krp A(1))^T
+//
+// holds for an exact CP representation.
+func Unfold(t *Dense, n int) *Matrix {
+	N := t.Order()
+	if n < 0 || n >= N {
+		panic(fmt.Sprintf("tensor: unfold mode %d out of range for order %d", n, N))
+	}
+	rows := t.dims[n]
+	cols := t.Elems() / rows
+	out := NewMatrix(rows, cols)
+	dims := t.dims
+	idx := make([]int, N)
+	for off, v := range t.data {
+		// Column index: flatten all modes except n, smallest mode fastest.
+		col := 0
+		mult := 1
+		for k := 0; k < N; k++ {
+			if k == n {
+				continue
+			}
+			col += idx[k] * mult
+			mult *= dims[k]
+		}
+		out.data[idx[n]+col*rows] = v
+		_ = off
+		incIndex(idx, dims)
+	}
+	return out
+}
+
+// Fold is the inverse of Unfold: it reassembles a tensor of shape dims
+// from its mode-n matricization.
+func Fold(m *Matrix, n int, dims []int) *Dense {
+	N := len(dims)
+	if n < 0 || n >= N {
+		panic(fmt.Sprintf("tensor: fold mode %d out of range for order %d", n, N))
+	}
+	t := NewDense(dims...)
+	if m.rows != dims[n] || m.cols != t.Elems()/dims[n] {
+		panic(fmt.Sprintf("tensor: fold shape %dx%d does not match dims %v mode %d", m.rows, m.cols, dims, n))
+	}
+	idx := make([]int, N)
+	for off := range t.data {
+		col := 0
+		mult := 1
+		for k := 0; k < N; k++ {
+			if k == n {
+				continue
+			}
+			col += idx[k] * mult
+			mult *= dims[k]
+		}
+		t.data[off] = m.data[idx[n]+col*m.rows]
+		incIndex(idx, dims)
+	}
+	return t
+}

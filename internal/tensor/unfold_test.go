@@ -1,0 +1,124 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestUnfoldShapes(t *testing.T) {
+	x := RandomDense(3, 2, 3, 4)
+	for n := 0; n < 3; n++ {
+		m := Unfold(x, n)
+		if m.Rows() != x.Dim(n) || m.Cols() != x.Elems()/x.Dim(n) {
+			t.Fatalf("mode %d unfold shape %dx%d", n, m.Rows(), m.Cols())
+		}
+	}
+}
+
+// Hand-checked 2x2x2 example of the Kolda-Bader unfolding convention.
+func TestUnfoldMode0Hand(t *testing.T) {
+	x := NewDense(2, 2, 2)
+	// Fill with linear offsets so layout is visible.
+	for i := range x.Data() {
+		x.Data()[i] = float64(i)
+	}
+	m := Unfold(x, 0)
+	// Columns of X_(0) are indexed by (i2, i3) with i2 fastest:
+	// col 0 = (0,0): elements offsets 0,1; col 1 = (1,0): offsets 2,3;
+	// col 2 = (0,1): offsets 4,5; col 3 = (1,1): offsets 6,7.
+	want := [][]float64{{0, 2, 4, 6}, {1, 3, 5, 7}}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 4; j++ {
+			if m.At(i, j) != want[i][j] {
+				t.Fatalf("X_(0)(%d,%d) = %v, want %v", i, j, m.At(i, j), want[i][j])
+			}
+		}
+	}
+}
+
+func TestUnfoldMode1Hand(t *testing.T) {
+	x := NewDense(2, 2, 2)
+	for i := range x.Data() {
+		x.Data()[i] = float64(i)
+	}
+	m := Unfold(x, 1)
+	// Columns indexed by (i1, i3), i1 fastest:
+	// col 0 = (0,0): offsets 0 (i2=0), 2 (i2=1)... X(i1=0,i2,i3=0).
+	want := [][]float64{{0, 1, 4, 5}, {2, 3, 6, 7}}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 4; j++ {
+			if m.At(i, j) != want[i][j] {
+				t.Fatalf("X_(1)(%d,%d) = %v, want %v", i, j, m.At(i, j), want[i][j])
+			}
+		}
+	}
+}
+
+func TestFoldInvertsUnfold(t *testing.T) {
+	dimsets := [][]int{{2, 3}, {3, 2, 4}, {2, 2, 2, 3}, {5, 1, 3}}
+	for _, dims := range dimsets {
+		x := RandomDense(int64(len(dims)), dims...)
+		for n := range dims {
+			y := Fold(Unfold(x, n), n, dims)
+			if !x.EqualApprox(y, 0) {
+				t.Fatalf("Fold(Unfold) != identity for dims %v mode %d", dims, n)
+			}
+		}
+	}
+}
+
+// Property: every element appears exactly once in the unfolding.
+func TestUnfoldPreservesElementsQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nd := 2 + rng.Intn(3)
+		dims := make([]int, nd)
+		for i := range dims {
+			dims[i] = 1 + rng.Intn(4)
+		}
+		x := RandomDense(seed, dims...)
+		n := rng.Intn(nd)
+		m := Unfold(x, n)
+		// Compare multisets via sums of powers (cheap fingerprint).
+		var s1, s2, q1, q2 float64
+		for _, v := range x.Data() {
+			s1 += v
+			q1 += v * v
+		}
+		for _, v := range m.Data() {
+			s2 += v
+			q2 += v * v
+		}
+		return abs(s1-s2) < 1e-9 && abs(q1-q2) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func TestUnfoldFoldPanics(t *testing.T) {
+	x := NewDense(2, 2)
+	for _, f := range []func(){
+		func() { Unfold(x, 2) },
+		func() { Unfold(x, -1) },
+		func() { Fold(NewMatrix(2, 2), 2, []int{2, 2}) },
+		func() { Fold(NewMatrix(3, 2), 0, []int{2, 2}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,268 @@
+// Package trace generates memory-address traces for MTTKRP loop
+// orderings. Together with package cachesim it provides a second,
+// independent measurement path for the sequential I/O model: instead
+// of an algorithm explicitly managing fast memory (package seq), the
+// trace of a loop ordering is replayed through an LRU-managed fast
+// memory and the resulting misses/write-backs are compared against the
+// same lower bounds. The blocked ordering of Algorithm 2 should remain
+// near-optimal even under LRU replacement — caches reward locality,
+// not explicit orchestration — while orderings with poor locality pay.
+//
+// Address space layout (word-granularity, one float64 per address):
+//
+//	[0, I)                     tensor X, column-major
+//	[I, I + I_k*R) per mode    factor matrices A(k), column-major
+//	last segment               output B(n)
+package trace
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Access is one word-granularity memory access.
+type Access struct {
+	Addr  uint64
+	Write bool
+}
+
+// Layout maps MTTKRP operands to disjoint address ranges.
+type Layout struct {
+	Dims []int
+	R    int
+	N    int
+
+	xBase uint64
+	aBase []uint64 // per mode
+	bBase uint64
+	total uint64
+}
+
+// NewLayout builds the address layout for an MTTKRP of the given shape
+// computing mode n (the output segment sized I_n x R).
+func NewLayout(dims []int, R, n int) *Layout {
+	if len(dims) < 2 {
+		panic(fmt.Sprintf("trace: need N >= 2, got %v", dims))
+	}
+	if R < 1 {
+		panic(fmt.Sprintf("trace: rank %d", R))
+	}
+	if n < 0 || n >= len(dims) {
+		panic(fmt.Sprintf("trace: mode %d out of range", n))
+	}
+	l := &Layout{Dims: append([]int(nil), dims...), R: R, N: len(dims)}
+	var at uint64
+	l.xBase = at
+	I := uint64(1)
+	for _, d := range dims {
+		I *= uint64(d)
+	}
+	at += I
+	l.aBase = make([]uint64, len(dims))
+	for k, d := range dims {
+		l.aBase[k] = at
+		at += uint64(d) * uint64(R)
+	}
+	// B(n) gets its own segment after all inputs.
+	l.bBase = at
+	at += uint64(dims[n]) * uint64(R)
+	l.total = at
+	return l
+}
+
+// Words returns the total distinct addresses (problem footprint).
+func (l *Layout) Words() uint64 { return l.total }
+
+// XAddr returns the address of X(idx...).
+func (l *Layout) XAddr(idx []int) uint64 {
+	off := uint64(0)
+	mult := uint64(1)
+	for k, d := range l.Dims {
+		off += uint64(idx[k]) * mult
+		mult *= uint64(d)
+	}
+	return l.xBase + off
+}
+
+// AAddr returns the address of A(k)(i, r).
+func (l *Layout) AAddr(k, i, r int) uint64 {
+	return l.aBase[k] + uint64(i) + uint64(r)*uint64(l.Dims[k])
+}
+
+// BAddr returns the address of B(n)(i, r) (n fixed at layout build).
+func (l *Layout) BAddr(nDim, i, r int) uint64 {
+	return l.bBase + uint64(i) + uint64(r)*uint64(l.Dims[nDim])
+}
+
+// iteration emits the accesses of one (i, r) loop iteration: read the
+// tensor entry and the N-1 factor entries, then read-modify-write the
+// output entry. This is the access pattern of one atomic N-ary
+// multiply-accumulate, shared by all orderings.
+func (l *Layout) iteration(n int, idx []int, r int, emit func(Access)) {
+	emit(Access{Addr: l.XAddr(idx)})
+	for k := range l.Dims {
+		if k == n {
+			continue
+		}
+		emit(Access{Addr: l.AAddr(k, idx[k], r)})
+	}
+	b := l.BAddr(n, idx[n], r)
+	emit(Access{Addr: b})
+	emit(Access{Addr: b, Write: true})
+}
+
+// Unblocked emits the Algorithm 1 ordering: column-major over the
+// tensor, innermost loop over r.
+func Unblocked(l *Layout, n int, emit func(Access)) {
+	idx := make([]int, l.N)
+	I := 1
+	for _, d := range l.Dims {
+		I *= d
+	}
+	for c := 0; c < I; c++ {
+		for r := 0; r < l.R; r++ {
+			l.iteration(n, idx, r, emit)
+		}
+		inc(idx, l.Dims)
+	}
+}
+
+// Blocked emits the Algorithm 2 ordering with block size b: blocks in
+// column-major order; within a block, r outermost, then column-major
+// over the block.
+func Blocked(l *Layout, n, b int, emit func(Access)) {
+	if b < 1 {
+		panic(fmt.Sprintf("trace: block size %d", b))
+	}
+	nblk := make([]int, l.N)
+	for k, d := range l.Dims {
+		nblk[k] = (d + b - 1) / b
+	}
+	blk := make([]int, l.N)
+	lo := make([]int, l.N)
+	hi := make([]int, l.N)
+	idx := make([]int, l.N)
+	for {
+		for k := 0; k < l.N; k++ {
+			lo[k] = blk[k] * b
+			hi[k] = min(lo[k]+b, l.Dims[k])
+		}
+		for r := 0; r < l.R; r++ {
+			copy(idx, lo)
+			for {
+				l.iteration(n, idx, r, emit)
+				done := true
+				for k := 0; k < l.N; k++ {
+					idx[k]++
+					if idx[k] < hi[k] {
+						done = false
+						break
+					}
+					idx[k] = lo[k]
+				}
+				if done {
+					break
+				}
+			}
+		}
+		done := true
+		for k := 0; k < l.N; k++ {
+			blk[k]++
+			if blk[k] < nblk[k] {
+				done = false
+				break
+			}
+			blk[k] = 0
+		}
+		if done {
+			return
+		}
+	}
+}
+
+// Morton emits the iterations in Z-curve (Morton) order over the
+// (i_1, ..., i_N, r) iteration space: bits of the coordinates are
+// interleaved, so the traversal is recursively blocked at every scale
+// at once — a cache-oblivious ordering that needs no tuned block size.
+// Under LRU it should track the best explicitly-blocked ordering
+// across all fast-memory sizes simultaneously.
+func Morton(l *Layout, n int, emit func(Access)) {
+	dims := append(append([]int(nil), l.Dims...), l.R)
+	// Bits needed per coordinate.
+	nb := make([]int, len(dims))
+	maxBits := 0
+	for k, d := range dims {
+		for 1<<nb[k] < d {
+			nb[k]++
+		}
+		if nb[k] > maxBits {
+			maxBits = nb[k]
+		}
+	}
+	total := uint64(1) << uint(maxBits*len(dims))
+	idx := make([]int, l.N)
+	for code := uint64(0); code < total; code++ {
+		// De-interleave: bit b of coordinate k sits at position
+		// b*len(dims)+k of the code.
+		ok := true
+		r := 0
+		for k := range dims {
+			v := 0
+			for b := 0; b < maxBits; b++ {
+				if code&(1<<uint(b*len(dims)+k)) != 0 {
+					v |= 1 << uint(b)
+				}
+			}
+			if v >= dims[k] {
+				ok = false
+				break
+			}
+			if k < l.N {
+				idx[k] = v
+			} else {
+				r = v
+			}
+		}
+		if ok {
+			l.iteration(n, idx, r, emit)
+		}
+	}
+}
+
+// Random emits the iterations in a uniformly random order — the
+// worst-case locality baseline. Deterministic for a given seed.
+func Random(l *Layout, n int, seed int64, emit func(Access)) {
+	I := 1
+	for _, d := range l.Dims {
+		I *= d
+	}
+	total := I * l.R
+	perm := rand.New(rand.NewSource(seed)).Perm(total)
+	idx := make([]int, l.N)
+	for _, p := range perm {
+		c := p / l.R
+		r := p % l.R
+		for k, d := range l.Dims {
+			idx[k] = c % d
+			c /= d
+		}
+		l.iteration(n, idx, r, emit)
+	}
+}
+
+// Collect materializes a trace into a slice.
+func Collect(gen func(emit func(Access))) []Access {
+	var out []Access
+	gen(func(a Access) { out = append(out, a) })
+	return out
+}
+
+func inc(idx, dims []int) {
+	for k := range idx {
+		idx[k]++
+		if idx[k] < dims[k] {
+			return
+		}
+		idx[k] = 0
+	}
+}

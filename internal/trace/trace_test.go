@@ -1,0 +1,139 @@
+package trace
+
+import (
+	"testing"
+)
+
+func TestLayoutDisjointSegments(t *testing.T) {
+	l := NewLayout([]int{3, 4, 5}, 2, 1)
+	seen := make(map[uint64]string)
+	record := func(addr uint64, what string) {
+		if prev, ok := seen[addr]; ok && prev != what {
+			t.Fatalf("address %d shared by %s and %s", addr, prev, what)
+		}
+		seen[addr] = what
+	}
+	idx := []int{0, 0, 0}
+	for c := 0; c < 60; c++ {
+		record(l.XAddr(idx), "X")
+		inc(idx, l.Dims)
+	}
+	for k, d := range l.Dims {
+		for i := 0; i < d; i++ {
+			for r := 0; r < 2; r++ {
+				record(l.AAddr(k, i, r), "A"+string(rune('0'+k)))
+			}
+		}
+	}
+	for i := 0; i < 4; i++ {
+		for r := 0; r < 2; r++ {
+			record(l.BAddr(1, i, r), "B")
+		}
+	}
+	if uint64(len(seen)) != l.Words() {
+		t.Fatalf("layout covers %d of %d words", len(seen), l.Words())
+	}
+}
+
+func TestTraceLengths(t *testing.T) {
+	dims := []int{3, 4, 2}
+	R := 2
+	l := NewLayout(dims, R, 0)
+	I := 3 * 4 * 2
+	// Each iteration emits 1 (X) + N-1 (A) + 2 (B read+write) accesses.
+	perIter := 1 + 2 + 2
+	want := I * R * perIter
+
+	for name, tr := range map[string][]Access{
+		"unblocked": Collect(func(e func(Access)) { Unblocked(l, 0, e) }),
+		"blocked":   Collect(func(e func(Access)) { Blocked(l, 0, 2, e) }),
+		"random":    Collect(func(e func(Access)) { Random(l, 0, 7, e) }),
+	} {
+		if len(tr) != want {
+			t.Fatalf("%s trace has %d accesses, want %d", name, len(tr), want)
+		}
+	}
+}
+
+// Every ordering must touch the same multiset of addresses (they
+// compute the same thing).
+func TestOrderingsTouchSameAddresses(t *testing.T) {
+	dims := []int{4, 3, 3}
+	R := 3
+	l := NewLayout(dims, R, 2)
+	count := func(tr []Access) map[uint64]int {
+		m := make(map[uint64]int)
+		for _, a := range tr {
+			m[a.Addr]++
+		}
+		return m
+	}
+	u := count(Collect(func(e func(Access)) { Unblocked(l, 2, e) }))
+	b := count(Collect(func(e func(Access)) { Blocked(l, 2, 2, e) }))
+	r := count(Collect(func(e func(Access)) { Random(l, 2, 3, e) }))
+	m := count(Collect(func(e func(Access)) { Morton(l, 2, e) }))
+	if len(u) != len(b) || len(u) != len(r) || len(u) != len(m) {
+		t.Fatalf("distinct address counts differ: %d %d %d %d", len(u), len(b), len(r), len(m))
+	}
+	for addr, c := range u {
+		if b[addr] != c || r[addr] != c || m[addr] != c {
+			t.Fatalf("access multiplicity differs at %d: %d %d %d %d", addr, c, b[addr], r[addr], m[addr])
+		}
+	}
+}
+
+func TestMortonVisitsEveryIterationOnce(t *testing.T) {
+	// Non-power-of-two extents exercise the out-of-range skip.
+	dims := []int{3, 5}
+	R := 3
+	l := NewLayout(dims, R, 0)
+	tr := Collect(func(e func(Access)) { Morton(l, 0, e) })
+	perIter := 1 + 1 + 2 // X + one factor + B read/write
+	if len(tr) != 3*5*R*perIter {
+		t.Fatalf("Morton emitted %d accesses, want %d", len(tr), 3*5*R*perIter)
+	}
+}
+
+func TestWriteOnlyToOutput(t *testing.T) {
+	dims := []int{3, 3}
+	l := NewLayout(dims, 2, 0)
+	bLo := l.BAddr(0, 0, 0)
+	Unblocked(l, 0, func(a Access) {
+		if a.Write && a.Addr < bLo {
+			t.Fatalf("write to non-output address %d", a.Addr)
+		}
+	})
+}
+
+func TestRandomDeterministic(t *testing.T) {
+	dims := []int{3, 3}
+	l := NewLayout(dims, 2, 0)
+	a := Collect(func(e func(Access)) { Random(l, 0, 5, e) })
+	b := Collect(func(e func(Access)) { Random(l, 0, 5, e) })
+	if len(a) != len(b) {
+		t.Fatal("lengths differ")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed should give same trace")
+		}
+	}
+}
+
+func TestPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewLayout([]int{3}, 2, 0) },
+		func() { NewLayout([]int{3, 3}, 0, 0) },
+		func() { NewLayout([]int{3, 3}, 2, 2) },
+		func() { Blocked(NewLayout([]int{3, 3}, 2, 0), 0, 0, func(Access) {}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,105 @@
+// Package ttm implements the tensor-times-matrix product, the kernel
+// of Tucker-decomposition algorithms — the "related computational
+// kernels" to which the paper's conclusion says its lower-bound
+// approach extends. The mode-k TTM
+//
+//	Y = X x_k U^T,   Y(i_1,..,r,..,i_N) = sum_{i_k} X(i) U(i_k, r)
+//
+// replaces dimension I_k by U's column count. Chains of TTMs (one per
+// mode) produce the Tucker core; like MTTKRP, their data movement is
+// governed by how operands are blocked and ordered.
+package ttm
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// TTM returns Y = X x_mode U^T where U is I_mode x R: the mode's
+// extent becomes R.
+func TTM(x *tensor.Dense, u *tensor.Matrix, mode int) *tensor.Dense {
+	N := x.Order()
+	if mode < 0 || mode >= N {
+		panic(fmt.Sprintf("ttm: mode %d out of range for order %d", mode, N))
+	}
+	if u.Rows() != x.Dim(mode) {
+		panic(fmt.Sprintf("ttm: U has %d rows, mode %d has extent %d", u.Rows(), mode, x.Dim(mode)))
+	}
+	R := u.Cols()
+	dims := x.Dims()
+	outDims := append([]int(nil), dims...)
+	outDims[mode] = R
+	out := tensor.NewDense(outDims...)
+
+	// Column-major walk of X; each element scatters into R output
+	// positions along the contracted mode.
+	outStride := strideOf(outDims, mode)
+	idx := make([]int, N)
+	data := x.Data()
+	outData := out.Data()
+	for off := 0; off < len(data); off++ {
+		v := data[off]
+		ik := idx[mode]
+		// Output offset with i_mode = 0.
+		base := 0
+		mult := 1
+		for k, d := range outDims {
+			if k == mode {
+				mult *= d
+				continue
+			}
+			base += idx[k] * mult
+			mult *= d
+		}
+		for r := 0; r < R; r++ {
+			outData[base+r*outStride] += v * u.At(ik, r)
+		}
+		incIndex(idx, dims)
+	}
+	return out
+}
+
+// Chain applies TTMs for every mode except skip (skip = -1 applies
+// all), contracting in ascending mode order. us[k] may be nil when
+// k == skip. The result of a full chain with the Tucker factors'
+// transposes is the core tensor.
+func Chain(x *tensor.Dense, us []*tensor.Matrix, skip int) *tensor.Dense {
+	if len(us) != x.Order() {
+		panic(fmt.Sprintf("ttm: %d matrices for order-%d tensor", len(us), x.Order()))
+	}
+	out := x
+	for k := 0; k < x.Order(); k++ {
+		if k == skip {
+			continue
+		}
+		if us[k] == nil {
+			panic(fmt.Sprintf("ttm: matrix %d is nil", k))
+		}
+		out = TTM(out, us[k], k)
+	}
+	return out
+}
+
+// Flops returns the multiply-add count of one mode-k TTM: 2*I*R.
+func Flops(x *tensor.Dense, R int) int64 {
+	return 2 * int64(x.Elems()) * int64(R)
+}
+
+func strideOf(dims []int, mode int) int {
+	s := 1
+	for k := 0; k < mode; k++ {
+		s *= dims[k]
+	}
+	return s
+}
+
+func incIndex(idx, dims []int) {
+	for k := range idx {
+		idx[k]++
+		if idx[k] < dims[k] {
+			return
+		}
+		idx[k] = 0
+	}
+}

@@ -1,0 +1,120 @@
+package tucker
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func TestParallelMatchesSequentialTrace(t *testing.T) {
+	dims := []int{8, 8, 8}
+	ranks := []int{2, 3, 2}
+	x := tensor.RandomDense(81, dims...)
+	init, err := InitFactors(dims, ranks, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := Options{Ranks: ranks, MaxIters: 6, Tol: 0, Init: init}
+	_, seqTrace, err := Decompose(x, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := DecomposeParallel(x, []int{2, 2, 2}, Options{Ranks: ranks, MaxIters: 6, Tol: 0}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(par.Trace) != len(seqTrace) {
+		t.Fatalf("trace lengths %d vs %d", len(par.Trace), len(seqTrace))
+	}
+	for i := range seqTrace {
+		if math.Abs(par.Trace[i].Fit-seqTrace[i].Fit) > 1e-8 {
+			t.Fatalf("sweep %d: parallel fit %v vs sequential %v",
+				i, par.Trace[i].Fit, seqTrace[i].Fit)
+		}
+	}
+}
+
+func TestParallelRecoversExactMultilinearRank(t *testing.T) {
+	dims := []int{8, 8, 8}
+	ranks := []int{2, 2, 2}
+	x := lowMultilinear(t, dims, ranks, 83)
+	res, err := DecomposeParallel(x, []int{2, 2, 2}, Options{Ranks: ranks, MaxIters: 20}, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Model.Fit < 0.9999 {
+		t.Fatalf("parallel fit %v on exact low-rank data", res.Model.Fit)
+	}
+	rec := res.Model.Reconstruct()
+	if rec.MaxAbsDiff(x) > 1e-5*x.Norm() {
+		t.Fatalf("reconstruction error %v", rec.MaxAbsDiff(x))
+	}
+}
+
+func TestParallelCommBreakdown(t *testing.T) {
+	dims := []int{8, 8, 8}
+	x := tensor.RandomDense(85, dims...)
+	res, err := DecomposeParallel(x, []int{2, 2, 2}, Options{Ranks: []int{2, 2, 2}, MaxIters: 3, Tol: 0}, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxGatherWords() <= 0 || res.MaxReduceWords() <= 0 {
+		t.Fatalf("both phases should communicate: gather=%d reduce=%d",
+			res.MaxGatherWords(), res.MaxReduceWords())
+	}
+}
+
+func TestParallelSingleProc(t *testing.T) {
+	dims := []int{6, 6}
+	x := tensor.RandomDense(87, dims...)
+	res, err := DecomposeParallel(x, []int{1, 1}, Options{Ranks: []int{2, 2}, MaxIters: 4, Tol: 0}, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxGatherWords() != 0 || res.MaxReduceWords() != 0 {
+		t.Fatal("P=1 should not communicate")
+	}
+	init, err := InitFactors(dims, []int{2, 2}, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, seqTrace, err := Decompose(x, Options{Ranks: []int{2, 2}, MaxIters: 4, Tol: 0, Init: init})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range seqTrace {
+		if math.Abs(res.Trace[i].Fit-seqTrace[i].Fit) > 1e-10 {
+			t.Fatalf("P=1 parallel differs from sequential at sweep %d", i)
+		}
+	}
+}
+
+func TestParallelErrors(t *testing.T) {
+	x := tensor.RandomDense(1, 4, 4)
+	if _, err := DecomposeParallel(x, []int{2}, Options{Ranks: []int{2, 2}}, 1); err == nil {
+		t.Fatal("shape length mismatch should error")
+	}
+	if _, err := DecomposeParallel(x, []int{4, 2}, Options{Ranks: []int{2, 2}}, 1); err == nil {
+		t.Fatal("P > min dim should error")
+	}
+	if _, err := DecomposeParallel(x, []int{2, 2}, Options{Ranks: []int{2}}, 1); err == nil {
+		t.Fatal("rank count mismatch should error")
+	}
+	if _, err := DecomposeParallel(x, []int{2, 2}, Options{Ranks: []int{9, 2}}, 1); err == nil {
+		t.Fatal("rank > extent should error")
+	}
+	if _, err := DecomposeParallel(x, []int{2, 2}, Options{Ranks: []int{2, 2}, MaxIters: -1}, 1); err == nil {
+		t.Fatal("negative MaxIters should error")
+	}
+}
+
+func TestSequentialInitOptionErrors(t *testing.T) {
+	x := tensor.RandomDense(1, 4, 4)
+	if _, _, err := Decompose(x, Options{Ranks: []int{2, 2}, Init: []*tensor.Matrix{nil, nil}}); err == nil {
+		t.Fatal("nil init factors should error")
+	}
+	if _, _, err := Decompose(x, Options{Ranks: []int{2, 2}, Init: []*tensor.Matrix{tensor.NewMatrix(4, 2)}}); err == nil {
+		t.Fatal("init length mismatch should error")
+	}
+}

@@ -1,0 +1,171 @@
+// Package tucker computes Tucker decompositions by HOSVD and HOOI
+// (higher-order orthogonal iteration) on the TTM substrate — the
+// second decomposition family the paper names (Section I) and the one
+// its conclusion extends the lower-bound machinery toward. A Tucker
+// model is a small core G and per-mode orthonormal factors U_k with
+//
+//	X ~ G x_1 U_1 x_2 U_2 ... x_N U_N.
+package tucker
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/linalg"
+	"repro/internal/tensor"
+	"repro/internal/ttm"
+)
+
+// Options configures a Tucker decomposition.
+type Options struct {
+	Ranks    []int   // multilinear ranks, one per mode
+	MaxIters int     // HOOI sweeps (default 25; 0 sweeps = plain HOSVD)
+	Tol      float64 // stop when fit improves by less than Tol (default 1e-8)
+
+	// Init provides explicit initial factors (orthonormal columns,
+	// I_k x Ranks[k]) instead of the HOSVD initialization. Used by the
+	// distributed solver and its parity tests.
+	Init []*tensor.Matrix
+}
+
+// Model is a computed Tucker decomposition.
+type Model struct {
+	Core    *tensor.Dense    // R_1 x ... x R_N
+	Factors []*tensor.Matrix // U_k: I_k x R_k, orthonormal columns
+	Fit     float64          // 1 - ||X - Xhat|| / ||X||
+}
+
+// TraceEntry records one HOOI sweep.
+type TraceEntry struct {
+	Iter int
+	Fit  float64
+}
+
+// Reconstruct materializes X-hat = G x_1 U_1 ... x_N U_N.
+func (m *Model) Reconstruct() *tensor.Dense {
+	out := m.Core
+	for k, u := range m.Factors {
+		// ttm.TTM contracts mode k against its matrix argument's rows;
+		// expanding R_k back to I_k therefore takes U^T (R_k x I_k).
+		out = ttm.TTM(out, linalg.Transpose(u), k)
+	}
+	return out
+}
+
+// Decompose runs HOSVD initialization followed by HOOI sweeps.
+func Decompose(x *tensor.Dense, opts Options) (*Model, []TraceEntry, error) {
+	N := x.Order()
+	if len(opts.Ranks) != N {
+		return nil, nil, fmt.Errorf("tucker: %d ranks for order-%d tensor", len(opts.Ranks), N)
+	}
+	for k, r := range opts.Ranks {
+		if r < 1 || r > x.Dim(k) {
+			return nil, nil, fmt.Errorf("tucker: rank %d invalid for mode %d (extent %d)", r, k, x.Dim(k))
+		}
+	}
+	if opts.MaxIters < 0 {
+		return nil, nil, fmt.Errorf("tucker: MaxIters %d", opts.MaxIters)
+	}
+	if opts.MaxIters == 0 {
+		opts.MaxIters = 25
+	}
+	if opts.Tol == 0 {
+		opts.Tol = 1e-8
+	}
+	normX := x.Norm()
+	if normX == 0 {
+		return nil, nil, fmt.Errorf("tucker: zero tensor")
+	}
+
+	// Initialize: explicit factors if given, else HOSVD
+	// (U_k = leading eigenvectors of X_(k) X_(k)^T).
+	factors := make([]*tensor.Matrix, N)
+	if opts.Init != nil {
+		if len(opts.Init) != N {
+			return nil, nil, fmt.Errorf("tucker: %d init factors for order-%d tensor", len(opts.Init), N)
+		}
+		for k, u := range opts.Init {
+			if u == nil || u.Rows() != x.Dim(k) || u.Cols() != opts.Ranks[k] {
+				return nil, nil, fmt.Errorf("tucker: init factor %d has wrong shape", k)
+			}
+			factors[k] = u.Clone()
+		}
+	} else {
+		for k := 0; k < N; k++ {
+			xk := tensor.Unfold(x, k)
+			gram := linalg.MatMulTransB(xk, xk)
+			u, err := linalg.LeadingEigvecs(gram, opts.Ranks[k])
+			if err != nil {
+				return nil, nil, fmt.Errorf("tucker: HOSVD mode %d: %w", k, err)
+			}
+			factors[k] = u
+		}
+	}
+
+	// HOOI sweeps.
+	var trace []TraceEntry
+	prevFit := math.Inf(-1)
+	fit := 0.0
+	for it := 0; it < opts.MaxIters; it++ {
+		for k := 0; k < N; k++ {
+			// Project all modes but k, then take leading eigenvectors
+			// of the partial projection's mode-k Gram.
+			y := ttm.Chain(x, factors, k)
+			yk := tensor.Unfold(y, k)
+			gram := linalg.MatMulTransB(yk, yk)
+			u, err := linalg.LeadingEigvecs(gram, opts.Ranks[k])
+			if err != nil {
+				return nil, nil, fmt.Errorf("tucker: HOOI mode %d: %w", k, err)
+			}
+			factors[k] = u
+		}
+		// With orthonormal factors, ||Xhat|| = ||G||, so the fit comes
+		// from the core alone.
+		core := ttm.Chain(x, factors, -1)
+		fit = fitFromCore(normX, core)
+		trace = append(trace, TraceEntry{Iter: it, Fit: fit})
+		if fit-prevFit < opts.Tol && it > 0 {
+			break
+		}
+		prevFit = fit
+	}
+	core := ttm.Chain(x, factors, -1)
+	return &Model{Core: core, Factors: factors, Fit: fitFromCore(normX, core)}, trace, nil
+}
+
+// HOSVD returns the truncated HOSVD model without HOOI refinement.
+func HOSVD(x *tensor.Dense, ranks []int) (*Model, error) {
+	N := x.Order()
+	if len(ranks) != N {
+		return nil, fmt.Errorf("tucker: %d ranks for order-%d tensor", len(ranks), N)
+	}
+	normX := x.Norm()
+	if normX == 0 {
+		return nil, fmt.Errorf("tucker: zero tensor")
+	}
+	factors := make([]*tensor.Matrix, N)
+	for k := 0; k < N; k++ {
+		if ranks[k] < 1 || ranks[k] > x.Dim(k) {
+			return nil, fmt.Errorf("tucker: rank %d invalid for mode %d", ranks[k], k)
+		}
+		xk := tensor.Unfold(x, k)
+		gram := linalg.MatMulTransB(xk, xk)
+		u, err := linalg.LeadingEigvecs(gram, ranks[k])
+		if err != nil {
+			return nil, err
+		}
+		factors[k] = u
+	}
+	core := ttm.Chain(x, factors, -1)
+	return &Model{Core: core, Factors: factors, Fit: fitFromCore(normX, core)}, nil
+}
+
+// fitFromCore uses ||X - Xhat||^2 = ||X||^2 - ||G||^2, valid for
+// orthonormal factor matrices.
+func fitFromCore(normX float64, core *tensor.Dense) float64 {
+	resid2 := normX*normX - core.Norm()*core.Norm()
+	if resid2 < 0 {
+		resid2 = 0
+	}
+	return 1 - math.Sqrt(resid2)/normX
+}

@@ -1,0 +1,157 @@
+package tucker
+
+import (
+	"testing"
+
+	"repro/internal/linalg"
+	"repro/internal/tensor"
+	"repro/internal/ttm"
+)
+
+// lowMultilinear builds a tensor of exact multilinear rank `ranks`
+// from a random core and random orthonormal factors.
+func lowMultilinear(t *testing.T, dims, ranks []int, seed int64) *tensor.Dense {
+	t.Helper()
+	core := tensor.RandomDense(seed, ranks...)
+	out := core
+	for k := range dims {
+		raw := tensor.RandomMatrix(seed+int64(k)+1, dims[k], ranks[k])
+		q, _, err := linalg.QR(raw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = ttm.TTM(out, linalg.Transpose(q), k)
+	}
+	return out
+}
+
+func TestHOOIRecoversExactMultilinearRank(t *testing.T) {
+	dims := []int{6, 7, 5}
+	ranks := []int{2, 3, 2}
+	x := lowMultilinear(t, dims, ranks, 11)
+	model, trace, err := Decompose(x, Options{Ranks: ranks})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if model.Fit < 0.99999 {
+		t.Fatalf("fit = %v on exact low-rank data", model.Fit)
+	}
+	if len(trace) == 0 {
+		t.Fatal("empty trace")
+	}
+	rec := model.Reconstruct()
+	if rec.MaxAbsDiff(x) > 1e-6*x.Norm() {
+		t.Fatalf("reconstruction error %v", rec.MaxAbsDiff(x))
+	}
+}
+
+func TestHOOIFitMonotone(t *testing.T) {
+	x := tensor.RandomDense(13, 6, 6, 6)
+	_, trace, err := Decompose(x, Options{Ranks: []int{3, 3, 3}, MaxIters: 15, Tol: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(trace); i++ {
+		if trace[i].Fit < trace[i-1].Fit-1e-9 {
+			t.Fatalf("fit decreased at sweep %d", i)
+		}
+	}
+}
+
+func TestHOOIAtLeastHOSVD(t *testing.T) {
+	x := tensor.RandomDense(17, 7, 6, 5)
+	ranks := []int{3, 2, 2}
+	hosvd, err := HOSVD(x, ranks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hooi, _, err := Decompose(x, Options{Ranks: ranks, MaxIters: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hooi.Fit < hosvd.Fit-1e-9 {
+		t.Fatalf("HOOI fit %v below HOSVD fit %v", hooi.Fit, hosvd.Fit)
+	}
+}
+
+func TestFactorsOrthonormal(t *testing.T) {
+	x := tensor.RandomDense(19, 5, 5, 5)
+	model, _, err := Decompose(x, Options{Ranks: []int{2, 2, 2}, MaxIters: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, u := range model.Factors {
+		if !linalg.Gram(u).EqualApprox(linalg.Identity(2), 1e-8) {
+			t.Fatalf("factor %d not orthonormal", k)
+		}
+	}
+	// Core shape.
+	cd := model.Core.Dims()
+	if cd[0] != 2 || cd[1] != 2 || cd[2] != 2 {
+		t.Fatalf("core dims %v", cd)
+	}
+}
+
+func TestFullRanksGiveExactFit(t *testing.T) {
+	x := tensor.RandomDense(23, 4, 3, 4)
+	model, err := HOSVD(x, []int{4, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if model.Fit < 1-1e-9 {
+		t.Fatalf("full-rank Tucker fit = %v, want ~1", model.Fit)
+	}
+	rec := model.Reconstruct()
+	if !rec.EqualApprox(x, 1e-7) {
+		t.Fatal("full-rank reconstruction differs")
+	}
+}
+
+func TestMatrixCaseIsTruncatedSVD(t *testing.T) {
+	// N=2 Tucker with ranks (r, r) is a rank-r SVD approximation; the
+	// fit from the core must match the optimal rank-r spectral sum.
+	x := tensor.RandomDense(29, 8, 6)
+	model, err := HOSVD(x, []int{2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Optimal rank-2 energy: top-2 eigenvalues of X X^T.
+	xk := tensor.Unfold(x, 0)
+	vals, _, err := linalg.SymEig(linalg.MatMulTransB(xk, xk))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bestEnergy := vals[0] + vals[1]
+	coreEnergy := model.Core.Norm() * model.Core.Norm()
+	if coreEnergy > bestEnergy+1e-8 {
+		t.Fatalf("core energy %v exceeds spectral optimum %v", coreEnergy, bestEnergy)
+	}
+	if coreEnergy < 0.98*bestEnergy {
+		t.Fatalf("core energy %v far below spectral optimum %v", coreEnergy, bestEnergy)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	x := tensor.RandomDense(1, 4, 4)
+	if _, _, err := Decompose(x, Options{Ranks: []int{2}}); err == nil {
+		t.Fatal("rank count mismatch should error")
+	}
+	if _, _, err := Decompose(x, Options{Ranks: []int{5, 2}}); err == nil {
+		t.Fatal("rank > extent should error")
+	}
+	if _, _, err := Decompose(x, Options{Ranks: []int{2, 2}, MaxIters: -1}); err == nil {
+		t.Fatal("negative MaxIters should error")
+	}
+	if _, _, err := Decompose(tensor.NewDense(3, 3), Options{Ranks: []int{1, 1}}); err == nil {
+		t.Fatal("zero tensor should error")
+	}
+	if _, err := HOSVD(x, []int{9, 9}); err == nil {
+		t.Fatal("HOSVD bad ranks should error")
+	}
+	if _, err := HOSVD(x, []int{2}); err == nil {
+		t.Fatal("HOSVD rank count mismatch should error")
+	}
+	if _, err := HOSVD(tensor.NewDense(2, 2), []int{1, 1}); err == nil {
+		t.Fatal("HOSVD zero tensor should error")
+	}
+}
