@@ -16,6 +16,7 @@ import (
 	"repro/internal/cpals"
 	"repro/internal/dimtree"
 	"repro/internal/hbl"
+	"repro/internal/kernel"
 	"repro/internal/lp"
 	"repro/internal/memsim"
 	"repro/internal/par"
@@ -59,6 +60,93 @@ func BenchmarkMTTKRPKernelWorkers(b *testing.B) {
 				seq.RefParallel(x, fs, 0, w)
 			}
 		})
+	}
+}
+
+// BenchmarkMTTKRPKernelEngines is the head-to-head of the three
+// shared-memory kernels — atomic reference, its multicore split, and
+// the KRP-splitting engine — across tensor orders 3-5 at roughly equal
+// element counts.
+func BenchmarkMTTKRPKernelEngines(b *testing.B) {
+	shapes := map[int][]int{
+		3: {32, 32, 32},
+		4: {16, 16, 16, 16},
+		5: {10, 10, 10, 10, 10},
+	}
+	const R = 16
+	for order := 3; order <= 5; order++ {
+		dims := shapes[order]
+		x := tensor.RandomDense(42, dims...)
+		fs := tensor.RandomFactors(43, dims, R)
+		n := order / 2 // interior mode: the hardest case for the engine
+		b.Run(sizeName("order", int64(order))+"/ref", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				seq.Ref(x, fs, n)
+			}
+		})
+		b.Run(sizeName("order", int64(order))+"/refparallel", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				seq.RefParallel(x, fs, n, 0)
+			}
+		})
+		b.Run(sizeName("order", int64(order))+"/fast", func(b *testing.B) {
+			ws := kernel.NewWorkspace(dims, R, n)
+			out := tensor.NewMatrix(dims[n], R)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				kernel.FastInto(out, x, fs, n, 0, ws)
+			}
+		})
+	}
+}
+
+// BenchmarkMTTKRPKernel128 is the acceptance benchmark: the engine on
+// a 128^3, R=16 problem with a reused workspace must beat seq.Ref by
+// >= 3x and allocate nothing in steady state (run with -benchmem).
+func BenchmarkMTTKRPKernel128(b *testing.B) {
+	dims := []int{128, 128, 128}
+	const R, n = 16, 1
+	x := tensor.RandomDense(42, dims...)
+	fs := tensor.RandomFactors(43, dims, R)
+	b.Run("ref", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			seq.Ref(x, fs, n)
+		}
+	})
+	b.Run("fast", func(b *testing.B) {
+		ws := kernel.NewWorkspace(dims, R, n)
+		out := tensor.NewMatrix(dims[n], R)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			kernel.FastInto(out, x, fs, n, 0, ws)
+		}
+	})
+}
+
+// BenchmarkCPALSInnerMTTKRP measures the steady-state CP-ALS inner
+// iteration as Decompose runs it: an all-modes FastInto sweep with a
+// reused workspace and preallocated outputs. With -benchmem this
+// demonstrates the engine's zero-allocation contract.
+func BenchmarkCPALSInnerMTTKRP(b *testing.B) {
+	dims := []int{48, 48, 48}
+	const R = 8
+	x := tensor.RandomDense(42, dims...)
+	fs := tensor.RandomFactors(43, dims, R)
+	ws := kernel.NewWorkspace(dims, R, 1)
+	bs := make([]*tensor.Matrix, len(dims))
+	for n := range bs {
+		bs[n] = tensor.NewMatrix(dims[n], R)
+	}
+	for n := range bs { // warm the workspace to steady state
+		kernel.FastInto(bs[n], x, fs, n, 0, ws)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for n := range bs {
+			kernel.FastInto(bs[n], x, fs, n, 0, ws)
+		}
 	}
 }
 

@@ -1,0 +1,24 @@
+#!/bin/sh
+# CI gate: vet everything, run the full test suite, then re-run the
+# engine-adjacent packages (kernel, seq, par) under the race detector —
+# those are the packages with goroutine-parallel accumulation and
+# tree reductions.
+#
+# Usage: ./ci.sh
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test =="
+go test ./...
+
+echo "== go test -race (engine packages) =="
+go test -race ./internal/kernel/... ./internal/seq/... ./internal/par/...
+
+echo "ci: OK"

@@ -1,0 +1,140 @@
+// Command benchjson converts `go test -bench` text output into a
+// machine-readable JSON snapshot, so benchmark runs can be archived
+// and diffed across commits.
+//
+// Usage:
+//
+//	go test -bench 'MTTKRPKernel|CPALS' -benchmem | go run ./cmd/benchjson
+//	go test -bench . | go run ./cmd/benchjson -out results.json
+//
+// Without -out, the file is named BENCH_<yyyy-mm-dd>.json in the
+// current directory.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Result is one parsed benchmark line. Metrics maps unit -> value for
+// every "<value> <unit>" pair after the iteration count (ns/op, B/op,
+// allocs/op, and any custom ReportMetric units like words/op).
+type Result struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Snapshot is the emitted document.
+type Snapshot struct {
+	Date    string            `json:"date"`
+	Env     map[string]string `json:"env,omitempty"`
+	Results []Result          `json:"results"`
+}
+
+func main() {
+	out := flag.String("out", "", "output path (default BENCH_<date>.json)")
+	flag.Parse()
+
+	snap := Snapshot{
+		Date: time.Now().Format("2006-01-02"),
+		Env:  map[string]string{},
+	}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "" || line == "PASS" || strings.HasPrefix(line, "ok ") || strings.HasPrefix(line, "ok\t"):
+			continue
+		case strings.HasPrefix(line, "goos:"), strings.HasPrefix(line, "goarch:"),
+			strings.HasPrefix(line, "pkg:"), strings.HasPrefix(line, "cpu:"):
+			k, v, _ := strings.Cut(line, ":")
+			snap.Env[k] = strings.TrimSpace(v)
+		case strings.HasPrefix(line, "Benchmark"):
+			r, err := parseLine(line)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "benchjson: skipping %q: %v\n", line, err)
+				continue
+			}
+			snap.Results = append(snap.Results, r)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fatal(err)
+	}
+	if len(snap.Results) == 0 {
+		fatal(fmt.Errorf("no benchmark lines on stdin (pipe `go test -bench ...` output in)"))
+	}
+
+	path := *out
+	if path == "" {
+		path = "BENCH_" + snap.Date + ".json"
+	}
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("benchjson: wrote %d results to %s\n", len(snap.Results), path)
+}
+
+// parseLine parses one benchmark result line:
+//
+//	BenchmarkFoo/sub-8  100  12345 ns/op  0 B/op  0 allocs/op  3.5 words/op
+func parseLine(line string) (Result, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 2 {
+		return Result{}, fmt.Errorf("too few fields")
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, fmt.Errorf("iteration count %q: %v", fields[1], err)
+	}
+	r := Result{
+		// Strip the trailing -GOMAXPROCS suffix from the name.
+		Name:       trimProcSuffix(fields[0]),
+		Iterations: iters,
+		Metrics:    map[string]float64{},
+	}
+	rest := fields[2:]
+	if len(rest)%2 != 0 {
+		return Result{}, fmt.Errorf("unpaired metric fields %v", rest)
+	}
+	for i := 0; i < len(rest); i += 2 {
+		v, err := strconv.ParseFloat(rest[i], 64)
+		if err != nil {
+			return Result{}, fmt.Errorf("metric value %q: %v", rest[i], err)
+		}
+		r.Metrics[rest[i+1]] = v
+	}
+	return r, nil
+}
+
+// trimProcSuffix removes go's -N GOMAXPROCS suffix (Benchmark names
+// themselves never end in -<digits> unless sub-benchmarks do, in which
+// case the suffix is still the final dash group).
+func trimProcSuffix(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}

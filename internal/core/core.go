@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/bounds"
 	"repro/internal/costmodel"
+	"repro/internal/kernel"
 	"repro/internal/memsim"
 	"repro/internal/par"
 	"repro/internal/seq"
@@ -19,10 +20,12 @@ import (
 )
 
 // MTTKRP computes B(n) for the dense tensor and factor matrices using
-// the direct atomic kernel (Definition 2.1), with no communication
-// accounting. factors[n] is ignored and may be nil.
+// the KRP-splitting shared-memory engine (kernel.Fast), with no
+// communication accounting. factors[n] is ignored and may be nil.
+// Results match the atomic reference kernel (seq.Ref) up to
+// floating-point reassociation.
 func MTTKRP(x *tensor.Dense, factors []*tensor.Matrix, n int) *tensor.Matrix {
-	return seq.Ref(x, factors, n)
+	return kernel.Fast(x, factors, n)
 }
 
 // SeqAlgorithm selects an instrumented sequential algorithm.

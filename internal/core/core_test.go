@@ -13,10 +13,12 @@ func problem(t *testing.T) (*tensor.Dense, []*tensor.Matrix) {
 	return tensor.RandomDense(1, dims...), tensor.RandomFactors(2, dims, 4)
 }
 
-func TestMTTKRPDelegatesToRef(t *testing.T) {
+func TestMTTKRPMatchesRef(t *testing.T) {
 	x, fs := problem(t)
 	for n := 0; n < 3; n++ {
-		if !MTTKRP(x, fs, n).EqualApprox(seq.Ref(x, fs, n), 0) {
+		// The engine reassociates the factor products, so results match
+		// the atomic reference to rounding rather than bitwise.
+		if !MTTKRP(x, fs, n).EqualApprox(seq.Ref(x, fs, n), 1e-10) {
 			t.Fatalf("mode %d mismatch", n)
 		}
 	}

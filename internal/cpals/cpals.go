@@ -12,8 +12,8 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/kernel"
 	"repro/internal/linalg"
-	"repro/internal/seq"
 	"repro/internal/tensor"
 )
 
@@ -84,13 +84,25 @@ func Decompose(x *tensor.Dense, opts Options) (*Model, []TraceEntry, error) {
 		return nil, nil, fmt.Errorf("cpals: zero tensor")
 	}
 
+	// MTTKRP state reused across all sweeps: one workspace plus one
+	// output buffer per mode, so the per-iteration bottleneck runs
+	// through the KRP-splitting engine with zero steady-state
+	// allocations.
+	ws := kernel.GetWorkspace()
+	defer kernel.PutWorkspace(ws)
+	bs := make([]*tensor.Matrix, N)
+	for n := 0; n < N; n++ {
+		bs[n] = tensor.NewMatrix(x.Dim(n), opts.R)
+	}
+
 	var trace []TraceEntry
 	prevFit := math.Inf(-1)
 	fit := 0.0
 	for it := 0; it < opts.MaxIters; it++ {
 		var lastB *tensor.Matrix
 		for n := 0; n < N; n++ {
-			b := seq.Ref(x, factors, n)
+			b := bs[n]
+			kernel.FastInto(b, x, factors, n, 0, ws)
 			v := hadamardGrams(grams, n, opts.R)
 			an, err := solveFactor(v, b)
 			if err != nil {

@@ -7,8 +7,8 @@ import (
 	"repro/internal/comm"
 	"repro/internal/dist"
 	"repro/internal/grid"
+	"repro/internal/kernel"
 	"repro/internal/linalg"
-	"repro/internal/seq"
 	"repro/internal/simnet"
 	"repro/internal/tensor"
 )
@@ -122,8 +122,9 @@ func DecomposeParallel(x *tensor.Dense, shape []int, opts Options) (*ParallelRes
 					ck := comm.New(net, lay.HyperSlice(k, coords), rank)
 					gathered[k] = gatherRowBlocks(ck, factors[k], opts.R)
 				}
-				// Local MTTKRP and row-wise Reduce-Scatter.
-				c := seq.Ref(localX[rank], gathered, n)
+				// Local MTTKRP (workers=1: each simulated rank already
+				// runs on its own goroutine) and row-wise Reduce-Scatter.
+				c := kernel.FastWorkers(localX[rank], gathered, n, 1)
 				cn := comm.New(net, lay.HyperSlice(n, coords), rank)
 				b := reduceScatterRows(cn, c, opts.R)
 				mttkrpWords[rank] += net.RankStats(rank).Words() - before

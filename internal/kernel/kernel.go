@@ -1,0 +1,218 @@
+// Package kernel is the shared-memory MTTKRP execution engine: a
+// KRP-splitting kernel in the style of Phan, Tichavský & Cichocki
+// ("Fast Alternating LS Algorithms for High Order CANDECOMP/PARAFAC
+// Tensor Factorizations", IEEE TSP 2013, Section III-B) running on the
+// blocked parallel GEMM of internal/linalg.
+//
+// For mode n of an order-N tensor in generalized column-major layout,
+// the modes split into a left group (k < n, combined extent L) and a
+// right group (k > n, combined extent Rt), and the tensor is — with no
+// data movement at all — a 3-way array of shape (L, I_n, Rt):
+//
+//	B(i, r) = sum_{l, t} X(l, i, t) * KL(l, r) * KR(t, r)
+//
+// where KL and KR are the left/right partial Khatri-Rao products. The
+// full J x R Khatri-Rao product of the via-matmul baseline is never
+// materialized, and no mode requires a tensor permutation:
+//
+//   - n == 0:   L = 1, so B = X_(0) * KR — one GEMM over the natural
+//     layout (the mode-0 unfolding IS the memory layout);
+//   - n == N-1: Rt = 1, so B = X_flat^T * KL — one transposed GEMM,
+//     again over the natural layout;
+//   - interior: for each of the Rt contiguous (L x I_n) column-major
+//     slabs, W_t = X_t^T * KL is a GEMM-shaped pass, and
+//     B(:, r) += KR(t, r) * W_t(:, r) folds the slab in. Slabs are
+//     independent, so they parallelize across workers with private
+//     accumulators combined by a pairwise tree reduction.
+//
+// Arithmetic drops from the atomic kernel's (N+1)*I*R to ~2*I*R plus
+// lower-order partial-KRP terms, and every inner loop is a contiguous
+// blocked GEMM. seq.Ref remains the correctness oracle; results agree
+// up to floating-point reassociation.
+package kernel
+
+import (
+	"fmt"
+
+	"repro/internal/linalg"
+	"repro/internal/tensor"
+)
+
+// Fast computes the MTTKRP B(n) = X_(n) * KRP with the KRP-splitting
+// engine at the default worker count, using a pooled workspace.
+// factors[n] is ignored and may be nil.
+func Fast(x *tensor.Dense, factors []*tensor.Matrix, n int) *tensor.Matrix {
+	return FastWorkers(x, factors, n, 0)
+}
+
+// FastWorkers is Fast with an explicit goroutine count (<= 0 selects
+// the linalg package default, itself defaulting to GOMAXPROCS).
+func FastWorkers(x *tensor.Dense, factors []*tensor.Matrix, n, workers int) *tensor.Matrix {
+	R := checkArgs(x, factors, n)
+	b := tensor.NewMatrix(x.Dim(n), R)
+	ws := GetWorkspace()
+	FastInto(b, x, factors, n, workers, ws)
+	PutWorkspace(ws)
+	return b
+}
+
+// FastInto computes the MTTKRP into b (x.Dim(n) x R, overwritten)
+// using the caller's workspace. With a reused workspace and workers=1
+// the call performs no allocations in steady state, which is what
+// keeps CP-ALS inner iterations allocation-free; parallel calls
+// allocate only goroutine bookkeeping. ws must not be shared between
+// concurrent calls; a nil ws borrows one from the pool.
+func FastInto(b *tensor.Matrix, x *tensor.Dense, factors []*tensor.Matrix, n, workers int, ws *Workspace) {
+	R := checkArgs(x, factors, n)
+	In := x.Dim(n)
+	if b.Rows() != In || b.Cols() != R {
+		panic(fmt.Sprintf("kernel: output is %dx%d, want %dx%d", b.Rows(), b.Cols(), In, R))
+	}
+	if ws == nil {
+		ws = GetWorkspace()
+		defer PutWorkspace(ws)
+	}
+	N := x.Order()
+	L, Rt := 1, 1
+	for k := 0; k < n; k++ {
+		L *= x.Dim(k)
+	}
+	for k := n + 1; k < N; k++ {
+		Rt *= x.Dim(k)
+	}
+	workers = linalg.ResolveWorkers(workers)
+	ws.ensure(L, Rt, In, R, workers)
+
+	data := x.Data()
+	bd := b.Data()
+	switch {
+	case n == 0:
+		// B = X_(0) * KR: the mode-0 unfolding is the memory layout.
+		krpRangeInto(ws.krRight, factors, 1, N, R)
+		linalg.GemmNN(bd, data, ws.krRight, In, Rt, R, workers)
+	case n == N-1:
+		// B = X_flat^T * KL over the (L x I_n) natural reshape.
+		krpRangeInto(ws.krLeft, factors, 0, N-1, R)
+		linalg.GemmTN(bd, data, ws.krLeft, L, In, R, workers)
+	default:
+		krpRangeInto(ws.krLeft, factors, 0, n, R)
+		krpRangeInto(ws.krRight, factors, n+1, N, R)
+		interior(bd, data, ws, L, In, Rt, R, workers)
+	}
+}
+
+// interior runs the split-mode slab passes: per worker, a private
+// accumulator collects KR-weighted W_t = X_t^T * KL contributions over
+// a contiguous slab range; privates then combine by tree reduction
+// directly into b's storage (which serves as accumulator 0).
+func interior(bd, data []float64, ws *Workspace, L, In, Rt, R, workers int) {
+	if workers > Rt {
+		workers = Rt
+	}
+	InR := In * R
+	for i := range bd {
+		bd[i] = 0
+	}
+	if workers <= 1 {
+		interiorSlabs(bd, ws.scratch[:InR], data, ws.krLeft, ws.krRight, L, In, Rt, R, 0, Rt)
+		return
+	}
+	bufs := ws.bufs[:0]
+	bufs = append(bufs, bd)
+	priv := ws.priv[:(workers-1)*InR]
+	for i := range priv {
+		priv[i] = 0
+	}
+	for w := 1; w < workers; w++ {
+		bufs = append(bufs, priv[(w-1)*InR:w*InR])
+	}
+	parallelChunks(Rt, workers, func(w, t0, t1 int) {
+		wbuf := ws.scratch[w*InR : (w+1)*InR]
+		interiorSlabs(bufs[w], wbuf, data, ws.krLeft, ws.krRight, L, In, Rt, R, t0, t1)
+	})
+	ReduceTree(bufs, workers)
+	ws.bufs = bufs[:0]
+}
+
+// interiorSlabs accumulates slabs [t0, t1) into acc (In x R).
+func interiorSlabs(acc, wbuf, data, krLeft, krRight []float64, L, In, Rt, R, t0, t1 int) {
+	slab := L * In
+	for t := t0; t < t1; t++ {
+		xt := data[t*slab : (t+1)*slab]
+		linalg.GemmTN(wbuf, xt, krLeft, L, In, R, 1)
+		for r := 0; r < R; r++ {
+			krv := krRight[t+r*Rt]
+			if krv == 0 {
+				continue
+			}
+			wcol := wbuf[r*In : (r+1)*In]
+			acol := acc[r*In : (r+1)*In]
+			for i, v := range wcol {
+				acol[i] += krv * v
+			}
+		}
+	}
+}
+
+// krpRangeInto fills dst with the Khatri-Rao product of factors[lo:hi]
+// (all participating, ascending mode order, smallest mode varying
+// fastest — matching the tensor layout), a (prod dims) x R
+// column-major matrix. Each column is expanded in place: growing the
+// product by one mode writes offsets >= the current length first, so
+// no temporary is needed.
+func krpRangeInto(dst []float64, factors []*tensor.Matrix, lo, hi, R int) {
+	rows := 1
+	for k := lo; k < hi; k++ {
+		rows *= factors[k].Rows()
+	}
+	for r := 0; r < R; r++ {
+		col := dst[r*rows : (r+1)*rows]
+		f0 := factors[lo].Col(r)
+		copy(col, f0)
+		cur := len(f0)
+		for k := lo + 1; k < hi; k++ {
+			fk := factors[k].Col(r)
+			for j := len(fk) - 1; j >= 0; j-- {
+				v := fk[j]
+				out := col[j*cur : j*cur+cur]
+				for i, base := range col[:cur] {
+					out[i] = base * v
+				}
+			}
+			cur *= len(fk)
+		}
+	}
+}
+
+// checkArgs validates the (tensor, factors, mode) triple and returns
+// the rank R. It allocates nothing.
+func checkArgs(x *tensor.Dense, factors []*tensor.Matrix, n int) int {
+	N := x.Order()
+	if len(factors) != N {
+		panic(fmt.Sprintf("kernel: %d factors for order-%d tensor", len(factors), N))
+	}
+	if n < 0 || n >= N {
+		panic(fmt.Sprintf("kernel: mode %d out of range [0,%d)", n, N))
+	}
+	R := -1
+	for k, f := range factors {
+		if k == n {
+			continue
+		}
+		if f == nil {
+			panic(fmt.Sprintf("kernel: factor %d is nil", k))
+		}
+		if f.Rows() != x.Dim(k) {
+			panic(fmt.Sprintf("kernel: factor %d has %d rows, tensor dim is %d", k, f.Rows(), x.Dim(k)))
+		}
+		if R == -1 {
+			R = f.Cols()
+		} else if f.Cols() != R {
+			panic(fmt.Sprintf("kernel: factor %d has %d cols, want %d", k, f.Cols(), R))
+		}
+	}
+	if R == -1 {
+		panic("kernel: MTTKRP needs at least two modes")
+	}
+	return R
+}

@@ -1,0 +1,84 @@
+package kernel
+
+import (
+	"sync"
+
+	"repro/internal/linalg"
+)
+
+// ReduceTree sums bufs[1:] into bufs[0] with pairwise (binary-tree)
+// combining: round s adds bufs[i+s] into bufs[i] for i = 0, 2s, 4s,
+// ..., halving the live set each round. The association order depends
+// only on len(bufs), never on the worker count, so a reduction over
+// the same private buffers is bitwise reproducible at any parallelism.
+//
+// Within a round the adds are independent; they are split across
+// `workers` goroutines by pair and, when pairs are scarcer than
+// workers, by contiguous vector segment. workers <= 0 selects the
+// linalg package default. All buffers must have the same length.
+func ReduceTree(bufs [][]float64, workers int) {
+	m := len(bufs)
+	if m <= 1 {
+		return
+	}
+	workers = linalg.ResolveWorkers(workers)
+	n := len(bufs[0])
+	for stride := 1; stride < m; stride *= 2 {
+		step := 2 * stride
+		npairs := 0
+		for i := 0; i+stride < m; i += step {
+			npairs++
+		}
+		if workers <= 1 || npairs*n < 1<<14 {
+			for i := 0; i+stride < m; i += step {
+				addInto(bufs[i], bufs[i+stride])
+			}
+			continue
+		}
+		segs := (workers + npairs - 1) / npairs
+		seglen := (n + segs - 1) / segs
+		var wg sync.WaitGroup
+		for i := 0; i+stride < m; i += step {
+			dst, src := bufs[i], bufs[i+stride]
+			for lo := 0; lo < n; lo += seglen {
+				hi := min(lo+seglen, n)
+				wg.Add(1)
+				go func(dst, src []float64) {
+					defer wg.Done()
+					addInto(dst, src)
+				}(dst[lo:hi], src[lo:hi])
+			}
+		}
+		wg.Wait()
+	}
+}
+
+func addInto(dst, src []float64) {
+	src = src[:len(dst)]
+	for i, v := range src {
+		dst[i] += v
+	}
+}
+
+// parallelChunks splits [0, total) into at most `workers` contiguous
+// chunks and runs fn on each concurrently; workers == 1 runs inline.
+func parallelChunks(total, workers int, fn func(w, lo, hi int)) {
+	if workers > total {
+		workers = total
+	}
+	if workers <= 1 {
+		fn(0, 0, total)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		lo := w * total / workers
+		hi := (w + 1) * total / workers
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			fn(w, lo, hi)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,69 @@
+package kernel
+
+import (
+	"sync"
+
+	"repro/internal/linalg"
+)
+
+// Workspace holds every buffer the KRP-splitting MTTKRP needs: the
+// left and right partial Khatri-Rao products, per-worker GEMM scratch,
+// and per-worker private accumulators for the slab reduction. Buffers
+// grow monotonically and are reused across calls, so a CP-ALS or HOOI
+// iteration that cycles through modes of one tensor reaches a steady
+// state with zero allocations.
+//
+// A Workspace is not safe for concurrent use by multiple MTTKRP calls;
+// use one per goroutine (or the pool helpers below).
+type Workspace struct {
+	krLeft  []float64 // L x R column-major partial KRP of modes < n
+	krRight []float64 // Rt x R column-major partial KRP of modes > n
+	scratch []float64 // workers * In*R slab GEMM outputs
+	priv    []float64 // (workers-1) * In*R private accumulators
+	bufs    [][]float64
+}
+
+// NewWorkspace returns a workspace pre-sized for mode n of a tensor
+// with the given dimensions and rank R at the default worker count, so
+// the first FastInto call already allocates nothing.
+func NewWorkspace(dims []int, R, n int) *Workspace {
+	L, Rt := 1, 1
+	for k := 0; k < n; k++ {
+		L *= dims[k]
+	}
+	for k := n + 1; k < len(dims); k++ {
+		Rt *= dims[k]
+	}
+	ws := new(Workspace)
+	ws.ensure(L, Rt, dims[n], R, linalg.Workers())
+	return ws
+}
+
+// ensure grows the buffers to fit an (L, In, Rt, R) problem at the
+// given worker count. Existing capacity is kept.
+func (ws *Workspace) ensure(L, Rt, In, R, workers int) {
+	ws.krLeft = grow(ws.krLeft, L*R)
+	ws.krRight = grow(ws.krRight, Rt*R)
+	ws.scratch = grow(ws.scratch, workers*In*R)
+	if workers > 1 {
+		ws.priv = grow(ws.priv, (workers-1)*In*R)
+	}
+	if cap(ws.bufs) < workers {
+		ws.bufs = make([][]float64, 0, workers)
+	}
+}
+
+func grow(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+var wsPool = sync.Pool{New: func() any { return new(Workspace) }}
+
+// GetWorkspace fetches a workspace from the shared pool.
+func GetWorkspace() *Workspace { return wsPool.Get().(*Workspace) }
+
+// PutWorkspace returns a workspace to the shared pool for reuse.
+func PutWorkspace(ws *Workspace) { wsPool.Put(ws) }

@@ -1,0 +1,168 @@
+package linalg
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func randMat(rng *rand.Rand, rows, cols int) *tensor.Matrix {
+	m := tensor.NewMatrix(rows, cols)
+	d := m.Data()
+	for i := range d {
+		d[i] = rng.NormFloat64()
+	}
+	return m
+}
+
+func naiveNN(a, b *tensor.Matrix) *tensor.Matrix {
+	c := tensor.NewMatrix(a.Rows(), b.Cols())
+	for i := 0; i < a.Rows(); i++ {
+		for j := 0; j < b.Cols(); j++ {
+			var s float64
+			for l := 0; l < a.Cols(); l++ {
+				s += a.At(i, l) * b.At(l, j)
+			}
+			c.Set(i, j, s)
+		}
+	}
+	return c
+}
+
+func naiveTN(a, b *tensor.Matrix) *tensor.Matrix {
+	c := tensor.NewMatrix(a.Cols(), b.Cols())
+	for i := 0; i < a.Cols(); i++ {
+		for j := 0; j < b.Cols(); j++ {
+			var s float64
+			for l := 0; l < a.Rows(); l++ {
+				s += a.At(l, i) * b.At(l, j)
+			}
+			c.Set(i, j, s)
+		}
+	}
+	return c
+}
+
+func naiveNT(a, b *tensor.Matrix) *tensor.Matrix {
+	c := tensor.NewMatrix(a.Rows(), b.Rows())
+	for i := 0; i < a.Rows(); i++ {
+		for j := 0; j < b.Rows(); j++ {
+			var s float64
+			for l := 0; l < a.Cols(); l++ {
+				s += a.At(i, l) * b.At(j, l)
+			}
+			c.Set(i, j, s)
+		}
+	}
+	return c
+}
+
+// Shapes cross every micro-kernel edge: the 4-wide column and l
+// remainders, single rows/columns, and sizes straddling the gemmKC /
+// gemmMC cache-block boundaries.
+var gemmShapes = []struct{ m, k, n int }{
+	{1, 1, 1},
+	{3, 5, 7},
+	{4, 4, 4},
+	{5, 9, 6},
+	{17, 33, 13},
+	{64, 16, 64},
+	{1, 300, 4},
+	{300, 1, 5},
+	{31, 257, 9},
+	{260, 270, 11},
+}
+
+func TestGemmNNMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, s := range gemmShapes {
+		for _, w := range []int{1, 2, 4} {
+			a := randMat(rng, s.m, s.k)
+			b := randMat(rng, s.k, s.n)
+			c := tensor.NewMatrix(s.m, s.n)
+			c.Fill(3.25) // engine must overwrite, not accumulate
+			GemmNN(c.Data(), a.Data(), b.Data(), s.m, s.k, s.n, w)
+			if want := naiveNN(a, b); !c.EqualApprox(want, 1e-11*float64(s.k)) {
+				t.Fatalf("GemmNN %dx%dx%d workers=%d: max diff %g", s.m, s.k, s.n, w, c.MaxAbsDiff(want))
+			}
+		}
+	}
+}
+
+func TestGemmTNMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, s := range gemmShapes {
+		for _, w := range []int{1, 3} {
+			a := randMat(rng, s.k, s.m) // contraction down rows
+			b := randMat(rng, s.k, s.n)
+			c := tensor.NewMatrix(s.m, s.n)
+			c.Fill(-1)
+			GemmTN(c.Data(), a.Data(), b.Data(), s.k, s.m, s.n, w)
+			if want := naiveTN(a, b); !c.EqualApprox(want, 1e-11*float64(s.k)) {
+				t.Fatalf("GemmTN %dx%dx%d workers=%d: max diff %g", s.m, s.k, s.n, w, c.MaxAbsDiff(want))
+			}
+		}
+	}
+}
+
+func TestGemmNTMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, s := range gemmShapes {
+		for _, w := range []int{1, 3} {
+			a := randMat(rng, s.m, s.k)
+			b := randMat(rng, s.n, s.k)
+			c := tensor.NewMatrix(s.m, s.n)
+			c.Fill(7)
+			GemmNT(c.Data(), a.Data(), b.Data(), s.m, s.k, s.n, w)
+			if want := naiveNT(a, b); !c.EqualApprox(want, 1e-11*float64(s.k)) {
+				t.Fatalf("GemmNT %dx%dx%d workers=%d: max diff %g", s.m, s.k, s.n, w, c.MaxAbsDiff(want))
+			}
+		}
+	}
+}
+
+func TestMatMulIntoVariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	a := randMat(rng, 37, 23)
+	b := randMat(rng, 23, 19)
+	c := tensor.NewMatrix(37, 19)
+	MatMulInto(c, a, b)
+	if !c.EqualApprox(naiveNN(a, b), 1e-10) {
+		t.Fatal("MatMulInto mismatch")
+	}
+
+	at := randMat(rng, 41, 11)
+	bt := randMat(rng, 41, 7)
+	ct := tensor.NewMatrix(11, 7)
+	MatMulTransAInto(ct, at, bt)
+	if !ct.EqualApprox(naiveTN(at, bt), 1e-10) {
+		t.Fatal("MatMulTransAInto mismatch")
+	}
+
+	an := randMat(rng, 13, 29)
+	bn := randMat(rng, 17, 29)
+	cn := tensor.NewMatrix(13, 17)
+	MatMulTransBInto(cn, an, bn)
+	if !cn.EqualApprox(naiveNT(an, bn), 1e-10) {
+		t.Fatal("MatMulTransBInto mismatch")
+	}
+}
+
+func TestSetWorkers(t *testing.T) {
+	defer SetWorkers(0)
+	SetWorkers(3)
+	if Workers() != 3 {
+		t.Fatalf("Workers() = %d, want 3", Workers())
+	}
+	if ResolveWorkers(5) != 5 {
+		t.Fatalf("ResolveWorkers(5) = %d", ResolveWorkers(5))
+	}
+	if ResolveWorkers(0) != 3 {
+		t.Fatalf("ResolveWorkers(0) = %d, want 3", ResolveWorkers(0))
+	}
+	SetWorkers(0)
+	if Workers() < 1 {
+		t.Fatalf("Workers() = %d after reset", Workers())
+	}
+}

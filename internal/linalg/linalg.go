@@ -26,74 +26,64 @@ func MatMul(a, b *tensor.Matrix) *tensor.Matrix {
 	return c
 }
 
-// MatMulInto computes C = A * B into an existing matrix.
+// MatMulInto computes C = A * B into an existing matrix using the
+// blocked parallel engine with the package-default worker count.
 func MatMulInto(c, a, b *tensor.Matrix) {
+	MatMulIntoWorkers(c, a, b, 0)
+}
+
+// MatMulIntoWorkers is MatMulInto with an explicit goroutine count
+// (<= 0 selects the package default).
+func MatMulIntoWorkers(c, a, b *tensor.Matrix, workers int) {
 	if a.Cols() != b.Rows() || c.Rows() != a.Rows() || c.Cols() != b.Cols() {
 		panic(fmt.Sprintf("linalg: matmul shapes %dx%d * %dx%d -> %dx%d",
 			a.Rows(), a.Cols(), b.Rows(), b.Cols(), c.Rows(), c.Cols()))
 	}
-	m, k := a.Rows(), a.Cols()
-	for j := 0; j < b.Cols(); j++ {
-		cj := c.Col(j)
-		for i := range cj {
-			cj[i] = 0
-		}
-		bj := b.Col(j)
-		for l := 0; l < k; l++ {
-			al := a.Col(l)
-			blj := bj[l]
-			if blj == 0 {
-				continue
-			}
-			for i := 0; i < m; i++ {
-				cj[i] += al[i] * blj
-			}
-		}
-	}
+	GemmNN(c.Data(), a.Data(), b.Data(), a.Rows(), a.Cols(), b.Cols(), workers)
 }
 
 // MatMulTransA returns C = A^T * B.
 func MatMulTransA(a, b *tensor.Matrix) *tensor.Matrix {
-	if a.Rows() != b.Rows() {
-		panic(fmt.Sprintf("linalg: matmulTransA inner dims %d vs %d", a.Rows(), b.Rows()))
-	}
 	c := tensor.NewMatrix(a.Cols(), b.Cols())
-	for j := 0; j < b.Cols(); j++ {
-		bj := b.Col(j)
-		cj := c.Col(j)
-		for i := 0; i < a.Cols(); i++ {
-			ai := a.Col(i)
-			var s float64
-			for l := range ai {
-				s += ai[l] * bj[l]
-			}
-			cj[i] = s
-		}
-	}
+	MatMulTransAInto(c, a, b)
 	return c
+}
+
+// MatMulTransAInto computes C = A^T * B into an existing matrix.
+func MatMulTransAInto(c, a, b *tensor.Matrix) {
+	MatMulTransAIntoWorkers(c, a, b, 0)
+}
+
+// MatMulTransAIntoWorkers is MatMulTransAInto with an explicit
+// goroutine count (<= 0 selects the package default).
+func MatMulTransAIntoWorkers(c, a, b *tensor.Matrix, workers int) {
+	if a.Rows() != b.Rows() || c.Rows() != a.Cols() || c.Cols() != b.Cols() {
+		panic(fmt.Sprintf("linalg: matmulTransA shapes (%dx%d)^T * %dx%d -> %dx%d",
+			a.Rows(), a.Cols(), b.Rows(), b.Cols(), c.Rows(), c.Cols()))
+	}
+	GemmTN(c.Data(), a.Data(), b.Data(), a.Rows(), a.Cols(), b.Cols(), workers)
 }
 
 // MatMulTransB returns C = A * B^T.
 func MatMulTransB(a, b *tensor.Matrix) *tensor.Matrix {
-	if a.Cols() != b.Cols() {
-		panic(fmt.Sprintf("linalg: matmulTransB inner dims %d vs %d", a.Cols(), b.Cols()))
-	}
 	c := tensor.NewMatrix(a.Rows(), b.Rows())
-	for l := 0; l < a.Cols(); l++ {
-		al := a.Col(l)
-		bl := b.Col(l)
-		for j := 0; j < b.Rows(); j++ {
-			cj := c.Col(j)
-			blj := bl[j]
-			if blj == 0 {
-				continue
-			}
-			for i := range al {
-				cj[i] += al[i] * blj
-			}
-		}
-	}
+	MatMulTransBInto(c, a, b)
 	return c
+}
+
+// MatMulTransBInto computes C = A * B^T into an existing matrix.
+func MatMulTransBInto(c, a, b *tensor.Matrix) {
+	MatMulTransBIntoWorkers(c, a, b, 0)
+}
+
+// MatMulTransBIntoWorkers is MatMulTransBInto with an explicit
+// goroutine count (<= 0 selects the package default).
+func MatMulTransBIntoWorkers(c, a, b *tensor.Matrix, workers int) {
+	if a.Cols() != b.Cols() || c.Rows() != a.Rows() || c.Cols() != b.Rows() {
+		panic(fmt.Sprintf("linalg: matmulTransB shapes %dx%d * (%dx%d)^T -> %dx%d",
+			a.Rows(), a.Cols(), b.Rows(), b.Cols(), c.Rows(), c.Cols()))
+	}
+	GemmNT(c.Data(), a.Data(), b.Data(), a.Rows(), a.Cols(), b.Rows(), workers)
 }
 
 // Gram returns A^T * A (R x R symmetric positive semidefinite).

@@ -6,7 +6,7 @@ import (
 	"repro/internal/comm"
 	"repro/internal/dist"
 	"repro/internal/grid"
-	"repro/internal/seq"
+	"repro/internal/kernel"
 	"repro/internal/simnet"
 	"repro/internal/tensor"
 )
@@ -83,8 +83,9 @@ func General(x *tensor.Dense, factors []*tensor.Matrix, n int, shape []int) (*Re
 		}
 		res.GatherWords[rank] = net.RankStats(rank).Words()
 
-		// Line 7: local MTTKRP over the T_{p0} columns.
-		c := seq.Ref(block, gathered, n)
+		// Line 7: local MTTKRP over the T_{p0} columns, via the
+		// KRP-splitting engine (serial: one goroutine per rank).
+		c := kernel.FastWorkers(block, gathered, n, 1)
 
 		// Peak storage: gathered tensor block + factor blocks + C
 		// (Eq. (20)).

@@ -6,8 +6,8 @@ import (
 	"repro/internal/comm"
 	"repro/internal/dist"
 	"repro/internal/grid"
+	"repro/internal/kernel"
 	"repro/internal/linalg"
-	"repro/internal/seq"
 	"repro/internal/simnet"
 	"repro/internal/tensor"
 )
@@ -22,7 +22,13 @@ import (
 // network, so the measured statistics are exactly the algorithm's
 // communication.
 func Stationary(x *tensor.Dense, factors []*tensor.Matrix, n int, shape []int) (*Result, error) {
-	return StationaryWithKernel(x, factors, n, shape, seq.Ref)
+	return StationaryWithKernel(x, factors, n, shape, engineKernel)
+}
+
+// engineKernel is the default LocalKernel: the KRP-splitting engine run
+// serially, since each simulated processor already owns a goroutine.
+func engineKernel(x *tensor.Dense, factors []*tensor.Matrix, n int) *tensor.Matrix {
+	return kernel.FastWorkers(x, factors, n, 1)
 }
 
 // LocalKernel computes a local MTTKRP contribution from a resident
@@ -39,9 +45,9 @@ func NonAtomicKernel(x *tensor.Dense, factors []*tensor.Matrix, n int) *tensor.M
 }
 
 // StationaryWithKernel is Stationary with a pluggable local kernel
-// (the atomic seq.Ref by default; NonAtomicKernel for the Eq. (17)
-// variant).
-func StationaryWithKernel(x *tensor.Dense, factors []*tensor.Matrix, n int, shape []int, kernel LocalKernel) (*Result, error) {
+// (the KRP-splitting engine by default; NonAtomicKernel for the
+// Eq. (17) variant; seq.Ref for the atomic baseline).
+func StationaryWithKernel(x *tensor.Dense, factors []*tensor.Matrix, n int, shape []int, local LocalKernel) (*Result, error) {
 	N, R := checkProblem(x, factors, n)
 	if len(shape) != N {
 		return nil, fmt.Errorf("par: grid shape %v for order-%d tensor", shape, N)
@@ -93,7 +99,7 @@ func StationaryWithKernel(x *tensor.Dense, factors []*tensor.Matrix, n int, shap
 		res.GatherWords[rank] = net.RankStats(rank).Words()
 
 		// Line 6: local MTTKRP on the resident subtensor.
-		c := kernel(localX[rank], gathered, n)
+		c := local(localX[rank], gathered, n)
 
 		// Peak storage: subtensor + replicated block rows + C
 		// (Eq. (16); the output block rows double as C's shape).

@@ -5,17 +5,20 @@ import (
 	"runtime"
 	"sync"
 
+	"repro/internal/kernel"
 	"repro/internal/tensor"
 )
 
 // RefParallel computes the MTTKRP with the atomic kernel split across
 // `workers` goroutines (0 means GOMAXPROCS). The tensor's element
 // range is divided into contiguous chunks; each worker accumulates
-// into a private output matrix, and the privates are summed at the
-// end. This is the shared-memory counterpart of the distributed
-// algorithms: within one node, the "communication" is the final
-// R * I_n * workers reduction, mirroring the C-matrix reductions of
-// Algorithms 3-4.
+// into a private output matrix through a cached column-slice table
+// (the same hoisting as AccumulateRef), and the privates are combined
+// with the engine's parallel pairwise tree reduction
+// (kernel.ReduceTree). This is the shared-memory counterpart of the
+// distributed algorithms: within one node, the "communication" is the
+// final R * I_n * workers reduction, mirroring the C-matrix reductions
+// of Algorithms 3-4.
 //
 // Results equal Ref up to floating-point reassociation of the final
 // reduction.
@@ -31,6 +34,7 @@ func RefParallel(x *tensor.Dense, factors []*tensor.Matrix, n, workers int) *ten
 	if workers == 1 {
 		return Ref(x, factors, n)
 	}
+	N := x.Order()
 	dims := x.Dims()
 	data := x.Data()
 	privates := make([]*tensor.Matrix, workers)
@@ -42,19 +46,20 @@ func RefParallel(x *tensor.Dense, factors []*tensor.Matrix, n, workers int) *ten
 			lo := w * total / workers
 			hi := (w + 1) * total / workers
 			b := tensor.NewMatrix(x.Dim(n), R)
+			fcols, bcols := cacheCols(b, factors, n, R)
 			idx := multiIndexOf(lo, dims)
 			for off := lo; off < hi; off++ {
 				v := data[off]
 				in := idx[n]
 				for r := 0; r < R; r++ {
 					p := v
-					for k, f := range factors {
+					for k := 0; k < N; k++ {
 						if k == n {
 							continue
 						}
-						p *= f.At(idx[k], r)
+						p *= fcols[k*R+r][idx[k]]
 					}
-					b.AddAt(in, r, p)
+					bcols[r][in] += p
 				}
 				incIndex(idx, dims)
 			}
@@ -62,11 +67,12 @@ func RefParallel(x *tensor.Dense, factors []*tensor.Matrix, n, workers int) *ten
 		}(w)
 	}
 	wg.Wait()
-	out := privates[0]
-	for w := 1; w < workers; w++ {
-		out.Add(1, privates[w])
+	bufs := make([][]float64, workers)
+	for w, p := range privates {
+		bufs[w] = p.Data()
 	}
-	return out
+	kernel.ReduceTree(bufs, workers)
+	return privates[0]
 }
 
 // multiIndexOf converts a column-major linear offset to a multi-index.

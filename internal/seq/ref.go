@@ -69,6 +69,13 @@ func factorCols(factors []*tensor.Matrix, n int) int {
 // AccumulateRef adds the MTTKRP contribution of x into b, which must be
 // x.Dim(n) x R. Splitting allocation from accumulation lets parallel
 // ranks accumulate local contributions into a shared-shape buffer.
+//
+// The factor and output columns are hoisted into a cached slice table
+// before the element loop, so the N-ary inner products index plain
+// []float64 slices instead of going through At/AddAt bounds-and-offset
+// arithmetic. The multiplication order of Definition 2.1's atomic
+// product is unchanged, so results are bitwise identical to the
+// uncached kernel.
 func AccumulateRef(b *tensor.Matrix, x *tensor.Dense, factors []*tensor.Matrix, n int) {
 	N, R := checkArgs(x, factors, n)
 	if b.Rows() != x.Dim(n) || b.Cols() != R {
@@ -77,18 +84,45 @@ func AccumulateRef(b *tensor.Matrix, x *tensor.Dense, factors []*tensor.Matrix, 
 	dims := x.Dims()
 	idx := make([]int, N)
 	data := x.Data()
-	row := make([]float64, R)
+	fcols, bcols := cacheCols(b, factors, n, R)
 	for off := 0; off < len(data); off++ {
 		v := data[off]
 		// Atomic N-ary multiplies: the (N-1)-way factor product is
 		// formed per (i, r) with no reuse across iterations.
-		tensor.KRPRow(row, factors, n, idx)
 		in := idx[n]
 		for r := 0; r < R; r++ {
-			b.AddAt(in, r, v*row[r])
+			p := 1.0
+			for k := 0; k < N; k++ {
+				if k == n {
+					continue
+				}
+				p *= fcols[k*R+r][idx[k]]
+			}
+			bcols[r][in] += v * p
 		}
 		incIndex(idx, dims)
 	}
+}
+
+// cacheCols builds the flat column-slice tables used by the reference
+// kernels: fcols[k*R+r] is column r of factors[k] (nil for mode n) and
+// bcols[r] is column r of the output.
+func cacheCols(b *tensor.Matrix, factors []*tensor.Matrix, n, R int) (fcols, bcols [][]float64) {
+	N := len(factors)
+	fcols = make([][]float64, N*R)
+	for k, f := range factors {
+		if k == n {
+			continue
+		}
+		for r := 0; r < R; r++ {
+			fcols[k*R+r] = f.Col(r)
+		}
+	}
+	bcols = make([][]float64, R)
+	for r := 0; r < R; r++ {
+		bcols[r] = b.Col(r)
+	}
+	return fcols, bcols
 }
 
 // RefFlops returns the arithmetic operation count of the atomic

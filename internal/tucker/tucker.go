@@ -102,6 +102,13 @@ func Decompose(x *tensor.Dense, opts Options) (*Model, []TraceEntry, error) {
 		}
 	}
 
+	// Per-mode Gram buffers reused across HOOI sweeps; LeadingEigvecs
+	// clones its input, so overwriting each sweep is safe.
+	gramBuf := make([]*tensor.Matrix, N)
+	for k := 0; k < N; k++ {
+		gramBuf[k] = tensor.NewMatrix(x.Dim(k), x.Dim(k))
+	}
+
 	// HOOI sweeps.
 	var trace []TraceEntry
 	prevFit := math.Inf(-1)
@@ -112,8 +119,8 @@ func Decompose(x *tensor.Dense, opts Options) (*Model, []TraceEntry, error) {
 			// of the partial projection's mode-k Gram.
 			y := ttm.Chain(x, factors, k)
 			yk := tensor.Unfold(y, k)
-			gram := linalg.MatMulTransB(yk, yk)
-			u, err := linalg.LeadingEigvecs(gram, opts.Ranks[k])
+			linalg.MatMulTransBInto(gramBuf[k], yk, yk)
+			u, err := linalg.LeadingEigvecs(gramBuf[k], opts.Ranks[k])
 			if err != nil {
 				return nil, nil, fmt.Errorf("tucker: HOOI mode %d: %w", k, err)
 			}
