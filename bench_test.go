@@ -406,6 +406,55 @@ func BenchmarkDimTree(b *testing.B) {
 	})
 }
 
+// BenchmarkDimTreeAllModes regenerates E22: the GEMM-based
+// dimension-tree engine against (a) the scalar tree it replaced and
+// (b) N independent KRP-splitting kernel calls — the head-to-head the
+// multi-MTTKRP sharing argument rests on. fast-tree reports allocs to
+// witness the zero-steady-state contract.
+func BenchmarkDimTreeAllModes(b *testing.B) {
+	for _, cfg := range []struct {
+		name string
+		dims []int
+	}{
+		{"128c3", []int{128, 128, 128}},
+		{"32c5", []int{32, 32, 32, 32, 32}},
+	} {
+		const R = 16
+		x := tensor.RandomDense(42, cfg.dims...)
+		fs := tensor.RandomFactors(43, cfg.dims, R)
+		N := len(cfg.dims)
+		b.Run(cfg.name+"/fast-tree", func(b *testing.B) {
+			eng := dimtree.NewEngine(0)
+			res := &dimtree.Result{}
+			eng.AllModesInto(res, x, fs) // reach steady state
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				eng.AllModesInto(res, x, fs)
+			}
+		})
+		b.Run(cfg.name+"/independent-fast", func(b *testing.B) {
+			ws := kernel.GetWorkspace()
+			defer kernel.PutWorkspace(ws)
+			outs := make([]*tensor.Matrix, N)
+			for n := 0; n < N; n++ {
+				outs[n] = tensor.NewMatrix(x.Dim(n), R)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for n := 0; n < N; n++ {
+					kernel.FastInto(outs[n], x, fs, n, 0, ws)
+				}
+			}
+		})
+		b.Run(cfg.name+"/scalar-tree", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				dimtree.AllModesRef(x, fs)
+			}
+		})
+	}
+}
+
 // BenchmarkLRUReplay regenerates E13: LRU traffic of the blocked and
 // unblocked orderings at one machine size.
 func BenchmarkLRUReplay(b *testing.B) {

@@ -1,8 +1,8 @@
 #!/bin/sh
 # CI gate: vet everything, run the full test suite, then re-run the
-# engine-adjacent packages (kernel, seq, par) under the race detector —
-# those are the packages with goroutine-parallel accumulation and
-# tree reductions.
+# engine-adjacent packages (kernel, seq, par, dimtree, cpals) under the
+# race detector — those are the packages with goroutine-parallel
+# accumulation and tree reductions.
 #
 # Usage: ./ci.sh
 set -eu
@@ -19,6 +19,6 @@ echo "== go test =="
 go test ./...
 
 echo "== go test -race (engine packages) =="
-go test -race ./internal/kernel/... ./internal/seq/... ./internal/par/...
+go test -race ./internal/kernel/... ./internal/seq/... ./internal/par/... ./internal/dimtree/... ./internal/cpals/...
 
 echo "ci: OK"

@@ -23,6 +23,7 @@ type Options struct {
 	MaxIters int     // maximum ALS sweeps (default 50)
 	Tol      float64 // stop when the fit improves by less than Tol (default 1e-8)
 	Seed     int64   // factor initialization seed
+	Workers  int     // MTTKRP goroutines (<= 0: linalg package default)
 
 	// Normalize rebalances the factor column norms after every sweep
 	// (the standard lambda handling): each rank-one component's
@@ -102,7 +103,7 @@ func Decompose(x *tensor.Dense, opts Options) (*Model, []TraceEntry, error) {
 		var lastB *tensor.Matrix
 		for n := 0; n < N; n++ {
 			b := bs[n]
-			kernel.FastInto(b, x, factors, n, 0, ws)
+			kernel.FastInto(b, x, factors, n, opts.Workers, ws)
 			v := hadamardGrams(grams, n, opts.R)
 			an, err := solveFactor(v, b)
 			if err != nil {

@@ -20,7 +20,13 @@ import (
 // Objective returns f(A) = 0.5 * ||X - Xhat||^2 together with the
 // all-modes MTTKRP results it is computed from.
 func Objective(x *tensor.Dense, factors []*tensor.Matrix) (float64, *dimtree.Result) {
-	res := dimtree.AllModes(x, factors)
+	return ObjectiveWorkers(x, factors, 0)
+}
+
+// ObjectiveWorkers is Objective with an explicit goroutine count for
+// the dimension-tree multi-MTTKRP (<= 0: linalg package default).
+func ObjectiveWorkers(x *tensor.Dense, factors []*tensor.Matrix, workers int) (float64, *dimtree.Result) {
+	res := dimtree.AllModesWorkers(x, factors, workers)
 	R := factors[0].Cols()
 	grams := make([]*tensor.Matrix, len(factors))
 	for k, f := range factors {
@@ -46,7 +52,13 @@ func Objective(x *tensor.Dense, factors []*tensor.Matrix) (float64, *dimtree.Res
 // Gradient returns the gradients dF/dA(n) = A(n)*Gamma(n) - B(n) for
 // all modes, the objective value, and the shared-MTTKRP flop count.
 func Gradient(x *tensor.Dense, factors []*tensor.Matrix) ([]*tensor.Matrix, float64, int64) {
-	f, res := Objective(x, factors)
+	return GradientWorkers(x, factors, 0)
+}
+
+// GradientWorkers is Gradient with an explicit goroutine count for the
+// dimension-tree multi-MTTKRP (<= 0: linalg package default).
+func GradientWorkers(x *tensor.Dense, factors []*tensor.Matrix, workers int) ([]*tensor.Matrix, float64, int64) {
+	f, res := ObjectiveWorkers(x, factors, workers)
 	N := len(factors)
 	R := factors[0].Cols()
 	grams := make([]*tensor.Matrix, N)
@@ -70,6 +82,7 @@ type GradOptions struct {
 	Tol      float64 // stop when the relative objective decrease < Tol (default 1e-10)
 	Seed     int64
 	Step0    float64 // initial step size (default 1e-2, adapted by backtracking)
+	Workers  int     // MTTKRP goroutines (<= 0: linalg package default)
 
 	// Init warm-starts from the given factors (cloned) instead of a
 	// random initialization — e.g. a few ALS sweeps, the standard
@@ -148,7 +161,7 @@ func DecomposeGradient(x *tensor.Dense, opts GradOptions) (*Model, []GradTraceEn
 	var trace []GradTraceEntry
 	f := math.Inf(1)
 	for it := 0; it < opts.MaxIters; it++ {
-		grads, fcur, _ := Gradient(x, factors)
+		grads, fcur, _ := GradientWorkers(x, factors, opts.Workers)
 		f = fcur
 		gnorm2 := 0.0
 		for _, g := range grads {
@@ -169,7 +182,7 @@ func DecomposeGradient(x *tensor.Dense, opts GradOptions) (*Model, []GradTraceEn
 				c.Add(-step, grads[k])
 				cand[k] = c
 			}
-			fNew, _ := Objective(x, cand)
+			fNew, _ := ObjectiveWorkers(x, cand, opts.Workers)
 			if fNew <= fcur-c1*step*gnorm2 {
 				factors = cand
 				f = fNew

@@ -43,6 +43,11 @@ func DecomposeTree(x *tensor.Dense, opts Options) (*Model, []TraceEntry, int64, 
 		return nil, nil, 0, fmt.Errorf("cpals: zero tensor")
 	}
 
+	// One GEMM engine for every contraction in the run: its KRP panels,
+	// partial stack, and slab scratch grow to the largest contraction
+	// once and are reused for the rest of the decomposition.
+	eng := dimtree.NewEngine(opts.Workers)
+
 	var totalFlops int64
 	var trace []TraceEntry
 	prevFit := math.Inf(-1)
@@ -62,9 +67,9 @@ func DecomposeTree(x *tensor.Dense, opts Options) (*Model, []TraceEntry, int64, 
 			var bPart *tensor.Dense
 			var fl int64
 			if prefix == nil {
-				bPart, fl = dimtree.ContractTensor(x, factors, opts.R, []int{n})
+				bPart, fl = eng.ContractTensor(x, factors, opts.R, []int{n})
 			} else {
-				bPart, fl = dimtree.ContractPartial(prefix, modes, factors, opts.R, []int{n})
+				bPart, fl = eng.ContractPartial(prefix, modes, factors, opts.R, []int{n})
 			}
 			totalFlops += fl
 			b := tensor.NewMatrixFromData(bPart.Data(), x.Dim(n), opts.R)
@@ -82,9 +87,9 @@ func DecomposeTree(x *tensor.Dense, opts Options) (*Model, []TraceEntry, int64, 
 			// factor (not needed after the last mode).
 			if n < N-1 {
 				if prefix == nil {
-					prefix, fl = dimtree.ContractTensor(x, factors, opts.R, prefixModes[n+1:])
+					prefix, fl = eng.ContractTensor(x, factors, opts.R, prefixModes[n+1:])
 				} else {
-					prefix, fl = dimtree.ContractPartial(prefix, modes, factors, opts.R, prefixModes[n+1:])
+					prefix, fl = eng.ContractPartial(prefix, modes, factors, opts.R, prefixModes[n+1:])
 				}
 				totalFlops += fl
 			}

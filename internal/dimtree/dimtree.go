@@ -43,10 +43,9 @@ func NaiveFlops(dims []int, R int) int64 {
 	return N * I * int64(R) * (N + 1)
 }
 
-// AllModes computes B(n) for every mode n via a balanced dimension
-// tree. factors must all be non-nil (every mode participates in some
-// contraction).
-func AllModes(x *tensor.Dense, factors []*tensor.Matrix) *Result {
+// validate checks the (tensor, factors) pair and returns the rank R.
+// It allocates nothing.
+func validate(x *tensor.Dense, factors []*tensor.Matrix) int {
 	N := x.Order()
 	if len(factors) != N {
 		panic(fmt.Sprintf("dimtree: %d factors for order-%d tensor", len(factors), N))
@@ -68,6 +67,17 @@ func AllModes(x *tensor.Dense, factors []*tensor.Matrix) *Result {
 	if N < 2 {
 		panic("dimtree: need N >= 2")
 	}
+	return R
+}
+
+// AllModesRef computes B(n) for every mode n via a balanced dimension
+// tree with the scalar (index-arithmetic) contraction kernels. It is
+// the correctness oracle for the GEMM-based Engine; production callers
+// should use AllModes. factors must all be non-nil (every mode
+// participates in some contraction).
+func AllModesRef(x *tensor.Dense, factors []*tensor.Matrix) *Result {
+	N := x.Order()
+	R := validate(x, factors)
 	res := &Result{B: make([]*tensor.Matrix, N)}
 	allModes := make([]int, N)
 	for i := range allModes {
@@ -129,6 +139,16 @@ func (res *Result) contractRoot(x *tensor.Dense, factors []*tensor.Matrix, R int
 	}
 	rStride := acc
 
+	// Hoisted out of the element loop: the dropped factors' raw
+	// column-major storage and row counts, so the rank loop indexes
+	// slices directly instead of going through Matrix.At.
+	dropData := make([][]float64, len(drop))
+	dropRows := make([]int, len(drop))
+	for i, k := range drop {
+		dropData[i] = factors[k].Data()
+		dropRows[i] = factors[k].Rows()
+	}
+
 	idx := make([]int, N)
 	data := x.Data()
 	outData := out.Data()
@@ -140,8 +160,8 @@ func (res *Result) contractRoot(x *tensor.Dense, factors []*tensor.Matrix, R int
 		}
 		for r := 0; r < R; r++ {
 			p := v
-			for _, k := range drop {
-				p *= factors[k].At(idx[k], r)
+			for i, k := range drop {
+				p *= dropData[i][idx[k]+r*dropRows[i]]
 			}
 			outData[base+r*rStride] += p
 		}
@@ -191,16 +211,30 @@ func (res *Result) contractPartial(part *tensor.Dense, modes []int, factors []*t
 		dropPos[i] = posOf(modes, k)
 	}
 
+	// The rank index is the partial's last (slowest-varying) mode, so
+	// r is constant over long runs of offsets: hoist the dropped
+	// factors' rank-r column slices and the output's rank-r base,
+	// refreshing them only when r advances.
+	dropCols := make([][]float64, len(drop))
 	idx := make([]int, len(pd))
 	data := part.Data()
 	outData := out.Data()
+	lastR := -1
+	outBase := 0
 	for off := 0; off < len(data); off++ {
 		r := idx[len(pd)-1]
-		p := data[off]
-		for i, k := range drop {
-			p *= factors[k].At(idx[dropPos[i]], r)
+		if r != lastR {
+			for i, k := range drop {
+				dropCols[i] = factors[k].Col(r)
+			}
+			outBase = r * rStride
+			lastR = r
 		}
-		base := r * rStride
+		p := data[off]
+		for i := range drop {
+			p *= dropCols[i][idx[dropPos[i]]]
+		}
+		base := outBase
 		for i := range keep {
 			base += idx[keepPos[i]] * keepStride[i]
 		}
@@ -211,21 +245,22 @@ func (res *Result) contractPartial(part *tensor.Dense, modes []int, factors []*t
 	return out
 }
 
-// ContractTensor computes the partial MTTKRP T(i_keep, r) =
+// ContractTensorRef computes the partial MTTKRP T(i_keep, r) =
 // sum_{i_drop} X(i) prod_{k in drop} A(k)(i_k, r) directly from the
-// tensor, returning the partial (dims: kept extents + R) and the flop
-// count. Exported for algorithms that manage their own partials
-// (e.g. dimension-tree ALS).
-func ContractTensor(x *tensor.Dense, factors []*tensor.Matrix, R int, keep []int) (*tensor.Dense, int64) {
+// tensor with the scalar kernel, returning the partial (dims: kept
+// extents + R) and the flop count. It accepts arbitrary keep sets and
+// serves as the oracle for the Engine's GEMM-based contractions.
+func ContractTensorRef(x *tensor.Dense, factors []*tensor.Matrix, R int, keep []int) (*tensor.Dense, int64) {
 	scratch := &Result{}
 	out := scratch.contractRoot(x, factors, R, keep)
 	return out, scratch.Flops
 }
 
-// ContractPartial contracts away modes of an existing partial (last
-// dimension r): modes lists the partial's tensor modes in order, keep
-// the modes to retain. Returns the new partial and the flop count.
-func ContractPartial(part *tensor.Dense, modes []int, factors []*tensor.Matrix, R int, keep []int) (*tensor.Dense, int64) {
+// ContractPartialRef contracts away modes of an existing partial (last
+// dimension r) with the scalar kernel: modes lists the partial's
+// tensor modes in order, keep the modes to retain. Returns the new
+// partial and the flop count.
+func ContractPartialRef(part *tensor.Dense, modes []int, factors []*tensor.Matrix, R int, keep []int) (*tensor.Dense, int64) {
 	scratch := &Result{}
 	out := scratch.contractPartial(part, modes, factors, R, keep)
 	return out, scratch.Flops

@@ -1,0 +1,187 @@
+package dimtree
+
+import (
+	"testing"
+
+	"repro/internal/kernel"
+	"repro/internal/seq"
+	"repro/internal/tensor"
+)
+
+// engineShapes covers orders 3-5, non-cubical extents, and degenerate
+// (extent-1) modes in every position class (prefix, interior, suffix).
+var engineShapes = [][]int{
+	{3, 4, 5},
+	{9, 2, 6},
+	{1, 5, 4},
+	{4, 5, 1},
+	{2, 7, 3, 4},
+	{3, 1, 4, 2},
+	{2, 3, 2, 4, 3},
+	{3, 1, 4, 1, 2},
+}
+
+// TestEngineMatchesOracleAndKernel: the GEMM engine agrees with the
+// scalar tree oracle and with N independent KRP-splitting kernel calls
+// to 1e-10, at every worker count.
+func TestEngineMatchesOracleAndKernel(t *testing.T) {
+	for _, dims := range engineShapes {
+		R := 4
+		x := tensor.RandomDense(41, dims...)
+		fs := tensor.RandomFactors(43, dims, R)
+		want := AllModesRef(x, fs)
+		for _, w := range []int{1, 2, 8} {
+			got := AllModesWorkers(x, fs, w)
+			for n := range dims {
+				if !got.B[n].EqualApprox(want.B[n], 1e-10) {
+					t.Fatalf("dims %v workers %d mode %d: vs oracle diff %g",
+						dims, w, n, got.B[n].MaxAbsDiff(want.B[n]))
+				}
+				indep := kernel.FastWorkers(x, fs, n, w)
+				if !got.B[n].EqualApprox(indep, 1e-10) {
+					t.Fatalf("dims %v workers %d mode %d: vs kernel diff %g",
+						dims, w, n, got.B[n].MaxAbsDiff(indep))
+				}
+			}
+		}
+	}
+}
+
+// TestEngineBitwiseWorkerIndependence: the engine's documented
+// contract — not tolerance-equal, bitwise-equal at any parallelism.
+func TestEngineBitwiseWorkerIndependence(t *testing.T) {
+	for _, dims := range [][]int{{8, 8, 8}, {6, 5, 4, 3}, {3, 4, 2, 3, 2}} {
+		R := 5
+		x := tensor.RandomDense(47, dims...)
+		fs := tensor.RandomFactors(53, dims, R)
+		base := AllModesWorkers(x, fs, 1)
+		for _, w := range []int{2, 3, 8} {
+			got := AllModesWorkers(x, fs, w)
+			for n := range dims {
+				bd, gd := base.B[n].Data(), got.B[n].Data()
+				for i := range bd {
+					if gd[i] != bd[i] {
+						t.Fatalf("dims %v workers %d mode %d elem %d: %x != %x",
+							dims, w, n, i, gd[i], bd[i])
+					}
+				}
+			}
+			if got.Flops != base.Flops {
+				t.Fatalf("dims %v workers %d: flops %d != %d", dims, w, got.Flops, base.Flops)
+			}
+		}
+	}
+}
+
+// TestEngineZeroAllocSteadyState: a warmed engine traversing the tree
+// into a reused Result allocates nothing — the multi-MTTKRP analogue
+// of the kernel package's FastInto guarantee.
+func TestEngineZeroAllocSteadyState(t *testing.T) {
+	for _, dims := range [][]int{{16, 16, 16}, {8, 6, 4, 5, 3}} {
+		R := 4
+		x := tensor.RandomDense(59, dims...)
+		fs := tensor.RandomFactors(61, dims, R)
+		e := NewEngine(1)
+		res := &Result{}
+		e.AllModesInto(res, x, fs) // warm buffers and output matrices
+		if allocs := testing.AllocsPerRun(10, func() { e.AllModesInto(res, x, fs) }); allocs != 0 {
+			t.Errorf("dims %v: steady state allocates %v objects/op, want 0", dims, allocs)
+		}
+	}
+}
+
+// TestEngineContractTensorMatchesRef: every contiguous keep range of
+// an order-4 tensor (prefix, suffix, interior, full) agrees with the
+// scalar kernel, and a non-contiguous keep falls back to it exactly.
+func TestEngineContractTensorMatchesRef(t *testing.T) {
+	dims := []int{3, 4, 2, 5}
+	R := 3
+	x := tensor.RandomDense(67, dims...)
+	fs := tensor.RandomFactors(71, dims, R)
+	e := NewEngine(2)
+	for lo := 0; lo < 4; lo++ {
+		for hi := lo + 1; hi <= 4; hi++ {
+			keep := make([]int, 0, hi-lo)
+			for k := lo; k < hi; k++ {
+				keep = append(keep, k)
+			}
+			want, _ := ContractTensorRef(x, fs, R, keep)
+			got, _ := e.ContractTensor(x, fs, R, keep)
+			assertDenseApprox(t, got, want, 1e-10, "keep", keep)
+		}
+	}
+	// Non-contiguous keep routes through the scalar fallback.
+	want, wantFl := ContractTensorRef(x, fs, R, []int{0, 2})
+	got, gotFl := e.ContractTensor(x, fs, R, []int{0, 2})
+	assertDenseApprox(t, got, want, 0, "keep", []int{0, 2})
+	if gotFl != wantFl {
+		t.Fatalf("fallback flops %d != %d", gotFl, wantFl)
+	}
+}
+
+// TestEngineContractPartialMatchesRef: partial contractions over a
+// mid-tree partial (modes 1..3 of an order-4 tensor) agree with the
+// scalar kernel for every contiguous keep sub-range, including the
+// degenerate keep == modes identity.
+func TestEngineContractPartialMatchesRef(t *testing.T) {
+	dims := []int{3, 4, 2, 5}
+	R := 3
+	x := tensor.RandomDense(73, dims...)
+	fs := tensor.RandomFactors(79, dims, R)
+	modes := []int{1, 2, 3}
+	part, _ := ContractTensorRef(x, fs, R, modes)
+	e := NewEngine(2)
+	for lo := 1; lo < 4; lo++ {
+		for hi := lo + 1; hi <= 4; hi++ {
+			keep := make([]int, 0, hi-lo)
+			for k := lo; k < hi; k++ {
+				keep = append(keep, k)
+			}
+			want, _ := ContractPartialRef(part, modes, fs, R, keep)
+			got, _ := e.ContractPartial(part, modes, fs, R, keep)
+			assertDenseApprox(t, got, want, 1e-10, "partial keep", keep)
+		}
+	}
+	// Non-contiguous keep routes through the scalar fallback.
+	want, _ := ContractPartialRef(part, modes, fs, R, []int{1, 3})
+	got, _ := e.ContractPartial(part, modes, fs, R, []int{1, 3})
+	assertDenseApprox(t, got, want, 0, "partial keep", []int{1, 3})
+}
+
+// TestEngineLeavesMatchSeqRef anchors the whole chain to the atomic
+// reference kernel, independent of both tree implementations.
+func TestEngineLeavesMatchSeqRef(t *testing.T) {
+	dims := []int{5, 3, 6, 2}
+	R := 4
+	x := tensor.RandomDense(83, dims...)
+	fs := tensor.RandomFactors(89, dims, R)
+	res := AllModes(x, fs)
+	for n := range dims {
+		want := seq.Ref(x, fs, n)
+		if !res.B[n].EqualApprox(want, 1e-10) {
+			t.Fatalf("mode %d: vs seq.Ref diff %g", n, res.B[n].MaxAbsDiff(want))
+		}
+	}
+}
+
+func assertDenseApprox(t *testing.T, got, want *tensor.Dense, tol float64, what string, keep []int) {
+	t.Helper()
+	if got.Order() != want.Order() {
+		t.Fatalf("%s %v: order %d != %d", what, keep, got.Order(), want.Order())
+	}
+	for k := 0; k < got.Order(); k++ {
+		if got.Dim(k) != want.Dim(k) {
+			t.Fatalf("%s %v: dim %d is %d, want %d", what, keep, k, got.Dim(k), want.Dim(k))
+		}
+	}
+	gd, wd := got.Data(), want.Data()
+	for i := range gd {
+		d := gd[i] - wd[i]
+		if d < 0 {
+			d = -d
+		}
+		if d > tol {
+			t.Fatalf("%s %v: elem %d differs by %g (tol %g)", what, keep, i, d, tol)
+		}
+	}
+}

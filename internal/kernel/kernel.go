@@ -33,6 +33,8 @@ package kernel
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/linalg"
 	"repro/internal/tensor"
@@ -88,50 +90,134 @@ func FastInto(b *tensor.Matrix, x *tensor.Dense, factors []*tensor.Matrix, n, wo
 	switch {
 	case n == 0:
 		// B = X_(0) * KR: the mode-0 unfolding is the memory layout.
-		krpRangeInto(ws.krRight, factors, 1, N, R)
+		KRPInto(ws.krRight, factors, 1, N, R)
 		linalg.GemmNN(bd, data, ws.krRight, In, Rt, R, workers)
 	case n == N-1:
 		// B = X_flat^T * KL over the (L x I_n) natural reshape.
-		krpRangeInto(ws.krLeft, factors, 0, N-1, R)
+		KRPInto(ws.krLeft, factors, 0, N-1, R)
 		linalg.GemmTN(bd, data, ws.krLeft, L, In, R, workers)
 	default:
-		krpRangeInto(ws.krLeft, factors, 0, n, R)
-		krpRangeInto(ws.krRight, factors, n+1, N, R)
-		interior(bd, data, ws, L, In, Rt, R, workers)
+		KRPInto(ws.krLeft, factors, 0, n, R)
+		KRPInto(ws.krRight, factors, n+1, N, R)
+		interior(bd, data, ws.krLeft, ws.krRight, L, In, Rt, R, workers, ws)
 	}
 }
 
-// interior runs the split-mode slab passes: per worker, a private
-// accumulator collects KR-weighted W_t = X_t^T * KL contributions over
-// a contiguous slab range; privates then combine by tree reduction
-// directly into b's storage (which serves as accumulator 0).
-func interior(bd, data []float64, ws *Workspace, L, In, Rt, R, workers int) {
-	if workers > Rt {
-		workers = Rt
+// Contract3 computes the generic KRP-weighted 3-way contraction
+//
+//	out(i, r) = sum_{l, t} data(l, i, t) * kl(l, r) * kr(t, r)
+//
+// treating data as an (L, M, Rt) column-major 3-tensor; out is M x R,
+// overwritten. kl must be L x R and kr Rt x R, both column-major. A nil
+// kl asserts that no left modes are contracted (L must be 1, the
+// weight is 1); a nil kr likewise requires Rt == 1. This is the
+// substrate shared by the single-mode MTTKRP (M = I_n) and the
+// dimension tree's root contractions (M = a product of kept modes):
+// the boundary cases are one blocked GEMM over the natural layout, the
+// two-sided case runs slab passes accumulated into a fixed number of
+// buckets combined by ReduceTree, so results are bitwise independent
+// of the worker count. ws supplies scratch (nil borrows a pooled one);
+// workers <= 0 selects the linalg default.
+func Contract3(out, data, kl, kr []float64, L, M, Rt, R, workers int, ws *Workspace) {
+	if len(out) < M*R || len(data) < L*M*Rt {
+		panic("kernel: Contract3 slice too short")
 	}
-	InR := In * R
-	for i := range bd {
-		bd[i] = 0
+	switch {
+	case kl == nil && kr == nil:
+		panic("kernel: Contract3 needs at least one KRP panel")
+	case kl == nil:
+		if L != 1 {
+			panic("kernel: Contract3 nil kl with L > 1")
+		}
+		linalg.GemmNN(out, data, kr, M, Rt, R, workers)
+	case kr == nil:
+		if Rt != 1 {
+			panic("kernel: Contract3 nil kr with Rt > 1")
+		}
+		linalg.GemmTN(out, data, kl, L, M, R, workers)
+	default:
+		workers = linalg.ResolveWorkers(workers)
+		if ws == nil {
+			ws = GetWorkspace()
+			defer PutWorkspace(ws)
+		}
+		ws.ensureScratch(M, Rt, R, workers)
+		interior(out, data, kl, kr, L, M, Rt, R, workers, ws)
 	}
-	if workers <= 1 {
-		interiorSlabs(bd, ws.scratch[:InR], data, ws.krLeft, ws.krRight, L, In, Rt, R, 0, Rt)
+}
+
+// interiorChunks is the fixed accumulation-bucket count of the
+// two-sided slab kernel. Slab ranges and the ReduceTree association
+// depend only on this constant and Rt — never on the worker count — so
+// the interior result is bitwise reproducible at any parallelism.
+const interiorChunks = 16
+
+// interior runs the split-mode slab passes: the Rt slabs are cut into
+// a fixed set of contiguous chunks, each chunk accumulates KR-weighted
+// W_t = X_t^T * KL contributions into its own bucket (bucket 0 is
+// out's storage), workers drain the chunk queue, and the buckets
+// combine by tree reduction.
+func interior(out, data, kl, kr []float64, L, M, Rt, R, workers int, ws *Workspace) {
+	nbuf := interiorChunks
+	if nbuf > Rt {
+		nbuf = Rt
+	}
+	MR := M * R
+	out = out[:MR]
+	for i := range out {
+		out[i] = 0
+	}
+	if nbuf == 1 {
+		interiorSlabs(out, ws.scratch[:MR], data, kl, kr, L, M, Rt, R, 0, Rt)
 		return
 	}
-	bufs := ws.bufs[:0]
-	bufs = append(bufs, bd)
-	priv := ws.priv[:(workers-1)*InR]
+	bufs := append(ws.bufs[:0], out)
+	priv := ws.priv[:(nbuf-1)*MR]
 	for i := range priv {
 		priv[i] = 0
 	}
-	for w := 1; w < workers; w++ {
-		bufs = append(bufs, priv[(w-1)*InR:w*InR])
+	for c := 1; c < nbuf; c++ {
+		bufs = append(bufs, priv[(c-1)*MR:c*MR])
 	}
-	parallelChunks(Rt, workers, func(w, t0, t1 int) {
-		wbuf := ws.scratch[w*InR : (w+1)*InR]
-		interiorSlabs(bufs[w], wbuf, data, ws.krLeft, ws.krRight, L, In, Rt, R, t0, t1)
-	})
+	if workers > nbuf {
+		workers = nbuf
+	}
+	if workers <= 1 {
+		for c := 0; c < nbuf; c++ {
+			interiorSlabs(bufs[c], ws.scratch[:MR], data, kl, kr, L, M, Rt, R, c*Rt/nbuf, (c+1)*Rt/nbuf)
+		}
+	} else {
+		// A separate function so the goroutine closure's captures don't
+		// force bufs/nbuf onto the heap in the serial path above.
+		interiorParallel(bufs, ws.scratch, data, kl, kr, L, M, Rt, R, nbuf, workers)
+	}
 	ReduceTree(bufs, workers)
 	ws.bufs = bufs[:0]
+}
+
+// interiorParallel drains the fixed chunk queue with `workers`
+// goroutines, each writing through its own GEMM scratch. Chunk c
+// always covers slabs [c*Rt/nbuf, (c+1)*Rt/nbuf) and accumulates into
+// bufs[c] regardless of which worker claims it.
+func interiorParallel(bufs [][]float64, scratch, data, kl, kr []float64, L, M, Rt, R, nbuf, workers int) {
+	MR := M * R
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			wbuf := scratch[w*MR : (w+1)*MR]
+			for {
+				c := int(next.Add(1)) - 1
+				if c >= nbuf {
+					return
+				}
+				interiorSlabs(bufs[c], wbuf, data, kl, kr, L, M, Rt, R, c*Rt/nbuf, (c+1)*Rt/nbuf)
+			}
+		}(w)
+	}
+	wg.Wait()
 }
 
 // interiorSlabs accumulates slabs [t0, t1) into acc (In x R).
@@ -154,13 +240,14 @@ func interiorSlabs(acc, wbuf, data, krLeft, krRight []float64, L, In, Rt, R, t0,
 	}
 }
 
-// krpRangeInto fills dst with the Khatri-Rao product of factors[lo:hi]
+// KRPInto fills dst with the Khatri-Rao product of factors[lo:hi]
 // (all participating, ascending mode order, smallest mode varying
 // fastest — matching the tensor layout), a (prod dims) x R
 // column-major matrix. Each column is expanded in place: growing the
 // product by one mode writes offsets >= the current length first, so
-// no temporary is needed.
-func krpRangeInto(dst []float64, factors []*tensor.Matrix, lo, hi, R int) {
+// no temporary is needed. Requires lo < hi and non-nil factors in the
+// range.
+func KRPInto(dst []float64, factors []*tensor.Matrix, lo, hi, R int) {
 	rows := 1
 	for k := lo; k < hi; k++ {
 		rows *= factors[k].Rows()

@@ -8,7 +8,7 @@ import (
 
 // Workspace holds every buffer the KRP-splitting MTTKRP needs: the
 // left and right partial Khatri-Rao products, per-worker GEMM scratch,
-// and per-worker private accumulators for the slab reduction. Buffers
+// and per-chunk accumulation buckets for the slab reduction. Buffers
 // grow monotonically and are reused across calls, so a CP-ALS or HOOI
 // iteration that cycles through modes of one tensor reaches a steady
 // state with zero allocations.
@@ -19,7 +19,7 @@ type Workspace struct {
 	krLeft  []float64 // L x R column-major partial KRP of modes < n
 	krRight []float64 // Rt x R column-major partial KRP of modes > n
 	scratch []float64 // workers * In*R slab GEMM outputs
-	priv    []float64 // (workers-1) * In*R private accumulators
+	priv    []float64 // (chunks-1) * In*R accumulation buckets
 	bufs    [][]float64
 }
 
@@ -44,12 +44,26 @@ func NewWorkspace(dims []int, R, n int) *Workspace {
 func (ws *Workspace) ensure(L, Rt, In, R, workers int) {
 	ws.krLeft = grow(ws.krLeft, L*R)
 	ws.krRight = grow(ws.krRight, Rt*R)
-	ws.scratch = grow(ws.scratch, workers*In*R)
-	if workers > 1 {
-		ws.priv = grow(ws.priv, (workers-1)*In*R)
+	ws.ensureScratch(In, Rt, R, workers)
+}
+
+// ensureScratch grows only the slab-pass buffers (GEMM scratch and
+// accumulation buckets) for an M x R output over Rt slabs — what
+// Contract3 needs when the KRP panels live elsewhere.
+func (ws *Workspace) ensureScratch(M, Rt, R, workers int) {
+	nbuf := interiorChunks
+	if nbuf > Rt {
+		nbuf = Rt
 	}
-	if cap(ws.bufs) < workers {
-		ws.bufs = make([][]float64, 0, workers)
+	if workers < 1 {
+		workers = 1
+	}
+	ws.scratch = grow(ws.scratch, workers*M*R)
+	if nbuf > 1 {
+		ws.priv = grow(ws.priv, (nbuf-1)*M*R)
+	}
+	if cap(ws.bufs) < nbuf {
+		ws.bufs = make([][]float64, 0, nbuf)
 	}
 }
 

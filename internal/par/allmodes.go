@@ -98,8 +98,10 @@ func AllModesStationary(x *tensor.Dense, factors []*tensor.Matrix, shape []int) 
 
 		// All local MTTKRPs from one dimension-tree pass over the
 		// block (the computation half of the multi-MTTKRP saving),
-		// then one Reduce-Scatter per mode.
-		local := dimtree.AllModes(localX[rank], gathered)
+		// then one Reduce-Scatter per mode. Each simulated rank is
+		// already its own goroutine, so the engine runs serially
+		// within a rank.
+		local := dimtree.AllModesWorkers(localX[rank], gathered, 1)
 		outShards[rank] = make([][]float64, N)
 		for n := 0; n < N; n++ {
 			c := local.B[n]
