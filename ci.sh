@@ -1,13 +1,22 @@
 #!/bin/sh
-# CI gate: vet everything, run the full test suite, then re-run the
-# engine-adjacent packages (kernel, seq, par, dimtree, cpals) under the
-# race detector — those are the packages with goroutine-parallel
-# accumulation and tree reductions.
+# CI gate: formatting, vet, the repo's own static-analysis suite
+# (repolint), the full test suite, then a race-detector pass over the
+# packages with goroutine-parallel accumulation and tree reductions
+# (kernel, seq, par, dimtree, cpals) plus the blocked linear algebra
+# and sparse layers they fan out into.
 #
 # Usage: ./ci.sh
 set -eu
 
 cd "$(dirname "$0")"
+
+echo "== gofmt =="
+unformatted=$(gofmt -l cmd internal)
+if [ -n "$unformatted" ]; then
+	echo "gofmt: the following files need formatting:" >&2
+	echo "$unformatted" >&2
+	exit 1
+fi
 
 echo "== go vet =="
 go vet ./...
@@ -15,10 +24,13 @@ go vet ./...
 echo "== go build =="
 go build ./...
 
+echo "== repolint =="
+go run ./cmd/repolint ./...
+
 echo "== go test =="
 go test ./...
 
 echo "== go test -race (engine packages) =="
-go test -race ./internal/kernel/... ./internal/seq/... ./internal/par/... ./internal/dimtree/... ./internal/cpals/...
+go test -race ./internal/kernel/... ./internal/seq/... ./internal/par/... ./internal/dimtree/... ./internal/cpals/... ./internal/sparse/... ./internal/linalg/...
 
 echo "ci: OK"

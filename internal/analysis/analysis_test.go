@@ -1,0 +1,144 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestFixtureGolden loads the testdata/src fixture tree as a
+// stand-alone module ("fix") and compares every analyzer's output,
+// per fixture package, against that package's golden.txt. Run with
+// REPOLINT_UPDATE=1 to regenerate the goldens.
+func TestFixtureGolden(t *testing.T) {
+	root := filepath.Join("testdata", "src")
+	prog, err := Load(root, "fix")
+	if err != nil {
+		t.Fatalf("load fixtures: %v", err)
+	}
+	diags := RunSuite(prog, DefaultAnalyzers(DefaultConfig()))
+
+	got := make(map[string][]string) // fixture dir -> diagnostic lines
+	for _, d := range diags {
+		dir, _, ok := strings.Cut(d.Pos.Filename, "/")
+		if !ok {
+			t.Fatalf("diagnostic outside a fixture dir: %s", d)
+		}
+		got[dir] = append(got[dir], d.String())
+	}
+
+	entries, err := os.ReadDir(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	update := os.Getenv("REPOLINT_UPDATE") != ""
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		dir := e.Name()
+		t.Run(dir, func(t *testing.T) {
+			goldenPath := filepath.Join(root, dir, "golden.txt")
+			gotText := ""
+			if len(got[dir]) > 0 {
+				gotText = strings.Join(got[dir], "\n") + "\n"
+			}
+			if update {
+				if err := os.WriteFile(goldenPath, []byte(gotText), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(goldenPath)
+			if err != nil {
+				t.Fatalf("missing golden (run with REPOLINT_UPDATE=1): %v", err)
+			}
+			if gotText != string(want) {
+				t.Errorf("diagnostics differ from %s\n--- got ---\n%s--- want ---\n%s", goldenPath, gotText, want)
+			}
+		})
+	}
+}
+
+// TestSeededViolations spot-checks that the golden corpus really
+// covers all four analyzers — the CI gate is only meaningful if a
+// seeded violation of each invariant is demonstrably caught.
+func TestSeededViolations(t *testing.T) {
+	prog, err := Load(filepath.Join("testdata", "src"), "fix")
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make(map[string]int)
+	for _, d := range RunSuite(prog, DefaultAnalyzers(DefaultConfig())) {
+		counts[d.Analyzer]++
+	}
+	for _, a := range DefaultAnalyzers(DefaultConfig()) {
+		if counts[a.Name()] == 0 {
+			t.Errorf("analyzer %s caught no seeded violation in the fixtures", a.Name())
+		}
+	}
+}
+
+// TestRealTreeClean runs the full suite over the repository itself:
+// the invariants hold on the real tree, so any diagnostic is a
+// regression (or a new site needing an audited //repro: annotation).
+func TestRealTreeClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short")
+	}
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(root, "go.mod")); err != nil {
+		t.Skipf("module root not found: %v", err)
+	}
+	prog, err := Load(root, "")
+	if err != nil {
+		t.Fatalf("load module: %v", err)
+	}
+	diags := RunSuite(prog, DefaultAnalyzers(DefaultConfig()))
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}
+
+func TestDirectiveParsing(t *testing.T) {
+	cases := []struct {
+		text string
+		verb string
+		args []string
+		ok   bool
+	}{
+		{"//repro:hotpath", "hotpath", nil, true},
+		{"//repro:bitwise exact-zero guard", "bitwise", nil, true},
+		{"//repro:ignore float-eq legacy", "ignore", []string{"float-eq"}, true},
+		{"//repro:ignore float-eq,errcheck-lite why", "ignore", []string{"float-eq", "errcheck-lite"}, true},
+		{"// repro:ignore float-eq", "", nil, false}, // space: not a directive
+		{"// ordinary comment", "", nil, false},
+		{"//repro:", "", nil, false},
+	}
+	for _, c := range cases {
+		d, ok := parseDirective(c.text)
+		if ok != c.ok {
+			t.Errorf("%q: ok = %v, want %v", c.text, ok, c.ok)
+			continue
+		}
+		if !ok {
+			continue
+		}
+		if d.verb != c.verb {
+			t.Errorf("%q: verb = %q, want %q", c.text, d.verb, c.verb)
+		}
+		if len(d.args) != len(c.args) {
+			t.Errorf("%q: args = %v, want %v", c.text, d.args, c.args)
+			continue
+		}
+		for i := range d.args {
+			if d.args[i] != c.args[i] {
+				t.Errorf("%q: args = %v, want %v", c.text, d.args, c.args)
+			}
+		}
+	}
+}

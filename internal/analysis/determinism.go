@@ -1,0 +1,187 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Determinism guards the run-to-run and worker-count reproducibility
+// of the engine packages (kernel, dimtree, seq, par, cpals by
+// default). Three hazards are flagged:
+//
+//  1. ranging over a map while accumulating with a compound assignment
+//     (+=, -=, *=, /=): map iteration order is randomized, so
+//     floating-point accumulation becomes order-dependent (collecting
+//     keys and sorting them first is the sanctioned idiom);
+//  2. calling time.Now or the global math/rand generators outside the
+//     seeded-constructor pattern (rand.New / rand.NewSource are
+//     allowed; methods on an explicitly constructed *rand.Rand are
+//     deterministic given the seed);
+//  3. compound-assigning into state captured from an enclosing scope
+//     inside a `go` closure, unless the enclosing function merges the
+//     private buffers through kernel.ReduceTree — the engines'
+//     worker-count-independent reduction. Disjoint plain writes
+//     (out[w] = ...) are fine; shared read-modify-write is not.
+type Determinism struct {
+	// EnginePackages are final import-path elements to cover.
+	EnginePackages []string
+}
+
+// Name implements Analyzer.
+func (Determinism) Name() string { return "determinism" }
+
+// Run implements Analyzer.
+func (a Determinism) Run(prog *Program) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range prog.Pkgs {
+		if !a.covers(pkg.Path) {
+			continue
+		}
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				diags = append(diags, a.checkFunc(prog, pkg, fd)...)
+			}
+		}
+	}
+	return diags
+}
+
+// covers reports whether the unit's import path names an engine
+// package (external _test units of engine packages are covered too).
+func (a Determinism) covers(path string) bool {
+	last := path[strings.LastIndex(path, "/")+1:]
+	last = strings.TrimSuffix(last, "_test")
+	for _, p := range a.EnginePackages {
+		if last == p {
+			return true
+		}
+	}
+	return false
+}
+
+func (a Determinism) checkFunc(prog *Program, pkg *Package, fd *ast.FuncDecl) []Diagnostic {
+	var diags []Diagnostic
+	report := func(n ast.Node, format string, args ...any) {
+		diags = append(diags, Diagnostic{
+			Pos:      prog.Fset.Position(n.Pos()),
+			Analyzer: a.Name(),
+			Message:  fmt.Sprintf(format, args...),
+		})
+	}
+	info := pkg.Info
+	reduces := callsReduceTree(fd.Body, info)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			if _, ok := info.Types[n.X].Type.Underlying().(*types.Map); !ok {
+				break
+			}
+			ast.Inspect(n.Body, func(m ast.Node) bool {
+				if as, ok := m.(*ast.AssignStmt); ok && isCompound(as.Tok) {
+					report(as, "order-dependent accumulation inside a map range (map iteration order is randomized); collect and sort keys first")
+				}
+				return true
+			})
+		case *ast.CallExpr:
+			obj, _ := calleeObject(n, info).(*types.Func)
+			if obj == nil || obj.Pkg() == nil {
+				break
+			}
+			switch obj.Pkg().Path() {
+			case "time":
+				if obj.Name() == "Now" {
+					report(n, "time.Now in an engine package breaks reproducibility; thread timestamps in from the caller")
+				}
+			case "math/rand", "math/rand/v2":
+				if obj.Name() == "New" || obj.Name() == "NewSource" || obj.Name() == "NewPCG" || obj.Name() == "NewChaCha8" {
+					break // the seeded-constructor pattern
+				}
+				if recvIsRand(obj) {
+					break // methods on an explicitly seeded *rand.Rand
+				}
+				report(n, "global math/rand generator is unseeded and process-global; use rand.New(rand.NewSource(seed))")
+			}
+		case *ast.GoStmt:
+			lit, ok := n.Call.Fun.(*ast.FuncLit)
+			if !ok || reduces {
+				break
+			}
+			ast.Inspect(lit.Body, func(m ast.Node) bool {
+				as, ok := m.(*ast.AssignStmt)
+				if !ok || !isCompound(as.Tok) {
+					return true
+				}
+				if v := sharedBase(as.Lhs[0], lit, info); v != "" {
+					report(as, "goroutine accumulates into captured %q; merge private buffers with kernel.ReduceTree or write disjoint outputs", v)
+				}
+				return true
+			})
+		}
+		return true
+	})
+	return diags
+}
+
+func isCompound(tok token.Token) bool {
+	switch tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		return true
+	}
+	return false
+}
+
+// sharedBase returns the name of the outer-scope variable a compound
+// assignment inside a goroutine closure targets ("" when the target is
+// closure-local). Both direct targets (s += v) and indexed targets
+// (out[i] += v, grid[i][j] += v) count.
+func sharedBase(lhs ast.Expr, lit *ast.FuncLit, info *types.Info) string {
+	for {
+		switch e := lhs.(type) {
+		case *ast.IndexExpr:
+			lhs = e.X
+			continue
+		case *ast.Ident:
+			v, ok := info.Uses[e].(*types.Var)
+			if ok && !v.IsField() && (v.Pos() < lit.Pos() || v.Pos() > lit.End()) {
+				return v.Name()
+			}
+			return ""
+		default:
+			return ""
+		}
+	}
+}
+
+// callsReduceTree reports whether a function body calls ReduceTree
+// from a package whose path ends in "kernel" — the sanctioned
+// worker-count-independent merge.
+func callsReduceTree(body *ast.BlockStmt, info *types.Info) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if obj, _ := calleeObject(call, info).(*types.Func); obj != nil && obj.Name() == "ReduceTree" {
+			if p := obj.Pkg(); p != nil && (p.Path() == "kernel" || strings.HasSuffix(p.Path(), "/kernel")) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// recvIsRand reports whether a function is a method on a math/rand
+// type (e.g. (*rand.Rand).Float64) rather than a package-level global.
+func recvIsRand(obj *types.Func) bool {
+	sig, ok := obj.Type().(*types.Signature)
+	return ok && sig.Recv() != nil
+}

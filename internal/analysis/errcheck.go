@@ -1,0 +1,103 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ErrcheckLite flags error returns that are silently discarded: a call
+// whose result set includes an error used as a bare statement, or
+// behind go/defer. Explicit discards (_ = f()) are visible in review
+// and allowed. Exemptions: the main and init functions of main
+// packages (process exit is the error handler there) and callees on
+// the configured allowlist (best-effort writers like fmt.Print* and
+// in-memory buffers whose errors are unreachable).
+type ErrcheckLite struct {
+	// Allowlist holds qualified-name prefixes, e.g. "fmt.Print" or
+	// "(*bytes.Buffer).".
+	Allowlist []string
+}
+
+// Name implements Analyzer.
+func (ErrcheckLite) Name() string { return "errcheck-lite" }
+
+// Run implements Analyzer.
+func (a ErrcheckLite) Run(prog *Program) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range prog.Pkgs {
+		isMain := pkg.Types.Name() == "main"
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				if isMain && fd.Recv == nil && (fd.Name.Name == "main" || fd.Name.Name == "init") {
+					continue
+				}
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					var call *ast.CallExpr
+					switch n := n.(type) {
+					case *ast.ExprStmt:
+						call, _ = n.X.(*ast.CallExpr)
+					case *ast.GoStmt:
+						call = n.Call
+					case *ast.DeferStmt:
+						call = n.Call
+					}
+					if call == nil || !a.returnsError(call, pkg.Info) || a.allowed(call, pkg.Info) {
+						return true
+					}
+					diags = append(diags, Diagnostic{
+						Pos:      prog.Fset.Position(call.Pos()),
+						Analyzer: a.Name(),
+						Message:  "error return silently discarded; handle it or discard explicitly with _ =",
+					})
+					return true
+				})
+			}
+		}
+	}
+	return diags
+}
+
+// returnsError reports whether the call's result set includes an
+// error.
+func (a ErrcheckLite) returnsError(call *ast.CallExpr, info *types.Info) bool {
+	tv, ok := info.Types[call]
+	if !ok {
+		return false
+	}
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if isErrorType(t.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	default:
+		return isErrorType(tv.Type)
+	}
+}
+
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+// allowed reports whether the callee's qualified name matches the
+// allowlist.
+func (a ErrcheckLite) allowed(call *ast.CallExpr, info *types.Info) bool {
+	obj, _ := calleeObject(call, info).(*types.Func)
+	if obj == nil {
+		return false
+	}
+	name := obj.FullName()
+	for _, prefix := range a.Allowlist {
+		if strings.HasPrefix(name, prefix) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,99 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// FloatEq forbids raw ==/!= between floating-point values (including
+// arrays and structs whose comparison is element-wise over floats).
+// Rounding makes such comparisons order- and optimization-sensitive;
+// the engines compare against oracles through tolerances instead. The
+// sanctioned exceptions — bitwise worker-count-reproducibility tests
+// and exact-zero sparsity skips (x == 0 on a value that was stored,
+// never computed) — carry a //repro:bitwise directive. The NaN idiom
+// x != x is always allowed.
+//
+// Non-test files are checked in every package. Test files are checked
+// only in TestScope packages (the engines, whose reproducibility
+// contract the bitwise tests document); elsewhere tests assert exact
+// analytic model values and raw comparison is the intended semantics.
+type FloatEq struct {
+	// TestScope are final import-path elements of packages whose
+	// _test.go files are also checked.
+	TestScope []string
+}
+
+// Name implements Analyzer.
+func (FloatEq) Name() string { return "float-eq" }
+
+// Run implements Analyzer.
+func (a FloatEq) Run(prog *Program) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range prog.Pkgs {
+		inScope := a.inTestScope(pkg.Path)
+		for _, f := range pkg.Files {
+			if !inScope && strings.HasSuffix(prog.Fset.Position(f.Pos()).Filename, "_test.go") {
+				continue
+			}
+			ast.Inspect(f, func(n ast.Node) bool {
+				be, ok := n.(*ast.BinaryExpr)
+				if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+					return true
+				}
+				tv, ok := pkg.Info.Types[be.X]
+				if !ok || !comparesFloats(tv.Type) {
+					return true
+				}
+				if types.ExprString(be.X) == types.ExprString(be.Y) {
+					return true // x != x: the NaN check idiom
+				}
+				pos := prog.Fset.Position(be.OpPos)
+				if prog.Directives.Bitwise(pos) {
+					return true
+				}
+				diags = append(diags, Diagnostic{
+					Pos:      pos,
+					Analyzer: a.Name(),
+					Message:  "float equality is rounding-sensitive; compare through a tolerance or annotate //repro:bitwise",
+				})
+				return true
+			})
+		}
+	}
+	return diags
+}
+
+// inTestScope reports whether the unit's final import-path element
+// names a package whose test files are checked too.
+func (a FloatEq) inTestScope(path string) bool {
+	last := path[strings.LastIndex(path, "/")+1:]
+	last = strings.TrimSuffix(last, "_test")
+	for _, p := range a.TestScope {
+		if last == p {
+			return true
+		}
+	}
+	return false
+}
+
+// comparesFloats reports whether ==/!= on the type reduces to
+// floating-point equality somewhere: floats, complex, arrays of such,
+// or structs with such fields.
+func comparesFloats(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Basic:
+		return u.Info()&(types.IsFloat|types.IsComplex) != 0
+	case *types.Array:
+		return comparesFloats(u.Elem())
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if comparesFloats(u.Field(i).Type()) {
+				return true
+			}
+		}
+	}
+	return false
+}

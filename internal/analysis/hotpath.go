@@ -1,0 +1,257 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// HotpathAlloc enforces the zero-steady-state-allocation invariant:
+// a function whose doc comment carries //repro:hotpath — and every
+// function it statically calls within the module, transitively — may
+// not contain make, new, append, fmt string formatting, slice/map
+// composite literals, escaping (&-taken) composite literals, or
+// closures that capture local variables by reference.
+//
+// Exemptions: code inside the arguments of a panic(...) call is the
+// failure path and is not checked; a //repro:ignore hotpath-alloc on a
+// call line cuts propagation into that callee (the call is audited,
+// e.g. a grow-only workspace primitive); a function-level ignore skips
+// the function entirely. Calls through interfaces and function values
+// are not followed — keep hot paths direct.
+type HotpathAlloc struct{}
+
+// Name implements Analyzer.
+func (HotpathAlloc) Name() string { return "hotpath-alloc" }
+
+// fmtAllocFuncs are the fmt functions that build a string or slice on
+// every call; on a hot path they are both an allocation and a hint
+// that formatting leaked out of the failure path.
+var fmtAllocFuncs = map[string]bool{
+	"Sprintf": true, "Sprint": true, "Sprintln": true, "Errorf": true,
+	"Appendf": true, "Append": true, "Appendln": true,
+}
+
+type funcNode struct {
+	decl *ast.FuncDecl
+	pkg  *Package
+	obj  *types.Func
+}
+
+// Run implements Analyzer: collect every declared function, seed a
+// worklist with the //repro:hotpath roots, and walk the static call
+// graph breadth-first, checking each reached body once.
+func (a HotpathAlloc) Run(prog *Program) []Diagnostic {
+	reg := make(map[string]*funcNode)
+	for _, pkg := range prog.Pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				reg[obj.FullName()] = &funcNode{decl: fd, pkg: pkg, obj: obj}
+			}
+		}
+	}
+	type item struct{ key, root string }
+	var work []item
+	for key, fn := range reg {
+		if hasVerb(fn.decl.Doc, "hotpath") {
+			work = append(work, item{key, fn.pkg.Types.Name() + "." + fn.decl.Name.Name})
+		}
+	}
+	sort.Slice(work, func(i, j int) bool { return work[i].key < work[j].key })
+
+	var diags []Diagnostic
+	seen := make(map[string]bool)
+	for len(work) > 0 {
+		it := work[0]
+		work = work[1:]
+		if seen[it.key] {
+			continue
+		}
+		seen[it.key] = true
+		fn := reg[it.key]
+		if fn == nil {
+			continue
+		}
+		if funcIgnores(fn.decl.Doc, a.Name()) {
+			continue // audited: no diagnostics, no propagation
+		}
+		ds, callees := a.checkBody(prog, fn, it.root)
+		diags = append(diags, ds...)
+		for _, key := range callees {
+			if !seen[key] {
+				work = append(work, item{key, it.root})
+			}
+		}
+	}
+	return diags
+}
+
+// checkBody walks one hot function body, returning its diagnostics
+// and the qualified names of module functions it calls.
+func (a HotpathAlloc) checkBody(prog *Program, fn *funcNode, root string) ([]Diagnostic, []string) {
+	var diags []Diagnostic
+	var callees []string
+	info := fn.pkg.Info
+	panicRanges := panicArgRanges(fn.decl.Body, info)
+	inPanic := func(n ast.Node) bool {
+		for _, r := range panicRanges {
+			if r.pos <= n.Pos() && n.End() <= r.end {
+				return true
+			}
+		}
+		return false
+	}
+	report := func(n ast.Node, format string, args ...any) {
+		pos := prog.Fset.Position(n.Pos())
+		msg := fmt.Sprintf(format, args...)
+		diags = append(diags, Diagnostic{
+			Pos:      pos,
+			Analyzer: a.Name(),
+			Message:  fmt.Sprintf("%s on hot path (via //repro:hotpath %s)", msg, root),
+		})
+	}
+	ast.Inspect(fn.decl.Body, func(n ast.Node) bool {
+		if n == nil {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			obj := calleeObject(n, info)
+			switch obj := obj.(type) {
+			case *types.Builtin:
+				if inPanic(n) {
+					break
+				}
+				switch obj.Name() {
+				case "make":
+					report(n, "make allocates")
+				case "new":
+					report(n, "new allocates")
+				case "append":
+					report(n, "append may grow and allocate")
+				}
+			case *types.Func:
+				pkg := obj.Pkg()
+				if pkg == nil {
+					break
+				}
+				if pkg.Path() == "fmt" && fmtAllocFuncs[obj.Name()] {
+					if !inPanic(n) {
+						report(n, "fmt.%s formats and allocates", obj.Name())
+					}
+					break
+				}
+				if pkg.Path() == prog.ModulePath || strings.HasPrefix(pkg.Path(), prog.ModulePath+"/") {
+					// A //repro:ignore on the call line audits the edge.
+					if !prog.Directives.Ignored(prog.Fset.Position(n.Pos()), a.Name()) {
+						callees = append(callees, obj.FullName())
+					}
+				}
+			}
+		case *ast.FuncLit:
+			if inPanic(n) {
+				break
+			}
+			if caps := capturedVars(n, info, fn.pkg.Types.Scope()); len(caps) > 0 {
+				report(n, "closure captures %s by reference (may heap-allocate)", strings.Join(caps, ", "))
+			}
+		case *ast.CompositeLit:
+			if inPanic(n) {
+				break
+			}
+			switch info.Types[n].Type.Underlying().(type) {
+			case *types.Slice:
+				report(n, "slice literal allocates")
+			case *types.Map:
+				report(n, "map literal allocates")
+			}
+		case *ast.UnaryExpr:
+			if n.Op != token.AND || inPanic(n) {
+				break
+			}
+			if _, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+				report(n, "&composite literal escapes to the heap")
+			}
+		}
+		return true
+	})
+	return diags, callees
+}
+
+// calleeObject resolves the object a call's Fun refers to, or nil for
+// dynamic calls (function values, interface methods) and conversions.
+func calleeObject(call *ast.CallExpr, info *types.Info) types.Object {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return info.Uses[fun]
+	case *ast.SelectorExpr:
+		return info.Uses[fun.Sel]
+	}
+	return nil
+}
+
+type posRange struct{ pos, end token.Pos }
+
+// panicArgRanges collects the source ranges of panic(...) arguments;
+// allocation there is the failure path, which the zero-alloc contract
+// does not cover.
+func panicArgRanges(body *ast.BlockStmt, info *types.Info) []posRange {
+	var ranges []posRange
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if b, ok := calleeObject(call, info).(*types.Builtin); ok && b.Name() == "panic" {
+			for _, arg := range call.Args {
+				ranges = append(ranges, posRange{arg.Pos(), arg.End()})
+			}
+		}
+		return true
+	})
+	return ranges
+}
+
+// capturedVars lists (in source order) the local variables a function
+// literal references but does not declare — closure captures, which
+// are by reference in Go. Package-level variables and struct fields
+// are not captures.
+func capturedVars(lit *ast.FuncLit, info *types.Info, pkgScope *types.Scope) []string {
+	seen := make(map[*types.Var]bool)
+	var caps []*types.Var
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := info.Uses[id].(*types.Var)
+		if !ok || v.IsField() || seen[v] {
+			return true
+		}
+		if v.Parent() == nil || v.Parent() == pkgScope || v.Parent().Parent() == types.Universe {
+			return true // package-level or universe
+		}
+		if v.Pos() < lit.Pos() || v.Pos() > lit.End() {
+			seen[v] = true
+			caps = append(caps, v)
+		}
+		return true
+	})
+	sort.Slice(caps, func(i, j int) bool { return caps[i].Pos() < caps[j].Pos() })
+	names := make([]string, len(caps))
+	for i, v := range caps {
+		names[i] = v.Name()
+	}
+	return names
+}

@@ -1,0 +1,239 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one analysis unit: a module package type-checked together
+// with its in-package _test.go files, or an external _test package.
+// Paths in diagnostics are slash-separated and relative to the load
+// root, so output is stable regardless of where the tool runs.
+type Package struct {
+	Path  string // import path ("repro/internal/kernel"; "..._test" for external test units)
+	Dir   string // slash-separated dir relative to the load root ("" for the root)
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Program holds every analysis unit of one module plus the shared
+// position table and directive index. Analyzers receive the whole
+// program so cross-package passes (hot-path propagation) see the full
+// call graph.
+type Program struct {
+	Fset       *token.FileSet
+	ModulePath string
+	Root       string
+	Pkgs       []*Package
+	Directives *Directives
+}
+
+// Load parses and type-checks every package under root (skipping
+// testdata, vendored, and hidden directories). modPath overrides the
+// module path; when empty it is read from root's go.mod. Each package
+// directory yields one unit of its non-test plus in-package test
+// files, and a second unit for an external _test package if present.
+// Standard-library imports are type-checked from source (stdlib-only:
+// no go/packages), module imports are resolved within root.
+func Load(root, modPath string) (*Program, error) {
+	root, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	if modPath == "" {
+		modPath, err = modulePath(filepath.Join(root, "go.mod"))
+		if err != nil {
+			return nil, err
+		}
+	}
+	fset := token.NewFileSet()
+	ld := &loader{
+		fset:     fset,
+		root:     root,
+		modPath:  modPath,
+		dirs:     make(map[string]*dirFiles),
+		base:     make(map[string]*types.Package),
+		building: make(map[string]bool),
+	}
+	ld.std = importer.ForCompiler(fset, "source", nil).(types.ImporterFrom)
+	if err := ld.parseTree(); err != nil {
+		return nil, err
+	}
+	prog := &Program{Fset: fset, ModulePath: modPath, Root: root}
+	paths := make([]string, 0, len(ld.dirs))
+	for p := range ld.dirs {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	for _, path := range paths {
+		df := ld.dirs[path]
+		if len(df.base)+len(df.inTest) > 0 {
+			pkg, err := ld.check(path, df.dir, append(append([]*ast.File{}, df.base...), df.inTest...))
+			if err != nil {
+				return nil, err
+			}
+			prog.Pkgs = append(prog.Pkgs, pkg)
+		}
+		if len(df.extTest) > 0 {
+			pkg, err := ld.check(path+"_test", df.dir, df.extTest)
+			if err != nil {
+				return nil, err
+			}
+			prog.Pkgs = append(prog.Pkgs, pkg)
+		}
+	}
+	prog.Directives = buildDirectives(prog)
+	return prog, nil
+}
+
+type dirFiles struct {
+	dir     string // relative, slash-separated
+	base    []*ast.File
+	inTest  []*ast.File
+	extTest []*ast.File
+}
+
+type loader struct {
+	fset     *token.FileSet
+	root     string
+	modPath  string
+	dirs     map[string]*dirFiles // import path -> parsed files
+	base     map[string]*types.Package
+	building map[string]bool
+	std      types.ImporterFrom
+}
+
+// parseTree walks the module, parsing every .go file with comments.
+// File names recorded in the FileSet are relative to the root.
+func (l *loader) parseTree() error {
+	return filepath.WalkDir(l.root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if path != l.root && (name == "testdata" || name == "vendor" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") {
+			return nil
+		}
+		rel, err := filepath.Rel(l.root, path)
+		if err != nil {
+			return err
+		}
+		rel = filepath.ToSlash(rel)
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		file, err := parser.ParseFile(l.fset, rel, src, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return fmt.Errorf("parse: %w", err)
+		}
+		dir := filepath.ToSlash(filepath.Dir(rel))
+		if dir == "." {
+			dir = ""
+		}
+		ipath := l.modPath
+		if dir != "" {
+			ipath = l.modPath + "/" + dir
+		}
+		df := l.dirs[ipath]
+		if df == nil {
+			df = &dirFiles{dir: dir}
+			l.dirs[ipath] = df
+		}
+		switch {
+		case strings.HasSuffix(file.Name.Name, "_test"):
+			df.extTest = append(df.extTest, file)
+		case strings.HasSuffix(rel, "_test.go"):
+			df.inTest = append(df.inTest, file)
+		default:
+			df.base = append(df.base, file)
+		}
+		return nil
+	})
+}
+
+// Import implements types.Importer for the type-checker: module paths
+// resolve to base (non-test) packages built from source under root,
+// everything else falls through to the stdlib source importer.
+func (l *loader) Import(path string) (*types.Package, error) {
+	return l.ImportFrom(path, "", 0)
+}
+
+// ImportFrom implements types.ImporterFrom.
+func (l *loader) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if path == l.modPath || strings.HasPrefix(path, l.modPath+"/") {
+		return l.buildBase(path)
+	}
+	return l.std.ImportFrom(path, dir, mode)
+}
+
+// buildBase type-checks the non-test files of a module package for the
+// import graph, memoized. Test files are excluded here so that
+// test-only imports cannot introduce cycles.
+func (l *loader) buildBase(path string) (*types.Package, error) {
+	if pkg, ok := l.base[path]; ok {
+		return pkg, nil
+	}
+	if l.building[path] {
+		return nil, fmt.Errorf("import cycle through %s", path)
+	}
+	df := l.dirs[path]
+	if df == nil || len(df.base) == 0 {
+		return nil, fmt.Errorf("no Go source for %s under %s", path, l.root)
+	}
+	l.building[path] = true
+	defer delete(l.building, path)
+	conf := &types.Config{Importer: l}
+	pkg, err := conf.Check(path, l.fset, df.base, nil)
+	if err != nil {
+		return nil, fmt.Errorf("type-check %s: %w", path, err)
+	}
+	l.base[path] = pkg
+	return pkg, nil
+}
+
+// check type-checks one analysis unit with full type information.
+func (l *loader) check(path, dir string, files []*ast.File) (*Package, error) {
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := &types.Config{Importer: l}
+	tpkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-check %s: %w", path, err)
+	}
+	return &Package{Path: path, Dir: dir, Files: files, Types: tpkg, Info: info}, nil
+}
+
+// modulePath reads the module path from a go.mod file.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("%s: no module directive", gomod)
+}

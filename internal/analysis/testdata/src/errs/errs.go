@@ -1,0 +1,53 @@
+// Package errs exercises the errcheck-lite analyzer: bare, deferred,
+// and goroutine-launched calls that drop an error return are flagged;
+// explicit discards, handled errors, allowlisted best-effort writers,
+// and suppressed lines are not.
+package errs
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+)
+
+func mayFail() error {
+	return errors.New("boom")
+}
+
+func valueAndError() (int, error) {
+	return 0, errors.New("boom")
+}
+
+func Bare() {
+	mayFail()
+	valueAndError()
+}
+
+func Deferred(f *os.File) {
+	defer f.Close()
+}
+
+func Launched() {
+	go mayFail()
+}
+
+func Explicit() error {
+	_ = mayFail()
+	if err := mayFail(); err != nil {
+		return err
+	}
+	return nil
+}
+
+func Allowlisted(buf *bytes.Buffer, sb *strings.Builder) {
+	fmt.Println("best-effort stdout")
+	fmt.Fprintf(os.Stderr, "best-effort stderr\n")
+	buf.WriteString("in-memory buffer never errors")
+	sb.WriteString("same")
+}
+
+func Suppressed() {
+	mayFail() //repro:ignore errcheck-lite best-effort cleanup
+}

@@ -1,0 +1,23 @@
+// Command errsmain exercises the errcheck-lite main-package exemption:
+// main and init may drop errors (process exit is the handler), helper
+// functions may not.
+package main
+
+import "errors"
+
+func mayFail() error {
+	return errors.New("boom")
+}
+
+func init() {
+	mayFail() // exempt: init of a main package
+}
+
+func main() {
+	mayFail() // exempt: main of a main package
+	helper()
+}
+
+func helper() {
+	mayFail()
+}

@@ -1,0 +1,45 @@
+// Package floats exercises the float-eq analyzer: raw equality on
+// floats, float arrays, and float-bearing structs is flagged; the NaN
+// idiom, integer comparisons, and //repro:bitwise sites are not.
+package floats
+
+type pair struct{ a, b float64 }
+
+func Bad(a, b float64) bool {
+	return a == b
+}
+
+func BadNeq(a, b float64) bool {
+	return a != b
+}
+
+func BadArray(a, b [2]float64) bool {
+	return a == b
+}
+
+func BadStruct(a, b pair) bool {
+	return a != b
+}
+
+func NaN(a float64) bool {
+	return a != a // the NaN idiom is always allowed
+}
+
+func Ints(a, b int) bool {
+	return a == b
+}
+
+func ZeroGuard(a float64) bool {
+	return a == 0 //repro:bitwise exact-zero sentinel
+}
+
+// BitwiseFunc is sanctioned wholesale by its doc directive.
+//
+//repro:bitwise
+func BitwiseFunc(a, b float64) bool {
+	return a == b
+}
+
+func Suppressed(a, b float64) bool {
+	return a == b //repro:ignore float-eq legacy comparison pending rework
+}

@@ -1,0 +1,61 @@
+// Package hot exercises the hotpath-alloc analyzer: every class of
+// forbidden allocation, transitive propagation into callees, the
+// panic-argument exemption, line- and function-level suppressions, and
+// edge cutting.
+package hot
+
+import "fmt"
+
+type point struct{ x, y float64 }
+
+//repro:hotpath
+func Hot(dst []float64, n int) []float64 {
+	buf := make([]float64, n)
+	dst = append(dst, 1)
+	p := new(point)
+	_ = p
+	m := map[int]int{1: 2}
+	_ = m
+	sl := []int{1, 2}
+	_ = sl
+	pt := &point{1, 2}
+	_ = pt
+	val := point{3, 4} // value composite literal: allowed
+	_ = val
+	s := fmt.Sprintf("%d", n)
+	_ = s
+	f := func() { dst[0] = buf[0] }
+	f()
+	helper(dst)
+	audited(n)
+	cold(n) //repro:ignore hotpath-alloc edge audited: cold is off the steady-state path
+	if n < 0 {
+		panic(fmt.Sprintf("hot: bad n %d", n)) // failure path: exempt
+	}
+	//repro:ignore hotpath-alloc grow-only warm-up allocation
+	suppressed := make([]float64, n)
+	return suppressed
+}
+
+// helper is reached transitively from Hot, so its body is hot too.
+func helper(x []float64) {
+	_ = append(x, 2)
+}
+
+// audited is reached from Hot but its function-level suppression marks
+// it reviewed: no diagnostics, no further propagation.
+//
+//repro:ignore hotpath-alloc audited: bookkeeping only
+func audited(n int) {
+	_ = make([]int, n)
+}
+
+// cold allocates, but the only call edge into it is suppressed.
+func cold(n int) []int {
+	return make([]int, n)
+}
+
+// NotHot is never reached from a //repro:hotpath root.
+func NotHot() []int {
+	return make([]int, 1)
+}

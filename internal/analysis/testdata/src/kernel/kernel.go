@@ -1,0 +1,66 @@
+// Package kernel exercises the determinism analyzer's map-range and
+// clock/randomness rules inside an engine package (the directory name
+// places it in the default engine set) and doubles as the ReduceTree
+// provider for the fix/par fixture.
+package kernel
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// ReduceTree stands in for the engine's worker-count-independent
+// merge; the determinism analyzer matches it by name and package.
+func ReduceTree(bufs [][]float64, workers int) {
+	for _, b := range bufs[1:] {
+		for i, v := range b {
+			bufs[0][i] += v
+		}
+	}
+}
+
+// MapAccum sums in map-iteration order: order-dependent accumulation.
+func MapAccum(m map[int]float64) float64 {
+	var s float64
+	for _, v := range m {
+		s += v
+	}
+	return s
+}
+
+// SortedAccum is the sanctioned idiom: collect keys, sort, accumulate.
+func SortedAccum(m map[int]float64) float64 {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	var s float64
+	for _, k := range keys {
+		s += m[k]
+	}
+	return s
+}
+
+// Stamp reads the wall clock inside an engine package.
+func Stamp() int64 {
+	return time.Now().UnixNano()
+}
+
+// Jitter draws from the process-global generator.
+func Jitter() float64 {
+	return rand.Float64()
+}
+
+// Seeded is the sanctioned constructor pattern, and methods on the
+// seeded generator are deterministic given the seed.
+func Seeded(seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Float64()
+}
+
+// Suppressed documents a deliberate exception.
+func Suppressed() int64 {
+	return time.Now().Unix() //repro:ignore determinism wall-clock used for logging only
+}

@@ -1,0 +1,75 @@
+// Package par exercises the determinism analyzer's goroutine rule:
+// compound assignment into captured state is flagged unless the
+// enclosing function merges private buffers through kernel.ReduceTree.
+// The import also exercises module-path resolution in the fixture
+// loader.
+package par
+
+import (
+	"sync"
+
+	"fix/kernel"
+)
+
+// BadShared races goroutines into one shared accumulator.
+func BadShared(out []float64, parts [][]float64) {
+	var wg sync.WaitGroup
+	for _, p := range parts {
+		wg.Add(1)
+		go func(p []float64) {
+			defer wg.Done()
+			for i, v := range p {
+				out[i] += v
+			}
+		}(p)
+	}
+	wg.Wait()
+}
+
+// BadScalar accumulates into a captured scalar.
+func BadScalar(parts []float64) float64 {
+	var s float64
+	var wg sync.WaitGroup
+	for _, p := range parts {
+		wg.Add(1)
+		go func(p float64) {
+			defer wg.Done()
+			s += p
+		}(p)
+	}
+	wg.Wait()
+	return s
+}
+
+// GoodReduce accumulates into private buffers and merges with the
+// sanctioned tree reduction: allowed.
+func GoodReduce(parts [][]float64, n int) []float64 {
+	bufs := make([][]float64, len(parts))
+	var wg sync.WaitGroup
+	for w := range parts {
+		bufs[w] = make([]float64, n)
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i, v := range parts[w] {
+				bufs[w][i] += v
+			}
+		}(w)
+	}
+	wg.Wait()
+	kernel.ReduceTree(bufs, len(bufs))
+	return bufs[0]
+}
+
+// GoodDisjoint writes disjoint plain assignments: allowed.
+func GoodDisjoint(out []float64, parts []float64) {
+	var wg sync.WaitGroup
+	for w := range parts {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			out[w] = parts[w] * 2
+		}(w)
+	}
+	wg.Wait()
+}

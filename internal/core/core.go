@@ -81,7 +81,7 @@ func Sequential(x *tensor.Dense, factors []*tensor.Matrix, n int, opts SeqOption
 		b := opts.BlockSize
 		if b == 0 {
 			alpha := opts.Alpha
-			if alpha == 0 {
+			if alpha == 0 { //repro:bitwise unset-option sentinel, exact
 				alpha = 0.9
 			}
 			var err error

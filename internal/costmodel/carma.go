@@ -23,7 +23,7 @@ func CarmaWords(m, k, n, P float64) float64 {
 	if P < 1 {
 		panic(fmt.Sprintf("costmodel: P = %v", P))
 	}
-	if frac := math.Log2(P); frac != math.Trunc(frac) {
+	if frac := math.Log2(P); frac != math.Trunc(frac) { //repro:bitwise exact integrality check for power-of-two P
 		panic(fmt.Sprintf("costmodel: CarmaWords needs power-of-two P, got %v", P))
 	}
 	var w float64

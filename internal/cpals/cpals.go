@@ -43,7 +43,7 @@ func (o *Options) fill() error {
 	if o.MaxIters < 1 {
 		return fmt.Errorf("cpals: MaxIters %d", o.MaxIters)
 	}
-	if o.Tol == 0 {
+	if o.Tol == 0 { //repro:bitwise unset-option sentinel, exact
 		o.Tol = 1e-8
 	}
 	return nil
@@ -81,7 +81,7 @@ func Decompose(x *tensor.Dense, opts Options) (*Model, []TraceEntry, error) {
 		grams[k] = linalg.Gram(f)
 	}
 	normX := x.Norm()
-	if normX == 0 {
+	if normX == 0 { //repro:bitwise zero-tensor guard: norm is exactly 0 iff all entries are 0
 		return nil, nil, fmt.Errorf("cpals: zero tensor")
 	}
 
@@ -147,12 +147,12 @@ func rebalance(factors []*tensor.Matrix) {
 			norms[k] = math.Sqrt(s)
 			lambda *= norms[k]
 		}
-		if lambda == 0 {
+		if lambda == 0 { //repro:bitwise exact-zero guard before division
 			continue
 		}
 		target := math.Pow(lambda, 1/float64(N))
 		for k, f := range factors {
-			if norms[k] == 0 {
+			if norms[k] == 0 { //repro:bitwise exact-zero guard before division
 				continue
 			}
 			scale := target / norms[k]

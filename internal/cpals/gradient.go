@@ -100,10 +100,10 @@ func (o *GradOptions) fill() error {
 	if o.MaxIters < 1 {
 		return fmt.Errorf("cpals: MaxIters %d", o.MaxIters)
 	}
-	if o.Tol == 0 {
+	if o.Tol == 0 { //repro:bitwise unset-option sentinel, exact
 		o.Tol = 1e-10
 	}
-	if o.Step0 == 0 {
+	if o.Step0 == 0 { //repro:bitwise unset-option sentinel, exact
 		o.Step0 = 1e-2
 	}
 	if o.Step0 <= 0 {
@@ -131,7 +131,7 @@ func DecomposeGradient(x *tensor.Dense, opts GradOptions) (*Model, []GradTraceEn
 		return nil, nil, fmt.Errorf("cpals: tensor order %d", x.Order())
 	}
 	normX := x.Norm()
-	if normX == 0 {
+	if normX == 0 { //repro:bitwise zero-tensor guard: norm is exactly 0 iff all entries are 0
 		return nil, nil, fmt.Errorf("cpals: zero tensor")
 	}
 	var factors []*tensor.Matrix

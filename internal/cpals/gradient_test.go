@@ -139,7 +139,7 @@ func TestDecomposeGradientWarmStart(t *testing.T) {
 	}
 	// Init must not be mutated.
 	warmObj2, _ := Objective(x, warm.Factors)
-	if warmObj2 != warmObj {
+	if warmObj2 != warmObj { //repro:bitwise mutation check: identical inputs must give bitwise-identical objective
 		t.Fatal("warm-start factors were mutated")
 	}
 }

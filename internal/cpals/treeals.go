@@ -39,7 +39,7 @@ func DecomposeTree(x *tensor.Dense, opts Options) (*Model, []TraceEntry, int64, 
 		grams[k] = linalg.Gram(f)
 	}
 	normX := x.Norm()
-	if normX == 0 {
+	if normX == 0 { //repro:bitwise zero-tensor guard: norm is exactly 0 iff all entries are 0
 		return nil, nil, 0, fmt.Errorf("cpals: zero tensor")
 	}
 

@@ -35,7 +35,7 @@ func TestTreeALSMatchesPlainALS(t *testing.T) {
 		if flops <= 0 {
 			t.Fatal("flops not counted")
 		}
-		if model.Fit != treeTrace[len(treeTrace)-1].Fit {
+		if model.Fit != treeTrace[len(treeTrace)-1].Fit { //repro:bitwise same stored value read twice; bitwise by construction
 			t.Fatal("model fit inconsistent with trace")
 		}
 	}

@@ -79,15 +79,17 @@ func (e *Engine) AllModes(x *tensor.Dense, factors []*tensor.Matrix) *Result {
 // Workers == 1 the call performs no allocations, which is what keeps
 // gradient-CP and multi-MTTKRP inner loops allocation-free; parallel
 // calls allocate only goroutine bookkeeping.
+//
+//repro:hotpath
 func (e *Engine) AllModesInto(res *Result, x *tensor.Dense, factors []*tensor.Matrix) {
 	R := validate(x, factors)
 	N := x.Order()
 	if len(res.B) != N {
-		res.B = make([]*tensor.Matrix, N)
+		res.B = make([]*tensor.Matrix, N) //repro:ignore hotpath-alloc first-call/shape-change growth; steady state reuses res.B
 	}
 	for n := 0; n < N; n++ {
 		if res.B[n] == nil || res.B[n].Rows() != x.Dim(n) || res.B[n].Cols() != R {
-			res.B[n] = tensor.NewMatrix(x.Dim(n), R)
+			res.B[n] = tensor.NewMatrix(x.Dim(n), R) //repro:ignore hotpath-alloc first-call/shape-change growth; steady state reuses res.B
 		}
 	}
 	res.Flops = 0
@@ -140,6 +142,8 @@ func (e *Engine) descend(res *Result, part []float64, x *tensor.Dense, factors [
 // contractRoot computes the partial keeping the contiguous mode range
 // [lo, hi) directly from the tensor into out (prod I_lo..I_{hi-1} x R,
 // overwritten) via kernel.Contract3, and returns the flop count.
+//
+//repro:hotpath
 func (e *Engine) contractRoot(out []float64, x *tensor.Dense, factors []*tensor.Matrix, R, lo, hi int) int64 {
 	N := x.Order()
 	L := prodDims(x, 0, lo)
@@ -192,6 +196,8 @@ func (e *Engine) contractPart(out, part []float64, x *tensor.Dense, factors []*t
 // suffix, GemmTN for a dropped prefix, a slab loop when both sides
 // drop). Ranks are split across workers; each writes only its own
 // output columns, so results are bitwise worker-count independent.
+//
+//repro:hotpath
 func (e *Engine) contractPartExtents(out, part []float64, factors []*tensor.Matrix, R, plo, phi, klo, khi, Lp, Mp, Rtp int) int64 {
 	S := Lp * Mp * Rtp
 	var fl int64
@@ -301,7 +307,7 @@ func (e *Engine) ContractPartial(part *tensor.Dense, modes []int, factors []*ten
 // buffer is not cleared.
 func (e *Engine) push(n int) []float64 {
 	if e.sp == len(e.stack) {
-		e.stack = append(e.stack, nil)
+		e.stack = append(e.stack, nil) //repro:ignore hotpath-alloc grow-only partial stack, depth <= log2 N; settles after the first traversal
 	}
 	e.stack[e.sp] = growf(e.stack[e.sp], n)
 	buf := e.stack[e.sp]
@@ -380,6 +386,8 @@ func contiguousAscending(modes []int) bool {
 }
 
 // growf returns s resized to n, reusing capacity when possible.
+//
+//repro:ignore hotpath-alloc grow-only workspace primitive; allocates only while capacity still grows
 func growf(s []float64, n int) []float64 {
 	if cap(s) < n {
 		return make([]float64, n)
@@ -412,7 +420,7 @@ func partialRanks(out, part, kl, kr, tmp []float64, Lp, Mp, Rtp, r0, r1 int) {
 			for t := 0; t < Rtp; t++ {
 				linalg.GemmTN(wcol, pr[t*slab:(t+1)*slab], klcol, Lp, Mp, 1, 1)
 				krv := kr[t+r*Rtp]
-				if krv == 0 {
+				if krv == 0 { //repro:bitwise exact-zero sparsity skip; krv was stored, never computed
 					continue
 				}
 				for i, v := range wcol {
@@ -426,6 +434,8 @@ func partialRanks(out, part, kl, kr, tmp []float64, Lp, Mp, Rtp, r0, r1 int) {
 // partialRanksParallel splits the ranks into contiguous chunks across
 // `workers` goroutines, each with its own scratch column from tmp. A
 // separate function so its closure never taxes the serial path.
+//
+//repro:ignore hotpath-alloc goroutine fan-out: the parallel path allocates bookkeeping only
 func partialRanksParallel(out, part, kl, kr, tmp []float64, Lp, Mp, Rtp, R, workers int) {
 	var wg sync.WaitGroup
 	wg.Add(workers)

@@ -60,7 +60,7 @@ func TestEngineBitwiseWorkerIndependence(t *testing.T) {
 			for n := range dims {
 				bd, gd := base.B[n].Data(), got.B[n].Data()
 				for i := range bd {
-					if gd[i] != bd[i] {
+					if gd[i] != bd[i] { //repro:bitwise the bitwise worker-count-independence contract under test
 						t.Fatalf("dims %v workers %d mode %d elem %d: %x != %x",
 							dims, w, n, i, gd[i], bd[i])
 					}
@@ -83,8 +83,8 @@ func TestEngineZeroAllocSteadyState(t *testing.T) {
 		fs := tensor.RandomFactors(61, dims, R)
 		e := NewEngine(1)
 		res := &Result{}
-		e.AllModesInto(res, x, fs) // warm buffers and output matrices
-		if allocs := testing.AllocsPerRun(10, func() { e.AllModesInto(res, x, fs) }); allocs != 0 {
+		e.AllModesInto(res, x, fs)                                                                  // warm buffers and output matrices
+		if allocs := testing.AllocsPerRun(10, func() { e.AllModesInto(res, x, fs) }); allocs != 0 { //repro:bitwise exact allocation count
 			t.Errorf("dims %v: steady state allocates %v objects/op, want 0", dims, allocs)
 		}
 	}

@@ -206,7 +206,7 @@ func Lemma44Min(s []float64, c float64) float64 {
 			denom *= math.Pow(v, v)
 		}
 	}
-	if sum == 0 {
+	if sum == 0 { //repro:bitwise exact-zero guard before division
 		return 0
 	}
 	return math.Pow(c/denom, 1/sum) * sum

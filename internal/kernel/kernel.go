@@ -43,6 +43,8 @@ import (
 // Fast computes the MTTKRP B(n) = X_(n) * KRP with the KRP-splitting
 // engine at the default worker count, using a pooled workspace.
 // factors[n] is ignored and may be nil.
+//
+//repro:hotpath
 func Fast(x *tensor.Dense, factors []*tensor.Matrix, n int) *tensor.Matrix {
 	return FastWorkers(x, factors, n, 0)
 }
@@ -51,7 +53,7 @@ func Fast(x *tensor.Dense, factors []*tensor.Matrix, n int) *tensor.Matrix {
 // the linalg package default, itself defaulting to GOMAXPROCS).
 func FastWorkers(x *tensor.Dense, factors []*tensor.Matrix, n, workers int) *tensor.Matrix {
 	R := checkArgs(x, factors, n)
-	b := tensor.NewMatrix(x.Dim(n), R)
+	b := tensor.NewMatrix(x.Dim(n), R) //repro:ignore hotpath-alloc result allocation is the API; the zero-alloc path is FastInto
 	ws := GetWorkspace()
 	FastInto(b, x, factors, n, workers, ws)
 	PutWorkspace(ws)
@@ -64,6 +66,8 @@ func FastWorkers(x *tensor.Dense, factors []*tensor.Matrix, n, workers int) *ten
 // keeps CP-ALS inner iterations allocation-free; parallel calls
 // allocate only goroutine bookkeeping. ws must not be shared between
 // concurrent calls; a nil ws borrows one from the pool.
+//
+//repro:hotpath
 func FastInto(b *tensor.Matrix, x *tensor.Dense, factors []*tensor.Matrix, n, workers int, ws *Workspace) {
 	R := checkArgs(x, factors, n)
 	In := x.Dim(n)
@@ -118,6 +122,8 @@ func FastInto(b *tensor.Matrix, x *tensor.Dense, factors []*tensor.Matrix, n, wo
 // buckets combined by ReduceTree, so results are bitwise independent
 // of the worker count. ws supplies scratch (nil borrows a pooled one);
 // workers <= 0 selects the linalg default.
+//
+//repro:hotpath
 func Contract3(out, data, kl, kr []float64, L, M, Rt, R, workers int, ws *Workspace) {
 	if len(out) < M*R || len(data) < L*M*Rt {
 		panic("kernel: Contract3 slice too short")
@@ -171,13 +177,13 @@ func interior(out, data, kl, kr []float64, L, M, Rt, R, workers int, ws *Workspa
 		interiorSlabs(out, ws.scratch[:MR], data, kl, kr, L, M, Rt, R, 0, Rt)
 		return
 	}
-	bufs := append(ws.bufs[:0], out)
+	bufs := append(ws.bufs[:0], out) //repro:ignore hotpath-alloc bucket list reuses workspace capacity ensured by ensureScratch
 	priv := ws.priv[:(nbuf-1)*MR]
 	for i := range priv {
 		priv[i] = 0
 	}
 	for c := 1; c < nbuf; c++ {
-		bufs = append(bufs, priv[(c-1)*MR:c*MR])
+		bufs = append(bufs, priv[(c-1)*MR:c*MR]) //repro:ignore hotpath-alloc appends within capacity ensured by ensureScratch
 	}
 	if workers > nbuf {
 		workers = nbuf
@@ -199,6 +205,8 @@ func interior(out, data, kl, kr []float64, L, M, Rt, R, workers int, ws *Workspa
 // goroutines, each writing through its own GEMM scratch. Chunk c
 // always covers slabs [c*Rt/nbuf, (c+1)*Rt/nbuf) and accumulates into
 // bufs[c] regardless of which worker claims it.
+//
+//repro:ignore hotpath-alloc goroutine fan-out: the parallel path allocates bookkeeping only
 func interiorParallel(bufs [][]float64, scratch, data, kl, kr []float64, L, M, Rt, R, nbuf, workers int) {
 	MR := M * R
 	var next atomic.Int64
@@ -228,7 +236,7 @@ func interiorSlabs(acc, wbuf, data, krLeft, krRight []float64, L, In, Rt, R, t0,
 		linalg.GemmTN(wbuf, xt, krLeft, L, In, R, 1)
 		for r := 0; r < R; r++ {
 			krv := krRight[t+r*Rt]
-			if krv == 0 {
+			if krv == 0 { //repro:bitwise exact-zero sparsity skip; krv was stored, never computed
 				continue
 			}
 			wcol := wbuf[r*In : (r+1)*In]
@@ -247,6 +255,8 @@ func interiorSlabs(acc, wbuf, data, krLeft, krRight []float64, L, In, Rt, R, t0,
 // product by one mode writes offsets >= the current length first, so
 // no temporary is needed. Requires lo < hi and non-nil factors in the
 // range.
+//
+//repro:hotpath
 func KRPInto(dst []float64, factors []*tensor.Matrix, lo, hi, R int) {
 	rows := 1
 	for k := lo; k < hi; k++ {

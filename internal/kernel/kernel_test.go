@@ -152,8 +152,8 @@ func TestFastIntoZeroAllocSteadyState(t *testing.T) {
 			kernel.FastInto(bs[n], x, fs, n, 1, ws)
 		}
 	}
-	sweep() // warm the workspace to steady state
-	if allocs := testing.AllocsPerRun(10, sweep); allocs != 0 {
+	sweep()                                                     // warm the workspace to steady state
+	if allocs := testing.AllocsPerRun(10, sweep); allocs != 0 { //repro:bitwise exact allocation count
 		t.Errorf("steady-state sweep allocates %v objects/op, want 0", allocs)
 	}
 }
@@ -184,7 +184,7 @@ func TestReduceTree(t *testing.T) {
 	parallel := mk()
 	kernel.ReduceTree(parallel, 8)
 	for j := 0; j < n; j++ {
-		if serial[0][j] != parallel[0][j] {
+		if serial[0][j] != parallel[0][j] { //repro:bitwise the bitwise worker-count-independence contract under test
 			t.Fatalf("tree reduction depends on worker count at %d", j)
 		}
 		if d := serial[0][j] - want[j]; d > 1e-12 || d < -1e-12 {

@@ -16,6 +16,8 @@ import (
 // `workers` goroutines by pair and, when pairs are scarcer than
 // workers, by contiguous vector segment. workers <= 0 selects the
 // linalg package default. All buffers must have the same length.
+//
+//repro:hotpath
 func ReduceTree(bufs [][]float64, workers int) {
 	m := len(bufs)
 	if m <= 1 {
@@ -43,6 +45,7 @@ func ReduceTree(bufs [][]float64, workers int) {
 			for lo := 0; lo < n; lo += seglen {
 				hi := min(lo+seglen, n)
 				wg.Add(1)
+				//repro:ignore hotpath-alloc goroutine fan-out: the parallel path allocates bookkeeping only
 				go func(dst, src []float64) {
 					defer wg.Done()
 					addInto(dst, src)

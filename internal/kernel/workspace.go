@@ -63,10 +63,11 @@ func (ws *Workspace) ensureScratch(M, Rt, R, workers int) {
 		ws.priv = grow(ws.priv, (nbuf-1)*M*R)
 	}
 	if cap(ws.bufs) < nbuf {
-		ws.bufs = make([][]float64, 0, nbuf)
+		ws.bufs = make([][]float64, 0, nbuf) //repro:ignore hotpath-alloc grow-only bucket headers; settles after the first call
 	}
 }
 
+//repro:ignore hotpath-alloc grow-only workspace primitive; allocates only while capacity still grows
 func grow(s []float64, n int) []float64 {
 	if cap(s) < n {
 		return make([]float64, n)

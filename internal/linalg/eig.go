@@ -41,7 +41,7 @@ func SymEig(a *tensor.Matrix) (vals []float64, vecs *tensor.Matrix, err error) {
 		for i := 0; i < n; i++ {
 			for j := i + 1; j < n; j++ {
 				apq := w.At(i, j)
-				if apq == 0 {
+				if apq == 0 { //repro:bitwise exact-zero sparsity skip: rotation is the identity
 					continue
 				}
 				app := w.At(i, i)

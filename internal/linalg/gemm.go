@@ -72,6 +72,8 @@ func ResolveWorkers(workers int) int {
 // parallelChunks splits [0, total) into at most `workers` contiguous
 // chunks and runs fn on each concurrently. workers must already be
 // resolved; workers == 1 runs inline.
+//
+//repro:ignore hotpath-alloc goroutine fan-out primitive: allocates bookkeeping only on the parallel path
 func parallelChunks(total, workers int, fn func(lo, hi int)) {
 	if workers > total {
 		workers = total
@@ -96,6 +98,8 @@ func parallelChunks(total, workers int, fn func(lo, hi int)) {
 // GemmNN computes C = A * B on column-major slices: A is m x k, B is
 // k x n, C is m x n, overwritten. workers <= 0 uses the package
 // default.
+//
+//repro:hotpath
 func GemmNN(c, a, b []float64, m, k, n, workers int) {
 	checkLen("GemmNN", len(c), m*n)
 	checkLen("GemmNN", len(a), m*k)
@@ -112,10 +116,12 @@ func GemmNN(c, a, b []float64, m, k, n, workers int) {
 	// wide in rows but narrow in columns (e.g. GEMM against a rank-R
 	// Khatri-Rao product with small R).
 	if n >= 2*w {
+		//repro:ignore hotpath-alloc sanctioned fan-out closure: bookkeeping only on the parallel path
 		parallelChunks(n, w, func(j0, j1 int) {
 			gemmNN(c, a, b, m, k, 0, m, j0, j1)
 		})
 	} else {
+		//repro:ignore hotpath-alloc sanctioned fan-out closure: bookkeeping only on the parallel path
 		parallelChunks(m, w, func(i0, i1 int) {
 			gemmNN(c, a, b, m, k, i0, i1, 0, n)
 		})
@@ -190,6 +196,8 @@ func gemmNNBlock(c, a, b []float64, m, k, l0, l1, ib, ie, j0, j1 int) {
 // is m x n, C is ka x n, overwritten. The contraction runs down the
 // shared (contiguous) row dimension, so both operands stream in unit
 // stride. workers <= 0 uses the package default.
+//
+//repro:hotpath
 func GemmTN(c, a, b []float64, m, ka, n, workers int) {
 	checkLen("GemmTN", len(c), ka*n)
 	checkLen("GemmTN", len(a), m*ka)
@@ -204,6 +212,7 @@ func GemmTN(c, a, b []float64, m, ka, n, workers int) {
 	}
 	// Rows of C are columns of A: each worker owns a disjoint row
 	// range and streams its A columns exactly once.
+	//repro:ignore hotpath-alloc sanctioned fan-out closure: bookkeeping only on the parallel path
 	parallelChunks(ka, w, func(i0, i1 int) {
 		gemmTN(c, a, b, m, ka, n, i0, i1)
 	})
@@ -245,6 +254,8 @@ func gemmTN(c, a, b []float64, m, ka, n, i0, i1 int) {
 // GemmNT computes C = A * B^T on column-major slices: A is m x k, B is
 // nb x k, C is m x nb, overwritten. workers <= 0 uses the package
 // default.
+//
+//repro:hotpath
 func GemmNT(c, a, b []float64, m, k, nb, workers int) {
 	checkLen("GemmNT", len(c), m*nb)
 	checkLen("GemmNT", len(a), m*k)
@@ -257,6 +268,7 @@ func GemmNT(c, a, b []float64, m, k, nb, workers int) {
 		gemmNT(c, a, b, m, k, nb, 0, nb)
 		return
 	}
+	//repro:ignore hotpath-alloc sanctioned fan-out closure: bookkeeping only on the parallel path
 	parallelChunks(nb, w, func(j0, j1 int) {
 		gemmNT(c, a, b, m, k, nb, j0, j1)
 	})

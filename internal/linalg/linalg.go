@@ -153,7 +153,7 @@ func SolveSPD(a, b *tensor.Matrix) (*tensor.Matrix, error) {
 		if attempt >= 20 {
 			return nil, err
 		}
-		if ridge == 0 {
+		if ridge == 0 { //repro:bitwise unset-ridge sentinel, exact
 			// Scale the initial ridge to the matrix magnitude.
 			maxDiag := 0.0
 			for i := 0; i < n; i++ {
@@ -161,7 +161,7 @@ func SolveSPD(a, b *tensor.Matrix) (*tensor.Matrix, error) {
 					maxDiag = d
 				}
 			}
-			if maxDiag == 0 {
+			if maxDiag == 0 { //repro:bitwise exact-zero guard before scaling
 				maxDiag = 1
 			}
 			ridge = 1e-12 * maxDiag

@@ -183,7 +183,7 @@ func pivot(tab [][]float64, rhs []float64, basis []int, row, col int) {
 			continue
 		}
 		f := tab[i][col]
-		if f == 0 {
+		if f == 0 { //repro:bitwise exact-zero pivot skip: row update is a no-op
 			continue
 		}
 		for j := range tab[i] {

@@ -60,7 +60,7 @@ func TestAllModesSharesGathers(t *testing.T) {
 		t.Fatalf("shared words = %d, want %d", shared.MaxWords(), wantShared)
 	}
 	// Saving factor (N+1)/(2N) = 4/6 for N = 3.
-	if got, want := float64(shared.MaxWords())/float64(independent), 4.0/6; got != want {
+	if got, want := float64(shared.MaxWords())/float64(independent), 4.0/6; got != want { //repro:bitwise exact ratio of exact integer word counts
 		t.Fatalf("saving ratio %v, want %v", got, want)
 	}
 }

@@ -74,7 +74,7 @@ func DecomposeParallel(x *tensor.Dense, shape []int, opts Options, seed int64) (
 	if opts.MaxIters == 0 {
 		opts.MaxIters = 25
 	}
-	if opts.Tol == 0 {
+	if opts.Tol == 0 { //repro:bitwise unset-option sentinel, exact
 		opts.Tol = 1e-8
 	}
 	g := grid.New(shape...)

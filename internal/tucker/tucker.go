@@ -69,11 +69,11 @@ func Decompose(x *tensor.Dense, opts Options) (*Model, []TraceEntry, error) {
 	if opts.MaxIters == 0 {
 		opts.MaxIters = 25
 	}
-	if opts.Tol == 0 {
+	if opts.Tol == 0 { //repro:bitwise unset-option sentinel, exact
 		opts.Tol = 1e-8
 	}
 	normX := x.Norm()
-	if normX == 0 {
+	if normX == 0 { //repro:bitwise zero-tensor guard: norm is exactly 0 iff all entries are 0
 		return nil, nil, fmt.Errorf("tucker: zero tensor")
 	}
 
@@ -147,7 +147,7 @@ func HOSVD(x *tensor.Dense, ranks []int) (*Model, error) {
 		return nil, fmt.Errorf("tucker: %d ranks for order-%d tensor", len(ranks), N)
 	}
 	normX := x.Norm()
-	if normX == 0 {
+	if normX == 0 { //repro:bitwise zero-tensor guard: norm is exactly 0 iff all entries are 0
 		return nil, fmt.Errorf("tucker: zero tensor")
 	}
 	factors := make([]*tensor.Matrix, N)
