@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"testing"
 
+	"repro/internal/bounds"
 	"repro/internal/cachesim"
 	"repro/internal/comm"
 	"repro/internal/costmodel"
@@ -19,6 +20,7 @@ import (
 	"repro/internal/kernel"
 	"repro/internal/lp"
 	"repro/internal/memsim"
+	"repro/internal/obs"
 	"repro/internal/par"
 	"repro/internal/pebble"
 	"repro/internal/seq"
@@ -595,4 +597,66 @@ func BenchmarkGridSearch(b *testing.B) {
 
 func sizeName(prefix string, v int64) string {
 	return fmt.Sprintf("%s=%d", prefix, v)
+}
+
+// BenchmarkObsDimTreeWords regenerates E24's measured column: the
+// instrumented dimension-tree engine's streaming-model traffic per
+// all-modes pass (words/op) and its ratio to the summed per-mode
+// Theorem 4.1/Fact 4.1 best bound at M = 32768 words (boundratio) —
+// both flowing into BENCH_*.json through benchjson's metric schema.
+func BenchmarkObsDimTreeWords(b *testing.B) {
+	dims := []int{64, 64, 64}
+	const R, M = 16, 32768
+	x := tensor.RandomDense(42, dims...)
+	fs := tensor.RandomFactors(43, dims, R)
+	col := obs.New(0)
+	obs.Enable(col)
+	defer obs.Disable()
+	eng := dimtree.NewEngine(0)
+	res := &dimtree.Result{}
+	eng.AllModesInto(res, x, fs)
+	col.Reset()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.AllModesInto(res, x, fs)
+	}
+	b.StopTimer()
+	tot := col.Totals()
+	words := float64(tot.Words()) / float64(b.N)
+	b.ReportMetric(words, "words/op")
+	prob := bounds.Problem{Dims: dims, R: R}
+	bound := float64(len(dims)) * bounds.SeqBest(prob, M)
+	b.ReportMetric(words/bound, "boundratio")
+}
+
+// BenchmarkObsOverhead prices the observability layer on the
+// dimension-tree hot path: the no-op default (what every ordinary run
+// pays — one atomic pointer load and a branch per instrumentation
+// site) against an enabled collector. The acceptance budget is <= 5%
+// on BenchmarkDimTreeAllModes; the instrumentation sits at GEMM-call
+// granularity, far coarser than that.
+func BenchmarkObsOverhead(b *testing.B) {
+	dims := []int{64, 64, 64}
+	const R = 16
+	x := tensor.RandomDense(42, dims...)
+	fs := tensor.RandomFactors(43, dims, R)
+	run := func(b *testing.B) {
+		eng := dimtree.NewEngine(0)
+		res := &dimtree.Result{}
+		eng.AllModesInto(res, x, fs)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			eng.AllModesInto(res, x, fs)
+		}
+	}
+	b.Run("disabled", func(b *testing.B) {
+		obs.Disable()
+		run(b)
+	})
+	b.Run("enabled", func(b *testing.B) {
+		obs.Enable(obs.New(0))
+		defer obs.Disable()
+		run(b)
+	})
 }

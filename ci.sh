@@ -31,6 +31,21 @@ echo "== go test =="
 go test ./...
 
 echo "== go test -race (engine packages) =="
-go test -race ./internal/kernel/... ./internal/seq/... ./internal/par/... ./internal/dimtree/... ./internal/cpals/... ./internal/sparse/... ./internal/linalg/...
+go test -race ./internal/kernel/... ./internal/seq/... ./internal/par/... ./internal/dimtree/... ./internal/cpals/... ./internal/sparse/... ./internal/linalg/... ./internal/obs/... ./internal/comm/...
+
+echo "== instrumented smoke (obs bound ratios) =="
+# The blocked algorithm must land within a small constant of the best
+# sequential lower bound on a 32^3 cube at M=256 (measured 3.15x; gate
+# at 4x), and the unblocked algorithm must be measurably worse (gate at
+# >= 20x; measured 63x). cmd/mttkrp exits 3 if counters are zero, the
+# bound is vacuous, or the ratio leaves the window.
+obsdir=$(mktemp -d)
+trap 'rm -rf "$obsdir"' EXIT
+go run ./cmd/mttkrp -dims 32,32,32 -r 16 -mode 0 -algo blocked -m 256 \
+	-obs -obs-json "$obsdir/blocked.json" -obs-maxratio 4
+go run ./cmd/mttkrp -dims 32,32,32 -r 16 -mode 0 -algo unblocked -m 256 \
+	-obs -obs-json "$obsdir/unblocked.json" -obs-minratio 20
+go run ./cmd/mttkrp -dims 16,16,16 -r 8 -mode 1 -algo stationary -p 8 \
+	-obs -obs-json "$obsdir/stationary.json" -obs-maxratio 4
 
 echo "ci: OK"

@@ -17,6 +17,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
+	"runtime"
 	"strconv"
 	"strings"
 	"time"
@@ -40,11 +42,18 @@ type Snapshot struct {
 
 func main() {
 	out := flag.String("out", "", "output path (default BENCH_<date>.json)")
+	date := flag.String("date", "", "snapshot date stamp yyyy-mm-dd (default today; pin for reproducible CI filenames)")
 	flag.Parse()
 
+	stamp := *date
+	if stamp == "" {
+		stamp = time.Now().Format("2006-01-02")
+	} else if _, err := time.Parse("2006-01-02", stamp); err != nil {
+		fatal(fmt.Errorf("bad -date %q: %v", stamp, err))
+	}
 	snap := Snapshot{
-		Date: time.Now().Format("2006-01-02"),
-		Env:  map[string]string{},
+		Date: stamp,
+		Env:  envInfo(),
 	}
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
@@ -86,6 +95,21 @@ func main() {
 		fatal(err)
 	}
 	fmt.Printf("benchjson: wrote %d results to %s\n", len(snap.Results), path)
+}
+
+// envInfo seeds the env map with the toolchain and machine facts a
+// later diff needs to interpret the numbers: the commit the benchmarks
+// ran at, the Go version, and the parallelism. Lines parsed from the
+// benchmark header (goos/goarch/cpu/pkg) are added on top.
+func envInfo() map[string]string {
+	env := map[string]string{
+		"go":         runtime.Version(),
+		"gomaxprocs": strconv.Itoa(runtime.GOMAXPROCS(0)),
+	}
+	if head, err := exec.Command("git", "rev-parse", "HEAD").Output(); err == nil {
+		env["commit"] = strings.TrimSpace(string(head))
+	}
+	return env
 }
 
 // parseLine parses one benchmark result line:

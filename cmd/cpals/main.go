@@ -26,6 +26,7 @@ import (
 
 	"repro/internal/cpals"
 	"repro/internal/dimtree"
+	"repro/internal/obs"
 	"repro/internal/workload"
 )
 
@@ -40,6 +41,8 @@ func main() {
 	engine := flag.String("engine", "independent", "sequential MTTKRP engine: independent|tree")
 	workers := flag.Int("workers", 0, "MTTKRP goroutines (0 = package default)")
 	seed := flag.Int64("seed", 7, "seed")
+	obsFlag := flag.Bool("obs", false, "print the instrumented observability report")
+	obsJSON := flag.String("obs-json", "", "write the observability report as JSON to this path (- for stdout)")
 	flag.Parse()
 
 	if *engine != "independent" && *engine != "tree" {
@@ -56,6 +59,24 @@ func main() {
 	}
 	opts := cpals.Options{R: *rank, MaxIters: *iters, Tol: *tol, Seed: *seed + 100, Workers: *workers}
 
+	var col *obs.Collector
+	if *obsFlag || *obsJSON != "" {
+		col = obs.New(0)
+		obs.Enable(col)
+		defer obs.Disable()
+	}
+	report := func(algo string, mach obs.Machine) {
+		if col == nil {
+			return
+		}
+		rep := obs.NewReport("cpals", algo, dims, *rank, -1, mach)
+		rep.FillFromCollector(col)
+		if mach.P > 0 {
+			rep.JoinParBounds(float64(mach.P), 0)
+		}
+		emitReport(rep, *obsFlag, *obsJSON)
+	}
+
 	if *gridFlag == "" {
 		if *engine == "tree" {
 			model, trace, flops, err := cpals.DecomposeTree(inst.X, opts)
@@ -69,6 +90,7 @@ func main() {
 			naive := int64(len(trace)) * dimtree.NaiveFlops(dims, *rank)
 			fmt.Printf("MTTKRP flops: %d (vs %d for independent atomic per-mode kernels, %.2fx saving)\n",
 				flops, naive, float64(naive)/float64(flops))
+			report("tree", obs.Machine{Workers: *workers})
 			return
 		}
 		model, trace, err := cpals.Decompose(inst.X, opts)
@@ -79,6 +101,7 @@ func main() {
 			dims, *rank, *trueRank, *noise)
 		printTrace(trace)
 		fmt.Printf("final fit: %.6f\n", model.Fit)
+		report("independent", obs.Machine{Workers: *workers})
 		return
 	}
 
@@ -103,6 +126,37 @@ func main() {
 	fmt.Printf("  everything else:    %d words (Gram all-reduces, fit scalars)\n", ot)
 	if mt+ot > 0 {
 		fmt.Printf("  MTTKRP share:       %.1f%%\n", 100*float64(mt)/float64(mt+ot))
+	}
+	p := 1
+	for _, s := range shape {
+		p *= s
+	}
+	report("parallel", obs.Machine{P: p})
+}
+
+// emitReport writes the report per the -obs / -obs-json flags.
+func emitReport(rep *obs.Report, human bool, jsonPath string) {
+	if human {
+		rep.Format(os.Stdout)
+	}
+	if jsonPath == "" {
+		return
+	}
+	if jsonPath == "-" {
+		if err := rep.WriteJSON(os.Stdout); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	f, err := os.Create(jsonPath)
+	if err != nil {
+		fatal(err)
+	}
+	if err := rep.WriteJSON(f); err != nil {
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
 	}
 }
 

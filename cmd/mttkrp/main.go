@@ -3,10 +3,16 @@
 // kernel, and prints the measured communication next to the relevant
 // lower bounds.
 //
+// With -obs / -obs-json the run is instrumented through internal/obs:
+// the report joins the measured words moved against the paper's lower
+// bounds (Theorem 4.1 / Fact 4.1 sequentially, Theorems 4.2/4.3 and
+// Eq. (14) in parallel) and -obs-maxratio / -obs-minratio turn the
+// measured/bound ratio into an exit-code assertion for CI.
+//
 // Usage:
 //
-//	mttkrp -dims 16,16,16 -r 8 -mode 0 -algo blocked -m 512
-//	mttkrp -dims 16,16,16 -r 8 -mode 1 -algo stationary -p 8
+//	mttkrp -dims 16,16,16 -r 8 -mode 0 -algo blocked -m 512 -obs
+//	mttkrp -dims 16,16,16 -r 8 -mode 1 -algo stationary -p 8 -obs-json -
 //	mttkrp -dims 128,128,128 -r 16 -mode 1 -algo fast -workers 0
 package main
 
@@ -20,8 +26,10 @@ import (
 
 	"repro/internal/bounds"
 	"repro/internal/core"
+	"repro/internal/costmodel"
 	"repro/internal/kernel"
 	"repro/internal/linalg"
+	"repro/internal/obs"
 	"repro/internal/seq"
 	"repro/internal/tensor"
 	"repro/internal/workload"
@@ -37,6 +45,10 @@ func main() {
 	p := flag.Int("p", 8, "processors (parallel algorithms)")
 	workers := flag.Int("workers", 0, "goroutines for -algo fast (0 = GOMAXPROCS)")
 	seed := flag.Int64("seed", 42, "workload seed")
+	obsFlag := flag.Bool("obs", false, "print the instrumented observability report")
+	obsJSON := flag.String("obs-json", "", "write the observability report as JSON to this path (- for stdout)")
+	obsMax := flag.Float64("obs-maxratio", 0, "fail (exit 3) when the measured/best-bound ratio exceeds this (0 = off)")
+	obsMin := flag.Float64("obs-minratio", 0, "fail (exit 3) when the measured/best-bound ratio is below this (0 = off)")
 	flag.Parse()
 
 	dims, err := parseDims(*dimsFlag)
@@ -52,6 +64,16 @@ func main() {
 	}
 	prob := bounds.Problem{Dims: dims, R: *r}
 	ref := seq.Ref(inst.X, inst.Factors, *mode)
+
+	observing := *obsFlag || *obsJSON != "" || *obsMax > 0 || *obsMin > 0
+	var col *obs.Collector
+	if observing {
+		col = obs.New(0)
+		obs.Enable(col)
+		defer obs.Disable()
+	}
+	var rep *obs.Report
+	runStart := time.Now()
 
 	fmt.Printf("MTTKRP: dims=%v R=%d mode=%d algo=%s\n", dims, *r, *mode, *algo)
 	switch *algo {
@@ -75,6 +97,19 @@ func main() {
 			res.Counts.Loads, res.Counts.Stores, res.Counts.Words(), res.Counts.Peak, res.Flops)
 		fmt.Printf("lower bound (Thm 4.1):  %.4g\n", bounds.SeqMemDependent(prob, float64(*m)))
 		fmt.Printf("lower bound (Fact 4.1): %.4g\n", bounds.SeqTrivial(prob, float64(*m)))
+		if observing {
+			rep = obs.NewReport("mttkrp", *algo, dims, *r, *mode, obs.Machine{M: *m})
+			// The memory simulator counts loads and stores exactly; the
+			// collector contributes the phase timings.
+			rep.MeasuredWords = res.Counts.Words()
+			rep.Counters = obs.Totals{
+				WordsRead:    res.Counts.Loads,
+				WordsWritten: res.Counts.Stores,
+				Flops:        res.Flops,
+			}
+			rep.Phases = col.PhaseStats()
+			rep.JoinSeqBounds(float64(*m))
+		}
 
 	case "stationary", "general", "par-matmul":
 		var pa core.ParAlgorithm
@@ -97,6 +132,13 @@ func main() {
 		fmt.Printf("total sends                  = %d\n", res.TotalSent())
 		fmt.Printf("lower bound (Thm 4.2): %.4g\n", bounds.ParMemIndependent1(prob, float64(*p), 1, 1))
 		fmt.Printf("lower bound (Thm 4.3): %.4g\n", bounds.ParMemIndependent2(prob, float64(*p), 1, 1))
+		if observing {
+			rep = obs.NewReport("mttkrp", *algo, dims, *r, *mode, obs.Machine{P: *p})
+			rep.MeasuredWords = res.MaxWords()
+			rep.FillFromCollector(col)
+			rep.JoinParBounds(float64(*p), 0)
+			joinAlgWords(rep, *algo, dims, *r, res.Grid)
+		}
 
 	case "fast":
 		// Shared-memory KRP-splitting engine: warm the workspace, then
@@ -104,6 +146,9 @@ func main() {
 		ws := kernel.NewWorkspace(dims, *r, *mode)
 		b := tensor.NewMatrix(dims[*mode], *r)
 		kernel.FastInto(b, inst.X, inst.Factors, *mode, *workers, ws)
+		if observing {
+			col.Reset() // measure the steady-state run only
+		}
 		t0 := time.Now()
 		kernel.FastInto(b, inst.X, inst.Factors, *mode, *workers, ws)
 		tFast := time.Since(t0)
@@ -115,10 +160,100 @@ func main() {
 		fmt.Printf("engine time    = %v\n", tFast)
 		fmt.Printf("reference time = %v\n", tRef)
 		fmt.Printf("speedup        = %.2fx\n", float64(tRef)/float64(tFast))
+		if observing {
+			rep = obs.NewReport("mttkrp", *algo, dims, *r, *mode,
+				obs.Machine{M: *m, Workers: linalg.ResolveWorkers(*workers)})
+			// Streaming-model operand traffic vs the two-level bound at
+			// M words: an optimistic proxy (each kernel operand counted
+			// once), so the ratio reads as "at least this well blocked".
+			rep.FillFromCollector(col)
+			rep.JoinSeqBounds(float64(*m))
+		}
 
 	default:
 		fatal(fmt.Errorf("unknown algorithm %q", *algo))
 	}
+
+	if rep != nil {
+		rep.WallNs = int64(time.Since(runStart))
+		finishObs(rep, *algo, *obsFlag, *obsJSON, *obsMax, *obsMin)
+	}
+}
+
+// joinAlgWords adds the closed-form per-processor send cost of the
+// algorithm actually run — Eq. (14) for Algorithm 3, Eq. (18) for
+// Algorithm 4 — evaluated on the grid the run used.
+func joinAlgWords(rep *obs.Report, algo string, dims []int, r int, grid []int) {
+	if len(grid) == 0 {
+		return
+	}
+	fdims := make([]float64, len(dims))
+	for i, d := range dims {
+		fdims[i] = float64(d)
+	}
+	shape := make([]float64, len(grid))
+	for i, g := range grid {
+		shape[i] = float64(g)
+	}
+	model := costmodel.Model{Dims: fdims, R: float64(r)}
+	switch algo {
+	case "stationary":
+		rep.JoinBound("eq14-alg3-sends", model.Alg3Words(shape))
+	case "general":
+		rep.JoinBound("eq18-alg4-sends", model.Alg4Words(shape))
+	}
+}
+
+// finishObs emits the report and enforces the CI ratio gates against
+// the best applicable bound.
+func finishObs(rep *obs.Report, algo string, human bool, jsonPath string, maxRatio, minRatio float64) {
+	if human {
+		rep.Format(os.Stdout)
+	}
+	if jsonPath == "-" {
+		if err := rep.WriteJSON(os.Stdout); err != nil {
+			fatal(err)
+		}
+	} else if jsonPath != "" {
+		f, err := os.Create(jsonPath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := rep.WriteJSON(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+	}
+	if maxRatio <= 0 && minRatio <= 0 {
+		return
+	}
+	if rep.MeasuredWords <= 0 {
+		fmt.Fprintf(os.Stderr, "mttkrp: obs gate: measured words = %d (instrumentation broken?)\n", rep.MeasuredWords)
+		os.Exit(3)
+	}
+	best := "seq-best"
+	switch algo {
+	case "stationary", "general", "par-matmul":
+		best = "par-best"
+	}
+	ratio := rep.Ratio(best)
+	//repro:bitwise Ratio returns exactly 0 for vacuous bounds
+	if ratio == 0 {
+		fmt.Fprintf(os.Stderr, "mttkrp: obs gate: bound %q is vacuous for this configuration\n", best)
+		os.Exit(3)
+	}
+	if maxRatio > 0 && ratio > maxRatio {
+		fmt.Fprintf(os.Stderr, "mttkrp: obs gate: measured/%s = %.3f exceeds -obs-maxratio %.3f\n", best, ratio, maxRatio)
+		os.Exit(3)
+	}
+	if minRatio > 0 && ratio < minRatio {
+		fmt.Fprintf(os.Stderr, "mttkrp: obs gate: measured/%s = %.3f below -obs-minratio %.3f\n", best, ratio, minRatio)
+		os.Exit(3)
+	}
+	fmt.Printf("obs gate: measured/%s = %.3f within [%g, %g]\n", best, ratio,
+		minRatio, maxRatio)
 }
 
 func parseDims(s string) ([]int, error) {

@@ -1,0 +1,170 @@
+// Command obsserve runs an instrumented MTTKRP workload in a loop and
+// serves live observability over HTTP: the standard net/http/pprof
+// endpoints, an optional runtime/trace capture, and the internal/obs
+// report (counters, phase aggregates, span ring, bound ratios) as
+// JSON. It is the interactive companion to the -obs flags on the batch
+// commands — point a profiler or a dashboard at a long-running engine
+// loop instead of rerunning one-shot measurements.
+//
+// Endpoints:
+//
+//	/report        current obs report joined against the Thm 4.1 bound
+//	/spans         the span ring (most recent ringCap phase spans)
+//	/reset         zero the collector (counters, phases, ring)
+//	/debug/pprof/  net/http/pprof profiles
+//
+// Usage:
+//
+//	obsserve -addr localhost:6060 -dims 64,64,64 -r 16 -algo tree
+//	obsserve -dims 32,32,32 -r 8 -duration 10s -trace trace.out
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	_ "net/http/pprof"
+	"os"
+	"runtime/trace"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/dimtree"
+	"repro/internal/kernel"
+	"repro/internal/linalg"
+	"repro/internal/obs"
+	"repro/internal/tensor"
+	"repro/internal/workload"
+)
+
+func main() {
+	addr := flag.String("addr", "localhost:6060", "HTTP listen address")
+	dimsFlag := flag.String("dims", "32,32,32", "tensor dimensions")
+	r := flag.Int("r", 8, "rank R")
+	mode := flag.Int("mode", 0, "MTTKRP mode for -algo fast")
+	algo := flag.String("algo", "fast", "looped workload: fast (KRP-splitting kernel) | tree (dimension-tree all-modes)")
+	workers := flag.Int("workers", 0, "engine goroutines (0 = package default)")
+	m := flag.Int64("m", 512, "fast memory words for the joined Thm 4.1 bound")
+	duration := flag.Duration("duration", 0, "stop after this long (0 = run until killed)")
+	traceOut := flag.String("trace", "", "write a runtime/trace capture to this file")
+	seed := flag.Int64("seed", 42, "workload seed")
+	flag.Parse()
+
+	dims, err := parseDims(*dimsFlag)
+	if err != nil {
+		fatal(err)
+	}
+	if *mode < 0 || *mode >= len(dims) {
+		fatal(fmt.Errorf("mode %d out of range", *mode))
+	}
+	if *algo != "fast" && *algo != "tree" {
+		fatal(fmt.Errorf("unknown -algo %q (want fast or tree)", *algo))
+	}
+	inst, err := workload.Generate(workload.Spec{Dims: dims, R: *r, Seed: *seed})
+	if err != nil {
+		fatal(err)
+	}
+
+	col := obs.New(0)
+	obs.Enable(col)
+	defer obs.Disable()
+
+	buildReport := func() *obs.Report {
+		rep := obs.NewReport("obsserve", *algo, dims, *r, *mode,
+			obs.Machine{M: *m, Workers: linalg.ResolveWorkers(*workers)})
+		rep.FillFromCollector(col)
+		rep.JoinSeqBounds(float64(*m))
+		return rep
+	}
+	http.HandleFunc("/report", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := buildReport().WriteJSON(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	http.HandleFunc("/spans", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(col.Spans()); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	http.HandleFunc("/reset", func(w http.ResponseWriter, req *http.Request) {
+		col.Reset()
+		fmt.Fprintln(w, "collector reset")
+	})
+	go func() {
+		if err := http.ListenAndServe(*addr, nil); err != nil {
+			fatal(err)
+		}
+	}()
+	fmt.Printf("obsserve: %s workload dims=%v R=%d on http://%s (/report /spans /reset /debug/pprof/)\n",
+		*algo, dims, *r, *addr)
+
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := trace.Start(f); err != nil {
+			fatal(err)
+		}
+		defer trace.Stop()
+		fmt.Printf("obsserve: runtime/trace capture -> %s\n", *traceOut)
+	}
+
+	// The measured loop. Warm buffers outside the loop so the collector
+	// sees steady-state behavior (allocs stay flat after the reset).
+	deadline := time.Time{}
+	if *duration > 0 {
+		deadline = time.Now().Add(*duration)
+	}
+	iters := 0
+	switch *algo {
+	case "fast":
+		ws := kernel.NewWorkspace(dims, *r, *mode)
+		b := tensor.NewMatrix(dims[*mode], *r)
+		kernel.FastInto(b, inst.X, inst.Factors, *mode, *workers, ws)
+		col.Reset()
+		for deadline.IsZero() || time.Now().Before(deadline) {
+			kernel.FastInto(b, inst.X, inst.Factors, *mode, *workers, ws)
+			iters++
+		}
+	case "tree":
+		eng := dimtree.NewEngine(*workers)
+		res := &dimtree.Result{}
+		eng.AllModesInto(res, inst.X, inst.Factors)
+		col.Reset()
+		for deadline.IsZero() || time.Now().Before(deadline) {
+			eng.AllModesInto(res, inst.X, inst.Factors)
+			iters++
+		}
+	}
+	fmt.Printf("obsserve: %d iterations in %v; final report:\n", iters, *duration)
+	buildReport().Format(os.Stdout)
+}
+
+func parseDims(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	if len(parts) < 2 {
+		return nil, fmt.Errorf("need at least 2 dimensions, got %q", s)
+	}
+	dims := make([]int, len(parts))
+	for i, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || v < 1 {
+			return nil, fmt.Errorf("bad dimension %q", p)
+		}
+		dims[i] = v
+	}
+	return dims, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "obsserve:", err)
+	os.Exit(2)
+}

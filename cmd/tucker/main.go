@@ -16,6 +16,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/obs"
 	"repro/internal/tensor"
 	"repro/internal/tucker"
 )
@@ -27,6 +28,8 @@ func main() {
 	iters := flag.Int("iters", 10, "HOOI sweeps")
 	noise := flag.Float64("noise", 0.01, "noise half-width")
 	seed := flag.Int64("seed", 5, "seed")
+	obsFlag := flag.Bool("obs", false, "print the instrumented observability report")
+	obsJSON := flag.String("obs-json", "", "write the observability report as JSON to this path (- for stdout)")
 	flag.Parse()
 
 	dims, err := parseInts(*dimsFlag)
@@ -52,6 +55,29 @@ func main() {
 	data := x.Reconstruct()
 	tensor.AddNoise(data, *seed+2, *noise)
 
+	var col *obs.Collector
+	if *obsFlag || *obsJSON != "" {
+		col = obs.New(0)
+		obs.Enable(col)
+		defer obs.Disable()
+	}
+	report := func(algo string, mach obs.Machine) {
+		if col == nil {
+			return
+		}
+		// Rank reported as the largest multilinear rank; mode -1 marks
+		// an all-modes sweep.
+		maxRank := 0
+		for _, r := range ranks {
+			if r > maxRank {
+				maxRank = r
+			}
+		}
+		rep := obs.NewReport("tucker", algo, dims, maxRank, -1, mach)
+		rep.FillFromCollector(col)
+		emitReport(rep, *obsFlag, *obsJSON)
+	}
+
 	if *gridFlag == "" {
 		model, trace, err := tucker.Decompose(data, tucker.Options{Ranks: ranks, MaxIters: *iters, Tol: 0})
 		if err != nil {
@@ -62,6 +88,7 @@ func main() {
 			fmt.Printf("  sweep %d: fit %.8f\n", e.Iter, e.Fit)
 		}
 		fmt.Printf("final fit %.8f\n", model.Fit)
+		report("hooi", obs.Machine{})
 		return
 	}
 
@@ -81,6 +108,37 @@ func main() {
 	fmt.Printf("\ncommunication per processor (max over ranks):\n")
 	fmt.Printf("  factor block-row gathers: %d words\n", res.MaxGatherWords())
 	fmt.Printf("  projection all-reduces:   %d words\n", res.MaxReduceWords())
+	p := 1
+	for _, s := range shape {
+		p *= s
+	}
+	report("hooi-parallel", obs.Machine{P: p})
+}
+
+// emitReport writes the report per the -obs / -obs-json flags.
+func emitReport(rep *obs.Report, human bool, jsonPath string) {
+	if human {
+		rep.Format(os.Stdout)
+	}
+	if jsonPath == "" {
+		return
+	}
+	if jsonPath == "-" {
+		if err := rep.WriteJSON(os.Stdout); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	f, err := os.Create(jsonPath)
+	if err != nil {
+		fatal(err)
+	}
+	if err := rep.WriteJSON(f); err != nil {
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
 }
 
 func parseInts(s string) ([]int, error) {

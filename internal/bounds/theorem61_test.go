@@ -1,9 +1,10 @@
-package bounds
+package bounds_test
 
 import (
 	"math"
 	"testing"
 
+	"repro/internal/bounds"
 	"repro/internal/memsim"
 	"repro/internal/seq"
 	"repro/internal/tensor"
@@ -14,9 +15,9 @@ func TestT61WindowPaperIllustration(t *testing.T) {
 	// delta = eps = 1/10 and cubical dims, the window's floor comes
 	// from Eqs. (25)/(26) (around 10^4 for N <= 10) and its ceiling
 	// from (27)-(29).
-	p := Cubical(3, 100, 100) // I = 1e6, R = 100
-	c := PaperT61Constants()
-	lo, hi, err := T61Window(p, c)
+	p := bounds.Cubical(3, 100, 100) // I = 1e6, R = 100
+	c := bounds.PaperT61Constants()
+	lo, hi, err := bounds.T61Window(p, c)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -35,7 +36,7 @@ func TestT61WindowPaperIllustration(t *testing.T) {
 		{lo * 0.5, false},
 		{hi * 2, false},
 	} {
-		ok, err := Theorem61Holds(p, tc.M, c)
+		ok, err := bounds.Theorem61Holds(p, tc.M, c)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -46,8 +47,8 @@ func TestT61WindowPaperIllustration(t *testing.T) {
 }
 
 func TestT61ConstantsValidation(t *testing.T) {
-	p := Cubical(3, 64, 16)
-	bad := []T61Constants{
+	p := bounds.Cubical(3, 64, 16)
+	bad := []bounds.T61Constants{
 		{Alpha: 1.5, Beta: 0.01, Gamma: 100, Delta: 0.1, Eps: 0.1},
 		{Alpha: 0.99, Beta: 0.999, Gamma: 100, Delta: 0.1, Eps: 0.1}, // beta too big
 		{Alpha: 0.99, Beta: 0.01, Gamma: 1.0, Delta: 0.1, Eps: 0.1},  // gamma too small
@@ -59,7 +60,7 @@ func TestT61ConstantsValidation(t *testing.T) {
 			t.Errorf("case %d should be rejected", i)
 		}
 	}
-	if err := PaperT61Constants().Validate(p); err != nil {
+	if err := bounds.PaperT61Constants().Validate(p); err != nil {
 		t.Fatalf("paper constants rejected: %v", err)
 	}
 }
@@ -72,9 +73,9 @@ func TestT61ConclusionMeasured(t *testing.T) {
 	// Eq. (25) floor (~5200 for N=3 with the paper's constants).
 	dims := []int{96, 96, 96}
 	R := 16
-	p := Problem{Dims: dims, R: R}
-	c := PaperT61Constants()
-	lo, hi, err := T61Window(p, c)
+	p := bounds.Problem{Dims: dims, R: R}
+	c := bounds.PaperT61Constants()
+	lo, hi, err := bounds.T61Window(p, c)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -89,13 +90,13 @@ func TestT61ConclusionMeasured(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	lb := SeqBest(p, float64(M))
+	lb := bounds.SeqBest(p, float64(M))
 	if lb <= 0 {
 		t.Fatalf("lower bound vacuous inside the window: %v", lb)
 	}
 	ratio := float64(res.Counts.Words()) / lb
-	if ratio > Theorem61GuaranteedRatio(c) {
-		t.Fatalf("measured ratio %v exceeds the guarantee %v", ratio, Theorem61GuaranteedRatio(c))
+	if ratio > bounds.Theorem61GuaranteedRatio(c) {
+		t.Fatalf("measured ratio %v exceeds the guarantee %v", ratio, bounds.Theorem61GuaranteedRatio(c))
 	}
 	if ratio > 50 {
 		t.Fatalf("measured ratio %v implausibly large", ratio)
@@ -103,9 +104,9 @@ func TestT61ConclusionMeasured(t *testing.T) {
 }
 
 func TestT61GuaranteedRatio(t *testing.T) {
-	c := PaperT61Constants()
+	c := bounds.PaperT61Constants()
 	// 2*100 / (0.01 * 0.1) = 200000.
-	if got := Theorem61GuaranteedRatio(c); math.Abs(got-200000) > 1 {
+	if got := bounds.Theorem61GuaranteedRatio(c); math.Abs(got-200000) > 1 {
 		t.Fatalf("guaranteed ratio = %v", got)
 	}
 }

@@ -13,6 +13,7 @@ package comm
 import (
 	"fmt"
 
+	"repro/internal/obs"
 	"repro/internal/simnet"
 )
 
@@ -22,6 +23,7 @@ type Comm struct {
 	net   *simnet.Network
 	ranks []int // global ranks; position = communicator rank
 	me    int   // my communicator rank
+	vol   Volume
 }
 
 // New builds a communicator over the given global ranks for the caller
@@ -59,12 +61,17 @@ func (c *Comm) GlobalRank() int { return c.ranks[c.me] }
 
 // Send transmits data to communicator rank dst.
 func (c *Comm) Send(dst int, data []float64) {
+	c.vol.Sent += int64(len(data))
+	obs.Comm(c.ranks[c.me], int64(len(data)), 0)
 	c.net.Send(c.ranks[c.me], c.ranks[dst], data)
 }
 
 // Recv blocks for a message from communicator rank src.
 func (c *Comm) Recv(src int) []float64 {
-	return c.net.Recv(c.ranks[src], c.ranks[c.me])
+	msg := c.net.Recv(c.ranks[src], c.ranks[c.me])
+	c.vol.Recv += int64(len(msg))
+	obs.Comm(c.ranks[c.me], 0, int64(len(msg)))
+	return msg
 }
 
 // AllGatherV gathers each rank's block onto every rank using the
@@ -78,6 +85,8 @@ func (c *Comm) Recv(src int) []float64 {
 // received payloads, so no extra size exchange is modeled (in practice
 // sizes are known from the data distribution).
 func (c *Comm) AllGatherV(mine []float64) [][]float64 {
+	span := obs.Start(obs.PhaseAllGather)
+	defer span.Stop()
 	q := len(c.ranks)
 	blocks := make([][]float64, q)
 	blocks[c.me] = append([]float64(nil), mine...)
@@ -120,6 +129,8 @@ func (c *Comm) AllGatherConcat(mine []float64) []float64 {
 // at rank j after q-1 steps. Each rank sends (total - |own chunk|)
 // words: (q-1)*w for balanced chunks of w words.
 func (c *Comm) ReduceScatterV(contrib [][]float64) []float64 {
+	span := obs.Start(obs.PhaseReduceScatter)
+	defer span.Stop()
 	q := len(c.ranks)
 	if len(contrib) != q {
 		panic(fmt.Sprintf("comm: ReduceScatterV got %d chunks for %d ranks", len(contrib), q))
@@ -155,6 +166,8 @@ func (c *Comm) ReduceScatterV(contrib [][]float64) []float64 {
 // on every rank, implemented as an even-partition Reduce-Scatter
 // followed by an All-Gather (cost 2*(q-1)/q * len(x) words each way).
 func (c *Comm) AllReduce(x []float64) []float64 {
+	span := obs.Start(obs.PhaseAllReduce)
+	defer span.Stop()
 	q := len(c.ranks)
 	if q == 1 {
 		return append([]float64(nil), x...)

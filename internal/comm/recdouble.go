@@ -2,58 +2,72 @@ package comm
 
 import (
 	"fmt"
-	"math/bits"
+
+	"repro/internal/obs"
 )
 
-// RDAllGather is a recursive-doubling All-Gather for *uniform* block
-// sizes: log2(q) rounds, in round t each rank exchanges its
-// accumulated 2^t blocks with the partner whose rank differs in bit t.
-// Bandwidth equals the bucket algorithm's (q-1)*w per rank, but only
-// log2(q) messages are needed instead of q-1 — the latency/bandwidth
-// trade the paper sets aside ("we focus on the amount of data
-// communicated and ignore the number of messages"). Requires q to be a
-// power of two and every rank to contribute exactly the same number of
-// words.
+// RDAllGather is a doubling All-Gather for *uniform* block sizes:
+// ceil(log2(q)) rounds, each at most doubling the number of blocks a
+// rank holds. For power-of-two q this is classic recursive doubling
+// (round t exchanges 2^t blocks with the partner whose rank differs in
+// bit t, up to Bruck's rotation); for general q it is Bruck's
+// algorithm, whose round t sends min(2^t, q-2^t) blocks to rank
+// me-2^t and receives the same from rank me+2^t (mod q). Either way
+// each rank moves exactly
+//
+//	sum_t min(2^t, q-2^t) * w = (q-1)*w
+//
+// words in each direction — the bucket algorithm's bandwidth, matching
+// the per-slice All-Gather term of Eq. (14) — but in only
+// ceil(log2(q)) messages instead of q-1, the latency/bandwidth trade
+// the paper sets aside ("we focus on the amount of data communicated
+// and ignore the number of messages"). Every rank must contribute
+// exactly the same number of words.
 func (c *Comm) RDAllGather(mine []float64) [][]float64 {
+	span := obs.Start(obs.PhaseAllGather)
+	defer span.Stop()
 	q := len(c.ranks)
-	if q&(q-1) != 0 {
-		panic(fmt.Sprintf("comm: recursive doubling needs power-of-two group, got %d", q))
-	}
 	w := len(mine)
 	blocks := make([][]float64, q)
 	blocks[c.me] = append([]float64(nil), mine...)
 	if q == 1 {
 		return blocks
 	}
-	rounds := bits.TrailingZeros(uint(q))
-	for t := 0; t < rounds; t++ {
-		span := 1 << uint(t)
-		partner := c.me ^ span
-		myGroup := c.me &^ (span - 1)
-		payload := make([]float64, 0, span*w)
-		for j := myGroup; j < myGroup+span; j++ {
-			if len(blocks[j]) != w {
-				panic(fmt.Sprintf("comm: RDAllGather needs uniform blocks, got %d vs %d", len(blocks[j]), w))
+	// Bruck's rotated indexing: local[j] holds the block of rank
+	// (me+j) mod q, so every round sends a contiguous prefix of the
+	// blocks held so far. simnet copies payloads on Send, so the
+	// staging buffer is reused across rounds.
+	local := make([][]float64, q)
+	local[0] = blocks[c.me]
+	payload := make([]float64, 0, q*w)
+	for have := 1; have < q; {
+		b := have
+		if q-have < b {
+			b = q - have
+		}
+		to := (c.me - have + q) % q
+		from := (c.me + have) % q
+		payload = payload[:0]
+		for j := 0; j < b; j++ {
+			if len(local[j]) != w {
+				panic(fmt.Sprintf("comm: RDAllGather needs uniform blocks, got %d vs %d", len(local[j]), w))
 			}
-			payload = append(payload, blocks[j]...)
+			payload = append(payload, local[j]...)
 		}
-		// Fixed order (lower rank sends first) for a reproducible
-		// trace; buffering makes either order deadlock-free.
-		var in []float64
-		if c.me < partner {
-			c.Send(partner, payload)
-			in = c.Recv(partner)
-		} else {
-			in = c.Recv(partner)
-			c.Send(partner, payload)
+		// Buffered channels make send-then-receive deadlock-free even
+		// though every rank sends first.
+		c.Send(to, payload)
+		in := c.Recv(from)
+		if len(in) != b*w {
+			panic(fmt.Sprintf("comm: RDAllGather partner payload %d, want %d", len(in), b*w))
 		}
-		if len(in) != span*w {
-			panic(fmt.Sprintf("comm: RDAllGather partner payload %d, want %d", len(in), span*w))
+		for j := 0; j < b; j++ {
+			local[have+j] = in[j*w : (j+1)*w]
 		}
-		theirs := partner &^ (span - 1)
-		for j := 0; j < span; j++ {
-			blocks[theirs+j] = in[j*w : (j+1)*w]
-		}
+		have += b
+	}
+	for j := 1; j < q; j++ {
+		blocks[(c.me+j)%q] = local[j]
 	}
 	return blocks
 }

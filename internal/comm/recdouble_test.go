@@ -3,12 +3,10 @@ package comm
 import (
 	"fmt"
 	"testing"
-
-	"repro/internal/simnet"
 )
 
 func TestRDAllGatherCorrect(t *testing.T) {
-	for _, q := range []int{1, 2, 4, 8, 16} {
+	for _, q := range []int{1, 2, 3, 4, 5, 6, 7, 8, 11, 16} {
 		q := q
 		runGroup(t, q, func(c *Comm) error {
 			mine := []float64{float64(c.Rank()), float64(c.Rank()) + 0.5}
@@ -51,14 +49,42 @@ func TestRDVsBucketCosts(t *testing.T) {
 	}
 }
 
-func TestRDAllGatherPanics(t *testing.T) {
-	net := simnet.New(3)
-	ranks := []int{0, 1, 2}
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic for non-power-of-two group")
+// Bruck's generalization keeps the (q-1)*w bandwidth and the
+// ceil(log2 q) message count for non-power-of-two groups.
+func TestRDAllGatherNonPowerOfTwoCosts(t *testing.T) {
+	const w = 16
+	for _, q := range []int{3, 5, 6, 7, 11} {
+		q := q
+		net := runGroup(t, q, func(c *Comm) error {
+			c.RDAllGather(make([]float64, w))
+			return nil
+		})
+		rounds := int64(0)
+		for s := 1; s < q; s *= 2 {
+			rounds++
 		}
-	}()
-	c := New(net, ranks, 0)
-	c.RDAllGather([]float64{1})
+		for r := 0; r < q; r++ {
+			s := net.RankStats(r)
+			if s.SentWords != int64(q-1)*w || s.RecvWords != int64(q-1)*w {
+				t.Fatalf("q=%d rank %d: sent %d recv %d words, want %d each",
+					q, r, s.SentWords, s.RecvWords, (q-1)*w)
+			}
+			if s.SentMsgs != rounds {
+				t.Fatalf("q=%d rank %d: %d msgs, want ceil(log2 q) = %d",
+					q, r, s.SentMsgs, rounds)
+			}
+		}
+	}
+}
+
+func TestRDAllGatherPanicsOnUnevenBlocks(t *testing.T) {
+	runGroup(t, 2, func(c *Comm) error {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic for non-uniform blocks")
+			}
+		}()
+		c.RDAllGather(make([]float64, 1+c.Rank()))
+		return nil
+	})
 }

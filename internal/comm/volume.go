@@ -1,0 +1,87 @@
+package comm
+
+// Volume is the measured word traffic through one communicator
+// endpoint: every word handed to Send and every word returned by Recv,
+// including the length-header words the naive collectives encode (they
+// are real modeled traffic). Collectives *return* their volumes via the
+// *Vol variants below so callers can compare the measurement against
+// the closed forms of Eq. (14) without scraping logs or the network's
+// global statistics.
+type Volume struct {
+	Sent int64 `json:"sent"`
+	Recv int64 `json:"recv"`
+}
+
+// Words returns the endpoint's total traffic, sent plus received.
+func (v Volume) Words() int64 { return v.Sent + v.Recv }
+
+// add returns the component-wise sum.
+func (v Volume) add(o Volume) Volume { return Volume{v.Sent + o.Sent, v.Recv + o.Recv} }
+
+// sub returns the component-wise difference.
+func (v Volume) sub(o Volume) Volume { return Volume{v.Sent - o.Sent, v.Recv - o.Recv} }
+
+// Volume returns the cumulative traffic through this communicator since
+// construction (or the last TakeVolume).
+func (c *Comm) Volume() Volume { return c.vol }
+
+// TakeVolume returns the cumulative traffic and resets the counter, so
+// successive calls bracket successive collectives.
+func (c *Comm) TakeVolume() Volume {
+	v := c.vol
+	c.vol = Volume{}
+	return v
+}
+
+// measure runs fn and returns the traffic it caused on this endpoint.
+func (c *Comm) measure(fn func()) Volume {
+	before := c.vol
+	fn()
+	return c.vol.sub(before)
+}
+
+// AllGatherVVol is AllGatherV returning the caller's measured traffic.
+// For balanced blocks of w words the bucket algorithm moves
+// (q-1)*w each way — the per-slice term of Eq. (14).
+func (c *Comm) AllGatherVVol(mine []float64) (blocks [][]float64, v Volume) {
+	v = c.measure(func() { blocks = c.AllGatherV(mine) })
+	return blocks, v
+}
+
+// NaiveAllGatherVVol is NaiveAllGatherV returning the caller's measured
+// traffic. Rank 0 receives (q-1)*w and rebroadcasts the encoded
+// collection — (q-1)*(q*w+q) sent for balanced blocks — while every
+// other rank sends w and receives q*w+q.
+func (c *Comm) NaiveAllGatherVVol(mine []float64) (blocks [][]float64, v Volume) {
+	v = c.measure(func() { blocks = c.NaiveAllGatherV(mine) })
+	return blocks, v
+}
+
+// RDAllGatherVol is RDAllGather returning the caller's measured
+// traffic: (q-1)*w each way for any q, matching the bucket algorithm.
+func (c *Comm) RDAllGatherVol(mine []float64) (blocks [][]float64, v Volume) {
+	v = c.measure(func() { blocks = c.RDAllGather(mine) })
+	return blocks, v
+}
+
+// ReduceScatterVVol is ReduceScatterV returning the caller's measured
+// traffic: (q-1)*w each way for balanced chunks of w words.
+func (c *Comm) ReduceScatterVVol(contrib [][]float64) (out []float64, v Volume) {
+	v = c.measure(func() { out = c.ReduceScatterV(contrib) })
+	return out, v
+}
+
+// NaiveReduceScatterVVol is NaiveReduceScatterV returning the caller's
+// measured traffic.
+func (c *Comm) NaiveReduceScatterVVol(contrib [][]float64) (out []float64, v Volume) {
+	v = c.measure(func() { out = c.NaiveReduceScatterV(contrib) })
+	return out, v
+}
+
+// AllReduceVol is AllReduce returning the caller's measured traffic:
+// 2*(q-1)/q*n words each way for n-word inputs (up to partition
+// rounding).
+func (c *Comm) AllReduceVol(x []float64) (out []float64, v Volume) {
+	v = c.measure(func() { out = c.AllReduce(x) })
+	return out, v
+}

@@ -1,0 +1,113 @@
+package comm
+
+import (
+	"testing"
+
+	"repro/internal/costmodel"
+)
+
+// The *Vol variants must return exactly the traffic the closed forms
+// predict — for non-power-of-two q too, where the Bruck generalization
+// carries the doubling All-Gather. Eq. (14) counts (q-1)*w sends per
+// rank per slice collective; the naive ablation's closed form includes
+// the q length-header words its encoded rebroadcast carries.
+func TestAllGatherVolumesMatchClosedForms(t *testing.T) {
+	const w = 12
+	for _, q := range []int{2, 3, 5, 6, 7, 8} {
+		q := q
+		vols := make([]Volume, q)
+		naive := make([]Volume, q)
+		runGroup(t, q, func(c *Comm) error {
+			mine := make([]float64, w)
+			_, v := c.RDAllGatherVol(mine)
+			vols[c.Rank()] = v
+			_, nv := c.NaiveAllGatherVVol(mine)
+			naive[c.Rank()] = nv
+			return nil
+		})
+		// Bucket-bandwidth closed form: (q-1)*w each way, every rank.
+		want := int64(q-1) * w
+		for r, v := range vols {
+			if v.Sent != want || v.Recv != want {
+				t.Fatalf("q=%d rank %d: RD volume %+v, want %d each way", q, r, v, want)
+			}
+		}
+		// Naive closed form: rank 0 receives (q-1)*w and rebroadcasts the
+		// encoded collection of q*w+q words to q-1 peers; everyone else
+		// sends w and receives that collection.
+		encoded := int64(q*w + q)
+		if naive[0].Recv != want || naive[0].Sent != int64(q-1)*encoded {
+			t.Fatalf("q=%d root: naive volume %+v, want recv %d sent %d",
+				q, naive[0], want, int64(q-1)*encoded)
+		}
+		for r := 1; r < q; r++ {
+			if naive[r].Sent != w || naive[r].Recv != encoded {
+				t.Fatalf("q=%d rank %d: naive volume %+v, want sent %d recv %d",
+					q, r, naive[r], w, encoded)
+			}
+		}
+	}
+}
+
+// A full Algorithm 3 exchange round on a grid fiber: per-mode
+// All-Gather volumes summed over modes must equal Eq. (14)'s
+// Alg3Words. Uses a non-power-of-two grid so the generalized doubling
+// path is the one being certified.
+func TestFiberAllGatherMatchesEq14(t *testing.T) {
+	dims := []float64{12, 12, 12}
+	R := 4.0
+	shape := []float64{3, 2, 1} // P = 6, non-power-of-two fiber of size 3
+	m := costmodel.Model{Dims: dims, R: R}
+	want := m.Alg3Words(shape)
+
+	// Balanced distribution: rank volume for mode k's fiber All-Gather
+	// is (P/P_k - 1) * I_k*R/P each direction; simulate each mode's
+	// fiber as its own group of size q_k = P/P_k gathering blocks of
+	// I_k*R/P words.
+	P := 6.0
+	var got float64
+	for k := range dims {
+		qk := int(P / shape[k])
+		wk := int(dims[k] * R / P)
+		vols := make([]Volume, qk)
+		runGroup(t, qk, func(c *Comm) error {
+			_, v := c.RDAllGatherVol(make([]float64, wk))
+			vols[c.Rank()] = v
+			return nil
+		})
+		for r, v := range vols {
+			if v.Sent != vols[0].Sent {
+				t.Fatalf("mode %d rank %d: unbalanced fiber volume %+v vs %+v", k, r, v, vols[0])
+			}
+		}
+		got += float64(vols[0].Sent)
+	}
+	if got != want {
+		t.Fatalf("summed fiber All-Gather sends = %v, Eq. (14) = %v", got, want)
+	}
+}
+
+// TakeVolume brackets successive collectives without cross-talk.
+func TestTakeVolumeBrackets(t *testing.T) {
+	const q, w = 4, 8
+	runGroup(t, q, func(c *Comm) error {
+		c.AllGatherV(make([]float64, w))
+		first := c.TakeVolume()
+		if first.Sent != (q-1)*w || first.Recv != (q-1)*w {
+			t.Errorf("first volume %+v, want %d each way", first, (q-1)*w)
+		}
+		chunks := make([][]float64, q)
+		for j := range chunks {
+			chunks[j] = make([]float64, w)
+		}
+		c.ReduceScatterV(chunks)
+		second := c.TakeVolume()
+		if second.Sent != (q-1)*w || second.Recv != (q-1)*w {
+			t.Errorf("second volume %+v, want %d each way", second, (q-1)*w)
+		}
+		if v := c.Volume(); v.Sent != 0 || v.Recv != 0 {
+			t.Errorf("volume after TakeVolume = %+v, want zero", v)
+		}
+		return nil
+	})
+}

@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/kernel"
 	"repro/internal/linalg"
+	"repro/internal/obs"
 	"repro/internal/tensor"
 )
 
@@ -105,15 +106,21 @@ func Decompose(x *tensor.Dense, opts Options) (*Model, []TraceEntry, error) {
 			b := bs[n]
 			kernel.FastInto(b, x, factors, n, opts.Workers, ws)
 			v := hadamardGrams(grams, n, opts.R)
+			sspan := obs.Start(obs.PhaseSolve)
 			an, err := solveFactor(v, b)
+			sspan.Stop()
 			if err != nil {
 				return nil, nil, fmt.Errorf("cpals: mode %d solve: %w", n, err)
 			}
 			factors[n] = an
+			gspan := obs.Start(obs.PhaseGram)
 			grams[n] = linalg.Gram(an)
+			gspan.Stop()
 			lastB = b
 		}
+		fspan := obs.Start(obs.PhaseFit)
 		fit = computeFit(normX, lastB, factors[N-1], grams)
+		fspan.Stop()
 		trace = append(trace, TraceEntry{Iter: it, Fit: fit})
 		if fit-prevFit < opts.Tol && it > 0 {
 			break

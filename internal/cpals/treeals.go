@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/dimtree"
 	"repro/internal/linalg"
+	"repro/internal/obs"
 	"repro/internal/tensor"
 )
 
@@ -75,12 +76,16 @@ func DecomposeTree(x *tensor.Dense, opts Options) (*Model, []TraceEntry, int64, 
 			b := tensor.NewMatrixFromData(bPart.Data(), x.Dim(n), opts.R)
 
 			v := hadamardGrams(grams, n, opts.R)
+			sspan := obs.Start(obs.PhaseSolve)
 			an, err := solveFactor(v, b)
+			sspan.Stop()
 			if err != nil {
 				return nil, nil, 0, fmt.Errorf("cpals: mode %d solve: %w", n, err)
 			}
 			factors[n] = an
+			gspan := obs.Start(obs.PhaseGram)
 			grams[n] = linalg.Gram(an)
+			gspan.Stop()
 			lastB = b
 
 			// Advance the prefix: contract mode n with the updated
@@ -94,7 +99,9 @@ func DecomposeTree(x *tensor.Dense, opts Options) (*Model, []TraceEntry, int64, 
 				totalFlops += fl
 			}
 		}
+		fspan := obs.Start(obs.PhaseFit)
 		fit = computeFit(normX, lastB, factors[N-1], grams)
+		fspan.Stop()
 		trace = append(trace, TraceEntry{Iter: it, Fit: fit})
 		if fit-prevFit < opts.Tol && it > 0 {
 			break

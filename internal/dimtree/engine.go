@@ -38,6 +38,7 @@ import (
 
 	"repro/internal/kernel"
 	"repro/internal/linalg"
+	"repro/internal/obs"
 	"repro/internal/tensor"
 )
 
@@ -145,6 +146,8 @@ func (e *Engine) descend(res *Result, part []float64, x *tensor.Dense, factors [
 //
 //repro:hotpath
 func (e *Engine) contractRoot(out []float64, x *tensor.Dense, factors []*tensor.Matrix, R, lo, hi int) int64 {
+	span := obs.Start(obs.PhaseTreeRoot)
+	defer span.Stop()
 	N := x.Order()
 	L := prodDims(x, 0, lo)
 	M := prodDims(x, lo, hi)
@@ -166,6 +169,7 @@ func (e *Engine) contractRoot(out []float64, x *tensor.Dense, factors []*tensor.
 	if kl == nil && kr == nil {
 		// Nothing dropped: the empty product broadcasts X across the R
 		// rank columns (the scalar oracle's behavior and accounting).
+		obs.Copy(M * R)
 		for r := 0; r < R; r++ {
 			copy(out[r*M:(r+1)*M], x.Data())
 		}
@@ -199,6 +203,8 @@ func (e *Engine) contractPart(out, part []float64, x *tensor.Dense, factors []*t
 //
 //repro:hotpath
 func (e *Engine) contractPartExtents(out, part []float64, factors []*tensor.Matrix, R, plo, phi, klo, khi, Lp, Mp, Rtp int) int64 {
+	span := obs.Start(obs.PhaseTreePartial)
+	defer span.Stop()
 	S := Lp * Mp * Rtp
 	var fl int64
 	var kl, kr []float64
@@ -217,6 +223,7 @@ func (e *Engine) contractPartExtents(out, part []float64, factors []*tensor.Matr
 	if kl == nil && kr == nil {
 		// Nothing dropped: the contraction is the identity (the scalar
 		// oracle's empty-product case). Match its flop accounting.
+		obs.Copy(S * R)
 		copy(out[:S*R], part[:S*R])
 		return fl + int64(S)*int64(R)
 	}
@@ -401,6 +408,11 @@ func growf(s []float64, n int) []float64 {
 // own output column and is processed in an order fixed by the rank
 // alone, so any partition of [0, R) gives bitwise-identical results.
 func partialRanks(out, part, kl, kr, tmp []float64, Lp, Mp, Rtp, r0, r1 int) {
+	if kl != nil && kr != nil {
+		// The per-slab GEMV passes count themselves; the KR-weighted fold
+		// adds Rtp accumulate passes of Mp words per rank.
+		obs.Axpy((r1-r0)*Rtp, Mp)
+	}
 	S := Lp * Mp * Rtp
 	for r := r0; r < r1; r++ {
 		pr := part[r*S : (r+1)*S]

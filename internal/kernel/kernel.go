@@ -37,6 +37,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/linalg"
+	"repro/internal/obs"
 	"repro/internal/tensor"
 )
 
@@ -78,6 +79,8 @@ func FastInto(b *tensor.Matrix, x *tensor.Dense, factors []*tensor.Matrix, n, wo
 		ws = GetWorkspace()
 		defer PutWorkspace(ws)
 	}
+	span := obs.Start(obs.PhaseKernel)
+	defer span.Stop()
 	N := x.Order()
 	L, Rt := 1, 1
 	for k := 0; k < n; k++ {
@@ -230,6 +233,10 @@ func interiorParallel(bufs [][]float64, scratch, data, kl, kr []float64, L, M, R
 
 // interiorSlabs accumulates slabs [t0, t1) into acc (In x R).
 func interiorSlabs(acc, wbuf, data, krLeft, krRight []float64, L, In, Rt, R, t0, t1 int) {
+	// The per-slab GEMMs count themselves; the KR-weighted fold adds
+	// R axpy passes of In words per slab (zero-skips counted anyway —
+	// the streaming model reads the column to know it).
+	obs.Axpy((t1-t0)*R, In)
 	slab := L * In
 	for t := t0; t < t1; t++ {
 		xt := data[t*slab : (t+1)*slab]
@@ -259,9 +266,12 @@ func interiorSlabs(acc, wbuf, data, krLeft, krRight []float64, L, In, Rt, R, t0,
 //repro:hotpath
 func KRPInto(dst []float64, factors []*tensor.Matrix, lo, hi, R int) {
 	rows := 1
+	sumRows := 0
 	for k := lo; k < hi; k++ {
 		rows *= factors[k].Rows()
+		sumRows += factors[k].Rows()
 	}
+	obs.KRP(rows, sumRows, R)
 	for r := 0; r < R; r++ {
 		col := dst[r*rows : (r+1)*rows]
 		f0 := factors[lo].Col(r)

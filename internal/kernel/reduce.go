@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"repro/internal/linalg"
+	"repro/internal/obs"
 )
 
 // ReduceTree sums bufs[1:] into bufs[0] with pairwise (binary-tree)
@@ -25,6 +26,8 @@ func ReduceTree(bufs [][]float64, workers int) {
 	}
 	workers = linalg.ResolveWorkers(workers)
 	n := len(bufs[0])
+	// m-1 pairwise adds of n words each: read both operands, write one.
+	obs.Axpy(m-1, n)
 	for stride := 1; stride < m; stride *= 2 {
 		step := 2 * stride
 		npairs := 0

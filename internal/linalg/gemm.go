@@ -24,6 +24,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/obs"
 )
 
 // Cache-blocking parameters: the A panel held hot across a column
@@ -104,6 +106,7 @@ func GemmNN(c, a, b []float64, m, k, n, workers int) {
 	checkLen("GemmNN", len(c), m*n)
 	checkLen("GemmNN", len(a), m*k)
 	checkLen("GemmNN", len(b), k*n)
+	obs.Gemm(m, k, n)
 	w := ResolveWorkers(workers)
 	if m*n*k <= gemmSmall {
 		w = 1
@@ -202,6 +205,7 @@ func GemmTN(c, a, b []float64, m, ka, n, workers int) {
 	checkLen("GemmTN", len(c), ka*n)
 	checkLen("GemmTN", len(a), m*ka)
 	checkLen("GemmTN", len(b), m*n)
+	obs.Gemm(ka, m, n)
 	w := ResolveWorkers(workers)
 	if m*ka*n <= gemmSmall {
 		w = 1
@@ -260,6 +264,7 @@ func GemmNT(c, a, b []float64, m, k, nb, workers int) {
 	checkLen("GemmNT", len(c), m*nb)
 	checkLen("GemmNT", len(a), m*k)
 	checkLen("GemmNT", len(b), nb*k)
+	obs.Gemm(m, k, nb)
 	w := ResolveWorkers(workers)
 	if m*k*nb <= gemmSmall {
 		w = 1

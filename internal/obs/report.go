@@ -1,0 +1,193 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"time"
+
+	"repro/internal/bounds"
+)
+
+// Machine describes the machine model a measured run executed on. Zero
+// fields are omitted from JSON: a sequential run has M only, a
+// simulated distributed run has P, a shared-memory run has Workers.
+type Machine struct {
+	M       int64 `json:"m,omitempty"`       // fast memory words (two-level model)
+	P       int   `json:"p,omitempty"`       // simulated processors
+	Workers int   `json:"workers,omitempty"` // shared-memory goroutines
+}
+
+// Report is the per-run JSON document joining measured counters against
+// the paper's lower bounds. Bounds maps bound names to word counts;
+// Ratios maps "measured/<bound>" to MeasuredWords divided by that
+// bound, emitted only for bounds that are positive (the paper's
+// expressions go vacuous — zero or negative — for some parameters).
+type Report struct {
+	Name    string  `json:"name"`
+	Algo    string  `json:"algo,omitempty"`
+	Dims    []int   `json:"dims"`
+	Rank    int     `json:"rank"`
+	Mode    int     `json:"mode"`
+	Machine Machine `json:"machine"`
+
+	// Counters are the run's measured totals (collector totals, or
+	// exact memsim/simnet counts for the instrumented model machines).
+	Counters Totals      `json:"counters"`
+	Phases   []PhaseStat `json:"phases,omitempty"`
+
+	// MeasuredWords is the headline data-movement figure the ratios
+	// divide: loads+stores for sequential runs, max words per processor
+	// for parallel runs, streaming-model operand traffic for
+	// shared-memory engine runs.
+	MeasuredWords int64 `json:"measured_words"`
+
+	Bounds map[string]float64 `json:"bounds,omitempty"`
+	Ratios map[string]float64 `json:"ratios,omitempty"`
+
+	WallNs int64 `json:"wall_ns,omitempty"`
+}
+
+// NewReport starts a report for one measured run.
+func NewReport(name, algo string, dims []int, rank, mode int, mach Machine) *Report {
+	return &Report{
+		Name:    name,
+		Algo:    algo,
+		Dims:    append([]int(nil), dims...),
+		Rank:    rank,
+		Mode:    mode,
+		Machine: mach,
+	}
+}
+
+// Problem returns the bounds.Problem this report describes.
+func (r *Report) Problem() bounds.Problem {
+	return bounds.Problem{Dims: r.Dims, R: r.Rank}
+}
+
+// JoinBound records one named lower bound and, when the bound is
+// positive and finite, the measured/bound ratio.
+func (r *Report) JoinBound(name string, w float64) {
+	if r.Bounds == nil {
+		r.Bounds = map[string]float64{}
+	}
+	r.Bounds[name] = w
+	if w > 0 && !math.IsInf(w, 0) && !math.IsNaN(w) {
+		if r.Ratios == nil {
+			r.Ratios = map[string]float64{}
+		}
+		r.Ratios["measured/"+name] = float64(r.MeasuredWords) / w
+	}
+}
+
+// JoinSeqBounds joins the sequential bounds for fast memory M words:
+// the memory-dependent Theorem 4.1 bound, the trivial Fact 4.1 bound,
+// and their max ("seq-best", the operative lower bound).
+func (r *Report) JoinSeqBounds(M float64) {
+	p := r.Problem()
+	r.JoinBound("seq-memdep-thm4.1", bounds.SeqMemDependent(p, M))
+	r.JoinBound("seq-trivial-fact4.1", bounds.SeqTrivial(p, M))
+	r.JoinBound("seq-best", bounds.SeqBest(p, M))
+}
+
+// JoinParBounds joins the parallel bounds for P processors with
+// balanced layouts (gamma = delta = 1): the memory-independent
+// Theorems 4.2/4.3 and their max ("par-best"), the Corollary 4.2
+// combined expression for cubical problems, and — when M > 0 — the
+// memory-dependent Corollary 4.1 bound.
+func (r *Report) JoinParBounds(P, M float64) {
+	p := r.Problem()
+	r.JoinBound("par-memindep1-thm4.2", bounds.ParMemIndependent1(p, P, 1, 1))
+	r.JoinBound("par-memindep2-thm4.3", bounds.ParMemIndependent2(p, P, 1, 1))
+	r.JoinBound("par-best", bounds.ParBest(p, P, 1, 1))
+	if cubical(r.Dims) {
+		r.JoinBound("par-cubical-cor4.2", bounds.CubicalCombined(p, P))
+	}
+	if M > 0 {
+		r.JoinBound("par-memdep-cor4.1", bounds.ParMemDependent(p, M, P))
+	}
+}
+
+// Ratio returns the measured/bound ratio for name, or 0 when that
+// bound is vacuous or absent.
+func (r *Report) Ratio(name string) float64 { return r.Ratios["measured/"+name] }
+
+// FillFromCollector copies the collector's totals, phase aggregates,
+// and — when MeasuredWords is still unset — the streaming-model word
+// total into the report.
+func (r *Report) FillFromCollector(c *Collector) {
+	t := c.Totals()
+	r.Counters = t
+	r.Phases = c.PhaseStats()
+	if r.MeasuredWords == 0 {
+		r.MeasuredWords = t.Words()
+	}
+}
+
+// WriteJSON writes the report as indented JSON (map keys sorted, so
+// output is deterministic given deterministic values).
+func (r *Report) WriteJSON(w io.Writer) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}
+
+// Format writes the human-readable report.
+func (r *Report) Format(w io.Writer) {
+	fmt.Fprintf(w, "obs: %s algo=%s dims=%v R=%d mode=%d", r.Name, r.Algo, r.Dims, r.Rank, r.Mode)
+	if r.Machine.M > 0 {
+		fmt.Fprintf(w, " M=%d", r.Machine.M)
+	}
+	if r.Machine.P > 0 {
+		fmt.Fprintf(w, " P=%d", r.Machine.P)
+	}
+	if r.Machine.Workers > 0 {
+		fmt.Fprintf(w, " workers=%d", r.Machine.Workers)
+	}
+	fmt.Fprintln(w)
+	t := r.Counters
+	fmt.Fprintf(w, "  counters: read=%d written=%d flops=%d", t.WordsRead, t.WordsWritten, t.Flops)
+	if t.CommSent+t.CommRecv > 0 {
+		fmt.Fprintf(w, " sent=%d recv=%d", t.CommSent, t.CommRecv)
+	}
+	fmt.Fprintf(w, " allocs=%d bytes=%d\n", t.Allocs, t.Bytes)
+	for _, ps := range r.Phases {
+		fmt.Fprintf(w, "  phase %-14s count=%-6d total=%v\n", ps.Phase, ps.Count, time.Duration(ps.Nanos))
+	}
+	fmt.Fprintf(w, "  measured words moved = %d\n", r.MeasuredWords)
+	for _, name := range sortedKeys(r.Bounds) {
+		v := r.Bounds[name]
+		if ratio, ok := r.Ratios["measured/"+name]; ok {
+			fmt.Fprintf(w, "  bound %-22s %14.4g   ratio %.3f\n", name, v, ratio)
+		} else {
+			fmt.Fprintf(w, "  bound %-22s %14.4g   (vacuous)\n", name, v)
+		}
+	}
+	if r.WallNs > 0 {
+		fmt.Fprintf(w, "  wall time = %v\n", time.Duration(r.WallNs))
+	}
+}
+
+func sortedKeys(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func cubical(dims []int) bool {
+	for _, d := range dims[1:] {
+		if d != dims[0] {
+			return false
+		}
+	}
+	return true
+}

@@ -7,6 +7,7 @@ import (
 	"repro/internal/dist"
 	"repro/internal/grid"
 	"repro/internal/kernel"
+	"repro/internal/obs"
 	"repro/internal/simnet"
 	"repro/internal/tensor"
 )
@@ -47,6 +48,7 @@ func General(x *tensor.Dense, factors []*tensor.Matrix, n int, shape []int) (*Re
 
 	outShards := make([][]float64, P)
 	res := &Result{
+		Grid:          append([]int(nil), shape...),
 		GatherWords:   make([]int64, P),
 		ReduceWords:   make([]int64, P),
 		ResidentWords: make([]int64, P),
@@ -85,7 +87,9 @@ func General(x *tensor.Dense, factors []*tensor.Matrix, n int, shape []int) (*Re
 
 		// Line 7: local MTTKRP over the T_{p0} columns, via the
 		// KRP-splitting engine (serial: one goroutine per rank).
+		span := obs.Start(obs.PhaseLocal)
 		c := kernel.FastWorkers(block, gathered, n, 1)
+		span.Stop()
 
 		// Peak storage: gathered tensor block + factor blocks + C
 		// (Eq. (20)).

@@ -6,6 +6,7 @@ import (
 	"repro/internal/comm"
 	"repro/internal/grid"
 	"repro/internal/linalg"
+	"repro/internal/obs"
 	"repro/internal/simnet"
 	"repro/internal/tensor"
 )
@@ -49,12 +50,15 @@ func ViaMatmul1D(x *tensor.Dense, factors []*tensor.Matrix, n int, P int) (*Resu
 
 	outShards := make([][]float64, P)
 	res := &Result{
+		Grid:        []int{P},
 		GatherWords: make([]int64, P), // no input gathers in this scheme
 		ReduceWords: make([]int64, P),
 	}
 	err := net.Run(func(rank int) error {
 		// Local partial product: full I_n x R dense partial C.
+		span := obs.Start(obs.PhaseLocal)
 		partial := linalg.MatMul(localX[rank], localK[rank])
+		span.Stop()
 
 		// Reduce-Scatter C across all processors.
 		ranks := make([]int, P)

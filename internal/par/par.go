@@ -30,6 +30,12 @@ type Result struct {
 	B     *tensor.Matrix // reassembled In x R output (driver-side check)
 	Stats []simnet.Stats // per-rank traffic
 
+	// Grid is the processor-grid shape the run used (N entries for
+	// Algorithm 3, N+1 with the rank split first for Algorithm 4,
+	// [P] for the 1D baseline), so callers can evaluate the matching
+	// closed forms (Eq. (14)/(18)) without re-deriving the grid.
+	Grid []int
+
 	// Phase breakdown, per rank: words (sent+received) during input
 	// gathers and during the output reduce-scatter.
 	GatherWords []int64

@@ -8,6 +8,7 @@ import (
 	"repro/internal/grid"
 	"repro/internal/kernel"
 	"repro/internal/linalg"
+	"repro/internal/obs"
 	"repro/internal/simnet"
 	"repro/internal/tensor"
 )
@@ -75,6 +76,7 @@ func StationaryWithKernel(x *tensor.Dense, factors []*tensor.Matrix, n int, shap
 
 	outShards := make([][]float64, P)
 	res := &Result{
+		Grid:          append([]int(nil), shape...),
 		GatherWords:   make([]int64, P),
 		ReduceWords:   make([]int64, P),
 		ResidentWords: make([]int64, P),
@@ -99,7 +101,9 @@ func StationaryWithKernel(x *tensor.Dense, factors []*tensor.Matrix, n int, shap
 		res.GatherWords[rank] = net.RankStats(rank).Words()
 
 		// Line 6: local MTTKRP on the resident subtensor.
+		span := obs.Start(obs.PhaseLocal)
 		c := local(localX[rank], gathered, n)
+		span.Stop()
 
 		// Peak storage: subtensor + replicated block rows + C
 		// (Eq. (16); the output block rows double as C's shape).

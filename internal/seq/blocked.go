@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"repro/internal/memsim"
+	"repro/internal/obs"
 	"repro/internal/tensor"
 )
 
@@ -61,6 +62,8 @@ func Blocked(x *tensor.Dense, factors []*tensor.Matrix, n, b int, mach *memsim.M
 	if !BlockFits(b, N, mach.Capacity()) {
 		return nil, fmt.Errorf("seq: block size %d violates b^N + N*b <= M with N=%d, M=%d", b, N, mach.Capacity())
 	}
+	span := obs.Start(obs.PhaseSeq)
+	defer span.Stop()
 	dims := x.Dims()
 	out := tensor.NewMatrix(dims[n], R)
 	start := mach.Snapshot()

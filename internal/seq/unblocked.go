@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/memsim"
+	"repro/internal/obs"
 	"repro/internal/tensor"
 )
 
@@ -28,6 +29,8 @@ func Unblocked(x *tensor.Dense, factors []*tensor.Matrix, n int, mach *memsim.Ma
 	if mach.Capacity() < int64(N)+1 {
 		return nil, fmt.Errorf("seq: unblocked needs M >= N+1 = %d, have %d", N+1, mach.Capacity())
 	}
+	span := obs.Start(obs.PhaseSeq)
+	defer span.Stop()
 	b := tensor.NewMatrix(x.Dim(n), R)
 	start := mach.Snapshot()
 

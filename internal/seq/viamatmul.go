@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"repro/internal/memsim"
+	"repro/internal/obs"
 	"repro/internal/tensor"
 )
 
@@ -30,6 +31,8 @@ func ViaMatmul(x *tensor.Dense, factors []*tensor.Matrix, n int, mach *memsim.Ma
 	I := int64(x.Elems())
 	J := I / int64(In)
 
+	span := obs.Start(obs.PhaseSeq)
+	defer span.Stop()
 	start := mach.Snapshot()
 
 	// Step 1: matricize. Mode-0 unfolding is a reshape of column-major

@@ -12,6 +12,7 @@ import (
 	"math"
 
 	"repro/internal/linalg"
+	"repro/internal/obs"
 	"repro/internal/tensor"
 	"repro/internal/ttm"
 )
@@ -119,8 +120,12 @@ func Decompose(x *tensor.Dense, opts Options) (*Model, []TraceEntry, error) {
 			// of the partial projection's mode-k Gram.
 			y := ttm.Chain(x, factors, k)
 			yk := tensor.Unfold(y, k)
+			gspan := obs.Start(obs.PhaseGram)
 			linalg.MatMulTransBInto(gramBuf[k], yk, yk)
+			gspan.Stop()
+			sspan := obs.Start(obs.PhaseSolve)
 			u, err := linalg.LeadingEigvecs(gramBuf[k], opts.Ranks[k])
+			sspan.Stop()
 			if err != nil {
 				return nil, nil, fmt.Errorf("tucker: HOOI mode %d: %w", k, err)
 			}
@@ -128,8 +133,10 @@ func Decompose(x *tensor.Dense, opts Options) (*Model, []TraceEntry, error) {
 		}
 		// With orthonormal factors, ||Xhat|| = ||G||, so the fit comes
 		// from the core alone.
+		fspan := obs.Start(obs.PhaseFit)
 		core := ttm.Chain(x, factors, -1)
 		fit = fitFromCore(normX, core)
+		fspan.Stop()
 		trace = append(trace, TraceEntry{Iter: it, Fit: fit})
 		if fit-prevFit < opts.Tol && it > 0 {
 			break
