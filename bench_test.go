@@ -573,6 +573,83 @@ func BenchmarkSparseMTTKRP(b *testing.B) {
 	}
 }
 
+// BenchmarkSparseMTTKRPEngines regenerates E25: the COO fallback vs
+// the CSF fiber-tree engine (build cost, single- and multi-worker,
+// all-modes pass) over an nnz sweep on a 256^3 tensor at R=16, with
+// the dense KRP-splitting kernel on the same shape as the
+// matched-density ceiling.
+func BenchmarkSparseMTTKRPEngines(b *testing.B) {
+	dims := []int{256, 256, 256}
+	const R = 16
+	fs := tensor.RandomFactors(71, dims, R)
+	for _, nnz := range []int{10_000, 100_000, 1_000_000} {
+		s := sparse.Random(73, nnz, dims...)
+		name := sizeName("nnz", int64(nnz))
+		b.Run(name+"/coo", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sparse.MTTKRP(s, fs, 0)
+			}
+		})
+		b.Run(name+"/csf-build", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sparse.FromCOO(s, 0)
+			}
+		})
+		t := sparse.FromCOO(s, 0)
+		ws := sparse.NewWorkspace()
+		out := tensor.NewMatrix(dims[0], R)
+		mid := tensor.NewMatrix(dims[1], R)
+		outs := make([]*tensor.Matrix, len(dims))
+		for k := range outs {
+			outs[k] = tensor.NewMatrix(dims[k], R)
+		}
+		b.Run(name+"/csf-w1", func(b *testing.B) {
+			t.MTTKRPInto(out, fs, 0, 1, ws)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				t.MTTKRPInto(out, fs, 0, 1, ws)
+			}
+		})
+		b.Run(name+"/csf", func(b *testing.B) {
+			t.MTTKRPInto(out, fs, 0, 0, ws)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				t.MTTKRPInto(out, fs, 0, 0, ws)
+			}
+		})
+		b.Run(name+"/csf-midmode", func(b *testing.B) {
+			t.MTTKRPInto(mid, fs, 1, 0, ws)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				t.MTTKRPInto(mid, fs, 1, 0, ws)
+			}
+		})
+		b.Run(name+"/csf-allmodes", func(b *testing.B) {
+			t.AllModesInto(outs, fs, 0, ws)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				t.AllModesInto(outs, fs, 0, ws)
+			}
+		})
+		ws.Release()
+	}
+	b.Run("dense-fast", func(b *testing.B) {
+		x := tensor.RandomDense(79, dims...)
+		kws := kernel.GetWorkspace()
+		defer kernel.PutWorkspace(kws)
+		out := tensor.NewMatrix(dims[0], R)
+		kernel.FastInto(out, x, fs, 0, 0, kws)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			kernel.FastInto(out, x, fs, 0, 0, kws)
+		}
+	})
+}
+
 // BenchmarkLPSolve regenerates E7: solving the Lemma 4.2 LP for a
 // range of tensor orders.
 func BenchmarkLPSolve(b *testing.B) {

@@ -48,4 +48,11 @@ go run ./cmd/mttkrp -dims 32,32,32 -r 16 -mode 0 -algo unblocked -m 256 \
 go run ./cmd/mttkrp -dims 16,16,16 -r 8 -mode 1 -algo stationary -p 8 \
 	-obs -obs-json "$obsdir/stationary.json" -obs-maxratio 4
 
+echo "== sparse smoke (measured words == hypergraph metric) =="
+# cmd/sparsemttkrp exits nonzero when either the simulated network's or
+# the obs collector's measured comm words deviate from the (lambda-1)
+# connectivity metric, for both local engines.
+go run ./cmd/sparsemttkrp -side 20 -nnz 1500 -r 4 -p 8 -engine csf >/dev/null
+go run ./cmd/sparsemttkrp -side 20 -nnz 1500 -r 4 -p 8 -engine coo >/dev/null
+
 echo "ci: OK"

@@ -99,6 +99,15 @@ const (
 	PhaseSolve
 	// PhaseFit covers fit/objective evaluation.
 	PhaseFit
+	// PhaseSparse covers one CSF sparse-MTTKRP kernel invocation
+	// (sparse.CSF MTTKRPInto/AllModesInto).
+	PhaseSparse
+	// PhaseExpand covers the expand (input-row distribution) phase of
+	// the owner-computes sparse parallelization.
+	PhaseExpand
+	// PhaseFold covers the fold (partial-output merge) phase of the
+	// owner-computes sparse parallelization.
+	PhaseFold
 
 	// NumPhases is the number of phase kinds.
 	NumPhases
@@ -107,7 +116,7 @@ const (
 var phaseNames = [NumPhases]string{
 	"kernel", "krp", "tree-root", "tree-partial", "seq",
 	"allgather", "reducescatter", "allreduce", "local",
-	"gram", "solve", "fit",
+	"gram", "solve", "fit", "sparse", "expand", "fold",
 }
 
 // String returns the phase name used in JSON reports.

@@ -3,6 +3,7 @@ package sparse
 import (
 	"testing"
 
+	"repro/internal/obs"
 	"repro/internal/seq"
 	"repro/internal/tensor"
 )
@@ -111,6 +112,68 @@ func TestMaxPartLoad(t *testing.T) {
 	part := Partition{P: 3, Assign: []int{0, 0, 1, 2, 0}}
 	if MaxPartLoad(part) != 3 {
 		t.Fatalf("MaxPartLoad = %d", MaxPartLoad(part))
+	}
+}
+
+// Both local engines compute the same MTTKRP over the same
+// engine-independent communication schedule, and the obs-measured
+// comm words equal the simnet stats and the hypergraph metric.
+func TestParallelEnginesAgree(t *testing.T) {
+	dims := []int{9, 7, 8, 5}
+	R := 3
+	s := Random(61, 220, dims...)
+	fs := tensor.RandomFactors(62, dims, R)
+	col := obs.New(8)
+	obs.Enable(col)
+	defer obs.Disable()
+	for _, P := range []int{2, 5} {
+		part := BlockPartition(s, P)
+		for n := range dims {
+			metric := CommVolume(s, part, n, R)
+			var ref *tensor.Matrix
+			for _, engine := range []LocalEngine{EngineCOO, EngineCSF} {
+				col.Reset()
+				res, err := ParallelMTTKRPEngine(s, fs, n, part, engine)
+				if err != nil {
+					t.Fatalf("P=%d mode=%d %v: %v", P, n, engine, err)
+				}
+				if res.TotalSent() != metric {
+					t.Fatalf("P=%d mode=%d %v: sent %d words, metric %d",
+						P, n, engine, res.TotalSent(), metric)
+				}
+				tot := col.Totals()
+				if tot.CommSent != metric || tot.CommRecv != metric {
+					t.Fatalf("P=%d mode=%d %v: obs comm %d/%d, metric %d",
+						P, n, engine, tot.CommSent, tot.CommRecv, metric)
+				}
+				if engine == EngineCSF && s.NNZ() > 0 && tot.Flops == 0 {
+					t.Fatalf("P=%d mode=%d: csf local compute recorded no flops", P, n)
+				}
+				if ref == nil {
+					ref = res.B
+				} else if d := res.B.MaxAbsDiff(ref); d > 1e-10 {
+					t.Fatalf("P=%d mode=%d: engines differ by %g", P, n, d)
+				}
+			}
+		}
+	}
+}
+
+func TestParseEngine(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want LocalEngine
+	}{{"csf", EngineCSF}, {"coo", EngineCOO}} {
+		got, err := ParseEngine(tc.in)
+		if err != nil || got != tc.want {
+			t.Fatalf("ParseEngine(%q) = %v, %v", tc.in, got, err)
+		}
+		if got.String() != tc.in {
+			t.Fatalf("String() = %q, want %q", got.String(), tc.in)
+		}
+	}
+	if _, err := ParseEngine("fancy"); err == nil {
+		t.Fatal("unknown engine should error")
 	}
 }
 

@@ -85,7 +85,7 @@ func CommVolume(c *COO, part Partition, n, R int) int64 {
 	}
 	var vol int64
 	for _, parts := range lambda(c, part, n) {
-		vol += int64(len(parts)-1) * int64(R)
+		vol += int64(len(parts)-1) * int64(R) //repro:ignore determinism integer accumulation is exact in any order
 	}
 	return vol
 }

@@ -173,17 +173,36 @@ func MTTKRP(c *COO, factors []*tensor.Matrix, n int) *tensor.Matrix {
 	return b
 }
 
+// accumulate is the COO fallback kernel. The factor and output
+// column slices are hoisted out of the per-entry loop so the inner
+// loops index raw slices instead of going through At/AddAt accessor
+// calls (and their bounds checks) once per scalar.
 func accumulate(b *tensor.Matrix, entries []Entry, factors []*tensor.Matrix, n, R int) {
+	N := len(factors)
+	cols := make([][]float64, N*R)
+	for k, f := range factors {
+		if k == n {
+			continue
+		}
+		for r := 0; r < R; r++ {
+			cols[k*R+r] = f.Col(r)
+		}
+	}
+	bcols := make([][]float64, R)
+	for r := 0; r < R; r++ {
+		bcols[r] = b.Col(r)
+	}
 	for _, e := range entries {
+		i := e.Idx[n]
 		for r := 0; r < R; r++ {
 			p := e.Val
-			for k, f := range factors {
+			for k := 0; k < N; k++ {
 				if k == n {
 					continue
 				}
-				p *= f.At(e.Idx[k], r)
+				p *= cols[k*R+r][e.Idx[k]]
 			}
-			b.AddAt(e.Idx[n], r, p)
+			bcols[r][i] += p
 		}
 	}
 }
