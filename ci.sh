@@ -1,9 +1,12 @@
 #!/bin/sh
 # CI gate: formatting, vet, the repo's own static-analysis suite
-# (repolint), the full test suite, then a race-detector pass over the
-# packages with goroutine-parallel accumulation and tree reductions
-# (kernel, seq, par, dimtree, cpals) plus the blocked linear algebra
-# and sparse layers they fan out into.
+# (repolint), the full test suite on both dispatch paths (native simd
+# and REPRO_NOSIMD=1 scalar), a purego-tag build+test (the no-assembly
+# configuration), then a race-detector pass over the packages with
+# goroutine-parallel accumulation and tree reductions (kernel, seq,
+# par, dimtree, cpals — including the float32 storage-path kernels in
+# kernel and sparse) plus the blocked linear algebra and sparse layers
+# they fan out into.
 #
 # Usage: ./ci.sh
 set -eu
@@ -11,7 +14,9 @@ set -eu
 cd "$(dirname "$0")"
 
 echo "== gofmt =="
-unformatted=$(gofmt -l cmd internal)
+# gofmt only inspects .go files; the assembly kernels (*.s) under
+# internal/simd are formatted by hand and are explicitly out of scope.
+unformatted=$(find cmd internal -name '*.go' -print0 | xargs -0 gofmt -l)
 if [ -n "$unformatted" ]; then
 	echo "gofmt: the following files need formatting:" >&2
 	echo "$unformatted" >&2
@@ -24,11 +29,26 @@ go vet ./...
 echo "== go build =="
 go build ./...
 
+echo "== go build -tags purego =="
+# The purego tag compiles out every assembly kernel; the build must
+# stay viable for ports with no .s files.
+go build -tags purego ./...
+
 echo "== repolint =="
 go run ./cmd/repolint ./...
 
-echo "== go test =="
+echo "== go test (native dispatch) =="
 go test ./...
+
+echo "== go test (REPRO_NOSIMD=1 scalar dispatch) =="
+# The identical suite must pass with the runtime override forcing the
+# portable scalar kernels, proving the two paths are interchangeable.
+REPRO_NOSIMD=1 go test ./...
+
+echo "== go test -tags purego (simd + engine packages) =="
+# Same contract for the compile-time opt-out on the layers that call
+# the kernels.
+go test -tags purego ./internal/simd/... ./internal/linalg/... ./internal/kernel/... ./internal/sparse/... ./internal/dimtree/...
 
 echo "== go test -race (engine packages) =="
 go test -race ./internal/kernel/... ./internal/seq/... ./internal/par/... ./internal/dimtree/... ./internal/cpals/... ./internal/sparse/... ./internal/linalg/... ./internal/obs/... ./internal/comm/...
@@ -51,8 +71,10 @@ go run ./cmd/mttkrp -dims 16,16,16 -r 8 -mode 1 -algo stationary -p 8 \
 echo "== sparse smoke (measured words == hypergraph metric) =="
 # cmd/sparsemttkrp exits nonzero when either the simulated network's or
 # the obs collector's measured comm words deviate from the (lambda-1)
-# connectivity metric, for both local engines.
+# connectivity metric, for both local engines — and, for -dtype f32,
+# when the half-width storage does not halve the measured words.
 go run ./cmd/sparsemttkrp -side 20 -nnz 1500 -r 4 -p 8 -engine csf >/dev/null
 go run ./cmd/sparsemttkrp -side 20 -nnz 1500 -r 4 -p 8 -engine coo >/dev/null
+go run ./cmd/sparsemttkrp -side 20 -nnz 1500 -r 4 -p 8 -engine csf -dtype f32 >/dev/null
 
 echo "ci: OK"

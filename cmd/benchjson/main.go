@@ -6,9 +6,16 @@
 //
 //	go test -bench 'MTTKRPKernel|CPALS' -benchmem | go run ./cmd/benchjson
 //	go test -bench . | go run ./cmd/benchjson -out results.json
+//	go run ./cmd/benchjson -compare BENCH_old.json BENCH_new.json
 //
 // Without -out, the file is named BENCH_<yyyy-mm-dd>.json in the
 // current directory.
+//
+// With -compare, two archived snapshots are joined by benchmark name
+// and printed as a speedup table (old ns/op over new ns/op); any
+// benchmark that regressed by more than -tolerance (default 10%)
+// makes the command exit nonzero, so a snapshot pair doubles as a CI
+// performance gate.
 package main
 
 import (
@@ -43,7 +50,19 @@ type Snapshot struct {
 func main() {
 	out := flag.String("out", "", "output path (default BENCH_<date>.json)")
 	date := flag.String("date", "", "snapshot date stamp yyyy-mm-dd (default today; pin for reproducible CI filenames)")
+	compare := flag.Bool("compare", false, "compare two snapshot files (old.json new.json) instead of reading stdin")
+	tolerance := flag.Float64("tolerance", 0.10, "with -compare, allowed fractional ns/op regression before exiting nonzero")
 	flag.Parse()
+
+	if *compare {
+		if flag.NArg() != 2 {
+			fatal(fmt.Errorf("-compare needs exactly two snapshot paths, got %d", flag.NArg()))
+		}
+		if err := compareSnapshots(flag.Arg(0), flag.Arg(1), *tolerance); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	stamp := *date
 	if stamp == "" {
@@ -156,6 +175,97 @@ func trimProcSuffix(name string) string {
 		return name
 	}
 	return name[:i]
+}
+
+// compareSnapshots joins two archived snapshots by benchmark name and
+// prints old/new ns/op with the speedup factor. Benchmarks present on
+// only one side are listed but not gated. A new ns/op more than
+// tolerance above old fails the comparison.
+func compareSnapshots(oldPath, newPath string, tolerance float64) error {
+	oldSnap, err := readSnapshot(oldPath)
+	if err != nil {
+		return err
+	}
+	newSnap, err := readSnapshot(newPath)
+	if err != nil {
+		return err
+	}
+	oldBy := resultsByName(oldSnap)
+	newBy := resultsByName(newSnap)
+
+	names := make([]string, 0, len(oldSnap.Results))
+	for _, r := range oldSnap.Results {
+		if _, ok := newBy[r.Name]; ok {
+			names = append(names, r.Name)
+		}
+	}
+
+	fmt.Printf("benchjson: %s (%s) vs %s (%s)\n", oldPath, oldSnap.Date, newPath, newSnap.Date)
+	width := len("benchmark")
+	for _, n := range names {
+		if len(n) > width {
+			width = len(n)
+		}
+	}
+	fmt.Printf("%-*s  %14s  %14s  %9s\n", width, "benchmark", "old ns/op", "new ns/op", "speedup")
+	var regressions []string
+	for _, name := range names {
+		o, n := oldBy[name].Metrics["ns/op"], newBy[name].Metrics["ns/op"]
+		if o <= 0 || n <= 0 {
+			fmt.Printf("%-*s  %14s  %14s  %9s\n", width, name, "-", "-", "-")
+			continue
+		}
+		speedup := o / n
+		marker := ""
+		if n > o*(1+tolerance) {
+			marker = "  REGRESSION"
+			regressions = append(regressions,
+				fmt.Sprintf("%s: %.0f -> %.0f ns/op (%.1f%% slower)", name, o, n, (n/o-1)*100))
+		}
+		fmt.Printf("%-*s  %14.0f  %14.0f  %8.2fx%s\n", width, name, o, n, speedup, marker)
+	}
+	for _, r := range oldSnap.Results {
+		if _, ok := newBy[r.Name]; !ok {
+			fmt.Printf("%-*s  only in %s\n", width, r.Name, oldPath)
+		}
+	}
+	for _, r := range newSnap.Results {
+		if _, ok := oldBy[r.Name]; !ok {
+			fmt.Printf("%-*s  only in %s\n", width, r.Name, newPath)
+		}
+	}
+	if len(regressions) > 0 {
+		return fmt.Errorf("%d benchmark(s) regressed more than %.0f%%:\n  %s",
+			len(regressions), tolerance*100, strings.Join(regressions, "\n  "))
+	}
+	if len(names) == 0 {
+		return fmt.Errorf("no common benchmarks between %s and %s", oldPath, newPath)
+	}
+	return nil
+}
+
+func readSnapshot(path string) (*Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s Snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	return &s, nil
+}
+
+// resultsByName indexes a snapshot's results, keeping the first entry
+// when a name repeats.
+func resultsByName(s *Snapshot) map[string]Result {
+	m := make(map[string]Result, len(s.Results))
+	for _, r := range s.Results {
+		if _, ok := m[r.Name]; !ok {
+			m[r.Name] = r
+		}
+	}
+	return m
 }
 
 func fatal(err error) {

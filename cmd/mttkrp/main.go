@@ -44,6 +44,7 @@ func main() {
 	m := flag.Int64("m", 512, "fast memory words (sequential algorithms)")
 	p := flag.Int("p", 8, "processors (parallel algorithms)")
 	workers := flag.Int("workers", 0, "goroutines for -algo fast (0 = GOMAXPROCS)")
+	dtype := flag.String("dtype", "f64", "storage precision for -algo fast: f64 | f32 (accumulation stays float64)")
 	seed := flag.Int64("seed", 42, "workload seed")
 	obsFlag := flag.Bool("obs", false, "print the instrumented observability report")
 	obsJSON := flag.String("obs-json", "", "write the observability report as JSON to this path (- for stdout)")
@@ -144,25 +145,57 @@ func main() {
 		// Shared-memory KRP-splitting engine: warm the workspace, then
 		// time one steady-state run against one atomic-reference run.
 		ws := kernel.NewWorkspace(dims, *r, *mode)
-		b := tensor.NewMatrix(dims[*mode], *r)
-		kernel.FastInto(b, inst.X, inst.Factors, *mode, *workers, ws)
-		if observing {
-			col.Reset() // measure the steady-state run only
+		var tFast time.Duration
+		switch *dtype {
+		case "f64":
+			b := tensor.NewMatrix(dims[*mode], *r)
+			kernel.FastInto(b, inst.X, inst.Factors, *mode, *workers, ws)
+			if observing {
+				col.Reset() // measure the steady-state run only
+			}
+			t0 := time.Now()
+			kernel.FastInto(b, inst.X, inst.Factors, *mode, *workers, ws)
+			tFast = time.Since(t0)
+			check(b.EqualApprox(ref, 1e-9))
+		case "f32":
+			// Convert on ingest, then verify against the reference run on
+			// the exactly-widened float32 inputs (the only extra rounding
+			// the path is allowed is the final float32 store).
+			x32 := tensor.Dense32FromDense(inst.X)
+			fs32 := make([]*tensor.Matrix32, len(inst.Factors))
+			wide := make([]*tensor.Matrix, len(inst.Factors))
+			for k, f := range inst.Factors {
+				fs32[k] = tensor.Matrix32FromMatrix(f)
+				wide[k] = fs32[k].ToMatrix()
+			}
+			b := tensor.NewMatrix32(dims[*mode], *r)
+			kernel.Fast32Into(b, x32, fs32, *mode, *workers, ws)
+			if observing {
+				col.Reset() // measure the steady-state run only
+			}
+			t0 := time.Now()
+			kernel.Fast32Into(b, x32, fs32, *mode, *workers, ws)
+			tFast = time.Since(t0)
+			ref32 := seq.Ref(x32.ToDense(), wide, *mode)
+			scale := 1e-5 * float64(inst.X.Elems()) / float64(dims[*mode])
+			check(b.MaxAbsDiff(ref32) <= scale)
+		default:
+			fatal(fmt.Errorf("unknown dtype %q (want f64 or f32)", *dtype))
 		}
 		t0 := time.Now()
-		kernel.FastInto(b, inst.X, inst.Factors, *mode, *workers, ws)
-		tFast := time.Since(t0)
-		t0 = time.Now()
 		seq.Ref(inst.X, inst.Factors, *mode)
 		tRef := time.Since(t0)
-		check(b.EqualApprox(ref, 1e-9))
-		fmt.Printf("machine: shared memory, workers = %d\n", linalg.ResolveWorkers(*workers))
+		fmt.Printf("machine: shared memory, workers = %d, dtype = %s\n",
+			linalg.ResolveWorkers(*workers), *dtype)
 		fmt.Printf("engine time    = %v\n", tFast)
 		fmt.Printf("reference time = %v\n", tRef)
 		fmt.Printf("speedup        = %.2fx\n", float64(tRef)/float64(tFast))
 		if observing {
 			rep = obs.NewReport("mttkrp", *algo, dims, *r, *mode,
 				obs.Machine{M: *m, Workers: linalg.ResolveWorkers(*workers)})
+			if *dtype == "f32" {
+				rep.WordBytes = 4
+			}
 			// Streaming-model operand traffic vs the two-level bound at
 			// M words: an optimistic proxy (each kernel operand counted
 			// once), so the ratio reads as "at least this well blocked".

@@ -25,6 +25,7 @@ import (
 	"repro/internal/par"
 	"repro/internal/pebble"
 	"repro/internal/seq"
+	"repro/internal/simd"
 	"repro/internal/sparse"
 	"repro/internal/tensor"
 	"repro/internal/trace"
@@ -47,6 +48,7 @@ func main() {
 	fast := flag.Bool("fast", false, "skip the slowest checks (E16 exact search)")
 	flag.Parse()
 	fmt.Println("Reproduction report — Communication Lower Bounds for MTTKRP (IPDPS 2018)")
+	fmt.Printf("env: %s word=8B(float64)\n", simd.Describe())
 	fmt.Println()
 
 	// Shared measured workload.

@@ -26,6 +26,14 @@ import (
 //	    hotpath-alloc, an ignore on a call site also stops hot-path
 //	    propagation into the callee, and a function-level ignore marks
 //	    the function audited (skipped entirely).
+//
+//	//repro:dispatch
+//	    On a package-level function variable's doc comment: the
+//	    variable is a sanctioned dispatch point (bound once at init,
+//	    e.g. the internal/simd kernel table). Hot-path code may call
+//	    through it, and every module function assigned to it joins
+//	    the hot-path walk; calls through any other package-level
+//	    function variable are diagnosed.
 type directive struct {
 	verb string   // "hotpath", "bitwise", "ignore"
 	args []string // analyzer names for "ignore"

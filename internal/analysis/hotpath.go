@@ -20,8 +20,21 @@ import (
 // failure path and is not checked; a //repro:ignore hotpath-alloc on a
 // call line cuts propagation into that callee (the call is audited,
 // e.g. a grow-only workspace primitive); a function-level ignore skips
-// the function entirely. Calls through interfaces and function values
-// are not followed — keep hot paths direct.
+// the function entirely. Calls through interfaces and local function
+// values are not followed — keep hot paths direct.
+//
+// Two extensions cover the internal/simd kernel layer:
+//
+//   - Assembly stubs (FuncDecls with no body, declared via
+//     //go:noescape next to a .s file) have nothing to check and are
+//     legal hot-path callees.
+//   - Package-level function variables marked //repro:dispatch (the
+//     init-bound kernel tables) are legal call targets, and every
+//     module function or function literal assigned to one joins the
+//     hot-path walk as if it were a root. Calling through an
+//     UNMARKED package-level function variable is diagnosed: an
+//     indirect call the analyzer cannot follow must be a declared
+//     dispatch point.
 type HotpathAlloc struct{}
 
 // Name implements Analyzer.
@@ -41,9 +54,32 @@ type funcNode struct {
 	obj  *types.Func
 }
 
-// Run implements Analyzer: collect every declared function, seed a
-// worklist with the //repro:hotpath roots, and walk the static call
-// graph breadth-first, checking each reached body once.
+// dispatchTable indexes the //repro:dispatch function variables by
+// qualified name ("repro/internal/simd.Axpy") — names, not object
+// identity, because each analysis unit type-checks its own object for
+// an imported package's variable.
+type dispatchTable map[string]bool
+
+func varKey(v *types.Var) string {
+	if v.Pkg() == nil {
+		return v.Name()
+	}
+	return v.Pkg().Path() + "." + v.Name()
+}
+
+// litRoot is a function literal assigned to a dispatch variable: a
+// hot-path entry with a body but no FuncDecl (the init-time bind
+// shims wrapping the assembly kernels).
+type litRoot struct {
+	lit  *ast.FuncLit
+	pkg  *Package
+	root string
+}
+
+// Run implements Analyzer: collect every declared function and every
+// //repro:dispatch variable, seed a worklist with the //repro:hotpath
+// roots plus everything assigned to a dispatch variable, and walk the
+// static call graph breadth-first, checking each reached body once.
 func (a HotpathAlloc) Run(prog *Program) []Diagnostic {
 	reg := make(map[string]*funcNode)
 	for _, pkg := range prog.Pkgs {
@@ -51,6 +87,8 @@ func (a HotpathAlloc) Run(prog *Program) []Diagnostic {
 			for _, decl := range f.Decls {
 				fd, ok := decl.(*ast.FuncDecl)
 				if !ok || fd.Body == nil {
+					// Bodyless FuncDecls are assembly stubs; there is
+					// nothing to check and calls to them are legal.
 					continue
 				}
 				obj, ok := pkg.Info.Defs[fd.Name].(*types.Func)
@@ -61,6 +99,8 @@ func (a HotpathAlloc) Run(prog *Program) []Diagnostic {
 			}
 		}
 	}
+	dispatch := collectDispatchVars(prog)
+
 	type item struct{ key, root string }
 	var work []item
 	for key, fn := range reg {
@@ -68,10 +108,33 @@ func (a HotpathAlloc) Run(prog *Program) []Diagnostic {
 			work = append(work, item{key, fn.pkg.Types.Name() + "." + fn.decl.Name.Name})
 		}
 	}
-	sort.Slice(work, func(i, j int) bool { return work[i].key < work[j].key })
+	// Everything assigned to a dispatch variable is reachable through
+	// it from every dispatch call site, so it joins the walk as a root.
+	funcs, lits := collectDispatchAssignments(prog, dispatch)
+	for _, key := range funcs {
+		work = append(work, item{key, "dispatch " + key})
+	}
+	sort.Slice(work, func(i, j int) bool {
+		if work[i].key != work[j].key {
+			return work[i].key < work[j].key
+		}
+		return work[i].root < work[j].root
+	})
 
 	var diags []Diagnostic
 	seen := make(map[string]bool)
+	enqueue := func(keys []string, root string) {
+		for _, key := range keys {
+			if !seen[key] {
+				work = append(work, item{key, root})
+			}
+		}
+	}
+	for _, lr := range lits {
+		ds, callees := a.checkBody(prog, lr.lit.Body, lr.pkg, dispatch, lr.root)
+		diags = append(diags, ds...)
+		enqueue(callees, lr.root)
+	}
 	for len(work) > 0 {
 		it := work[0]
 		work = work[1:]
@@ -86,24 +149,125 @@ func (a HotpathAlloc) Run(prog *Program) []Diagnostic {
 		if funcIgnores(fn.decl.Doc, a.Name()) {
 			continue // audited: no diagnostics, no propagation
 		}
-		ds, callees := a.checkBody(prog, fn, it.root)
+		ds, callees := a.checkBody(prog, fn.decl.Body, fn.pkg, dispatch, it.root)
 		diags = append(diags, ds...)
-		for _, key := range callees {
-			if !seen[key] {
-				work = append(work, item{key, it.root})
-			}
-		}
+		enqueue(callees, it.root)
 	}
 	return diags
 }
 
-// checkBody walks one hot function body, returning its diagnostics
-// and the qualified names of module functions it calls.
-func (a HotpathAlloc) checkBody(prog *Program, fn *funcNode, root string) ([]Diagnostic, []string) {
+// collectDispatchVars finds every package-level variable whose doc
+// comment (on the spec or its enclosing var block) carries
+// //repro:dispatch.
+func collectDispatchVars(prog *Program) dispatchTable {
+	dispatch := make(dispatchTable)
+	for _, pkg := range prog.Pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				gd, ok := decl.(*ast.GenDecl)
+				if !ok || gd.Tok != token.VAR {
+					continue
+				}
+				for _, spec := range gd.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok || !(hasVerb(vs.Doc, "dispatch") || hasVerb(gd.Doc, "dispatch")) {
+						continue
+					}
+					for _, name := range vs.Names {
+						if v, ok := pkg.Info.Defs[name].(*types.Var); ok {
+							dispatch[varKey(v)] = true
+						}
+					}
+				}
+			}
+		}
+	}
+	return dispatch
+}
+
+// collectDispatchAssignments finds every module function and function
+// literal assigned to a dispatch variable — in the declaration
+// initializer or any assignment statement (the init-time binds and
+// test path-forcing helpers).
+func collectDispatchAssignments(prog *Program, dispatch dispatchTable) ([]string, []litRoot) {
+	var funcs []string
+	var lits []litRoot
+	record := func(pkg *Package, v *types.Var, rhs ast.Expr) {
+		key := varKey(v)
+		if !dispatch[key] {
+			return
+		}
+		switch rhs := ast.Unparen(rhs).(type) {
+		case *ast.FuncLit:
+			lits = append(lits, litRoot{lit: rhs, pkg: pkg, root: "dispatch " + key})
+		default:
+			if obj, ok := exprObject(rhs, pkg.Info).(*types.Func); ok && moduleFunc(prog, obj) {
+				funcs = append(funcs, obj.FullName())
+			}
+		}
+	}
+	for _, pkg := range prog.Pkgs {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.ValueSpec:
+					for i, name := range n.Names {
+						if i >= len(n.Values) {
+							break
+						}
+						if v, ok := pkg.Info.Defs[name].(*types.Var); ok {
+							record(pkg, v, n.Values[i])
+						}
+					}
+				case *ast.AssignStmt:
+					for i, lhs := range n.Lhs {
+						if i >= len(n.Rhs) {
+							break
+						}
+						if v, ok := exprObject(lhs, pkg.Info).(*types.Var); ok {
+							record(pkg, v, n.Rhs[i])
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	sort.Strings(funcs)
+	sort.Slice(lits, func(i, j int) bool { return lits[i].lit.Pos() < lits[j].lit.Pos() })
+	return funcs, lits
+}
+
+// exprObject resolves an identifier or selector expression to its
+// object, or nil.
+func exprObject(e ast.Expr, info *types.Info) types.Object {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return info.Uses[e]
+	case *ast.SelectorExpr:
+		return info.Uses[e.Sel]
+	}
+	return nil
+}
+
+// moduleFunc reports whether a function belongs to the analyzed
+// module.
+func moduleFunc(prog *Program, obj *types.Func) bool {
+	pkg := obj.Pkg()
+	if pkg == nil {
+		return false
+	}
+	return pkg.Path() == prog.ModulePath || strings.HasPrefix(pkg.Path(), prog.ModulePath+"/")
+}
+
+// checkBody walks one hot function (or bind-shim literal) body,
+// returning its diagnostics and the qualified names of module
+// functions it calls.
+func (a HotpathAlloc) checkBody(prog *Program, body *ast.BlockStmt, pkg *Package, dispatch dispatchTable, root string) ([]Diagnostic, []string) {
 	var diags []Diagnostic
 	var callees []string
-	info := fn.pkg.Info
-	panicRanges := panicArgRanges(fn.decl.Body, info)
+	info := pkg.Info
+	panicRanges := panicArgRanges(body, info)
 	inPanic := func(n ast.Node) bool {
 		for _, r := range panicRanges {
 			if r.pos <= n.Pos() && n.End() <= r.end {
@@ -121,7 +285,7 @@ func (a HotpathAlloc) checkBody(prog *Program, fn *funcNode, root string) ([]Dia
 			Message:  fmt.Sprintf("%s on hot path (via //repro:hotpath %s)", msg, root),
 		})
 	}
-	ast.Inspect(fn.decl.Body, func(n ast.Node) bool {
+	ast.Inspect(body, func(n ast.Node) bool {
 		if n == nil {
 			return false
 		}
@@ -129,6 +293,20 @@ func (a HotpathAlloc) checkBody(prog *Program, fn *funcNode, root string) ([]Dia
 		case *ast.CallExpr:
 			obj := calleeObject(n, info)
 			switch obj := obj.(type) {
+			case *types.Var:
+				// A call through a function variable. Package-level
+				// variables must be declared dispatch points (their
+				// assignees joined the walk as roots); local function
+				// values are not followed, per the package policy.
+				if _, isFunc := obj.Type().Underlying().(*types.Signature); !isFunc {
+					break
+				}
+				if obj.Pkg() == nil || obj.Parent() != obj.Pkg().Scope() {
+					break
+				}
+				if !dispatch[varKey(obj)] && !inPanic(n) {
+					report(n, "call through package-level function variable %s (not //repro:dispatch)", obj.Name())
+				}
 			case *types.Builtin:
 				if inPanic(n) {
 					break
@@ -163,7 +341,7 @@ func (a HotpathAlloc) checkBody(prog *Program, fn *funcNode, root string) ([]Dia
 			if inPanic(n) {
 				break
 			}
-			if caps := capturedVars(n, info, fn.pkg.Types.Scope()); len(caps) > 0 {
+			if caps := capturedVars(n, info, pkg.Types.Scope()); len(caps) > 0 {
 				report(n, "closure captures %s by reference (may heap-allocate)", strings.Join(caps, ", "))
 			}
 		case *ast.CompositeLit:

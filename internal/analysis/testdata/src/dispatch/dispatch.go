@@ -1,0 +1,56 @@
+// Package dispatch exercises the hotpath-alloc extensions for the
+// simd-style kernel layer: //repro:dispatch function variables as
+// legal hot-path call targets, propagation into their assignees
+// (named functions and bind-shim literals alike), bodyless assembly
+// stubs as legal callees, and the diagnostic for calls through
+// unmarked package-level function variables.
+package dispatch
+
+// Axpy is a sanctioned dispatch point; AxpyGeneric joins the hot
+// walk through this initializer.
+//
+//repro:dispatch
+var Axpy func(c, a []float64, w float64) = AxpyGeneric
+
+// rogue is NOT a dispatch point, so hot-path calls through it are
+// diagnosed.
+var rogue func(n int) []int = NotHot
+
+// NotHot allocates, but only joins the hot walk if assigned to a
+// marked dispatch variable — rogue is unmarked, so this stays silent.
+func NotHot(n int) []int {
+	return make([]int, n)
+}
+
+// AxpyGeneric allocates — caught because it is assigned to Axpy,
+// even though nothing calls it by name.
+func AxpyGeneric(c, a []float64, w float64) {
+	tmp := make([]float64, len(c))
+	for i := range c {
+		c[i] += w * a[i]
+		_ = tmp
+	}
+}
+
+// stub has no body, like a //go:noescape assembly stub: a legal
+// hot-path callee with nothing to check.
+func stub(c, a []float64, w float64)
+
+func bind() {
+	// A bind-shim literal assigned to a dispatch variable is hot: the
+	// append inside is caught.
+	Axpy = func(c, a []float64, w float64) {
+		c = append(c, 0)
+		stub(c, a, w)
+	}
+}
+
+// Hot calls through the dispatch variable (legal), the stub (legal),
+// and the rogue variable (diagnosed).
+//
+//repro:hotpath
+func Hot(c, a []float64) {
+	Axpy(c, a, 2)
+	stub(c, a, 2)
+	_ = rogue(len(c))
+}

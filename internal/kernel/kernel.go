@@ -38,6 +38,7 @@ import (
 
 	"repro/internal/linalg"
 	"repro/internal/obs"
+	"repro/internal/simd"
 	"repro/internal/tensor"
 )
 
@@ -246,11 +247,7 @@ func interiorSlabs(acc, wbuf, data, krLeft, krRight []float64, L, In, Rt, R, t0,
 			if krv == 0 { //repro:bitwise exact-zero sparsity skip; krv was stored, never computed
 				continue
 			}
-			wcol := wbuf[r*In : (r+1)*In]
-			acol := acc[r*In : (r+1)*In]
-			for i, v := range wcol {
-				acol[i] += krv * v
-			}
+			simd.Axpy(acc[r*In:(r+1)*In], wbuf[r*In:(r+1)*In], krv)
 		}
 	}
 }

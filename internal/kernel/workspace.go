@@ -21,6 +21,7 @@ type Workspace struct {
 	scratch []float64 // workers * In*R slab GEMM outputs
 	priv    []float64 // (chunks-1) * In*R accumulation buckets
 	bufs    [][]float64
+	out64   []float64 // In x R float64 accumulator of the float32 path
 }
 
 // NewWorkspace returns a workspace pre-sized for mode n of a tensor

@@ -26,6 +26,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/obs"
+	"repro/internal/simd"
 )
 
 // Cache-blocking parameters: the A panel held hot across a column
@@ -234,13 +235,7 @@ func gemmTN(c, a, b []float64, m, ka, n, i0, i1 int) {
 		b3 := b[(j+3)*m : (j+3)*m+m]
 		for i := i0; i < i1; i++ {
 			ai := a[i*m : i*m+m]
-			var s0, s1, s2, s3 float64
-			for l, v := range ai {
-				s0 += v * b0[l]
-				s1 += v * b1[l]
-				s2 += v * b2[l]
-				s3 += v * b3[l]
-			}
+			s0, s1, s2, s3 := simd.Dot4(ai, b0, b1, b2, b3)
 			c[i+(j+0)*ka] = s0
 			c[i+(j+1)*ka] = s1
 			c[i+(j+2)*ka] = s2
@@ -339,6 +334,14 @@ func gemmNTBlock(c, a, b []float64, m, nb, l0, l1, ib, ie, j0, j1 int) {
 	}
 }
 
+// The micro-kernels delegate to the internal/simd dispatch layer. The
+// scalar bodies that used to live here moved verbatim to
+// simd.*Generic — the portable fallback and correctness oracle — and
+// on amd64/arm64 the dispatch variables bind the AVX2+FMA / NEON
+// assembly at init. Every worker calls through the same bound
+// variable, so parallel results stay independent of the worker count
+// on either path.
+
 // axpy4x4 is the register-blocked micro-kernel: a 4x4 tile of
 // coefficients w applied to four source columns, accumulated into four
 // destination columns. All eight slices have equal length.
@@ -347,62 +350,31 @@ func axpy4x4(c0, c1, c2, c3, a0, a1, a2, a3 []float64,
 	w10, w11, w12, w13,
 	w20, w21, w22, w23,
 	w30, w31, w32, w33 float64) {
-	n := len(a0)
-	a1, a2, a3 = a1[:n], a2[:n], a3[:n]
-	c0, c1, c2, c3 = c0[:n], c1[:n], c2[:n], c3[:n]
-	for i := range a0 {
-		v0, v1, v2, v3 := a0[i], a1[i], a2[i], a3[i]
-		c0[i] += v0*w00 + v1*w01 + v2*w02 + v3*w03
-		c1[i] += v0*w10 + v1*w11 + v2*w12 + v3*w13
-		c2[i] += v0*w20 + v1*w21 + v2*w22 + v3*w23
-		c3[i] += v0*w30 + v1*w31 + v2*w32 + v3*w33
-	}
+	simd.Axpy4x4(c0, c1, c2, c3, a0, a1, a2, a3,
+		w00, w01, w02, w03, w10, w11, w12, w13,
+		w20, w21, w22, w23, w30, w31, w32, w33)
 }
 
 // axpy4x1 accumulates one source column into four destinations.
 func axpy4x1(c0, c1, c2, c3, al []float64, w0, w1, w2, w3 float64) {
-	n := len(al)
-	c0, c1, c2, c3 = c0[:n], c1[:n], c2[:n], c3[:n]
-	for i, v := range al {
-		c0[i] += v * w0
-		c1[i] += v * w1
-		c2[i] += v * w2
-		c3[i] += v * w3
-	}
+	simd.Axpy4x1(c0, c1, c2, c3, al, w0, w1, w2, w3)
 }
 
 // axpy1x4 accumulates four source columns into one destination.
 func axpy1x4(cj, a0, a1, a2, a3 []float64, w0, w1, w2, w3 float64) {
-	n := len(cj)
-	a0, a1, a2, a3 = a0[:n], a1[:n], a2[:n], a3[:n]
-	for i := range cj {
-		cj[i] += a0[i]*w0 + a1[i]*w1 + a2[i]*w2 + a3[i]*w3
-	}
+	simd.Axpy1x4(cj, a0, a1, a2, a3, w0, w1, w2, w3)
 }
 
 // axpy accumulates cj += al * w.
 func axpy(cj, al []float64, w float64) {
-	al = al[:len(cj)]
-	for i := range cj {
-		cj[i] += al[i] * w
-	}
+	simd.Axpy(cj, al, w)
 }
 
-// dotUnroll is a four-accumulator dot product.
+// dotUnroll is a four-accumulator dot product. The unrolled head
+// reduces before the tail folds in (simd.DotGeneric), matching the
+// lanes-then-tail order of the vector kernels.
 func dotUnroll(x, y []float64) float64 {
-	y = y[:len(x)]
-	var s0, s1, s2, s3 float64
-	i := 0
-	for ; i+4 <= len(x); i += 4 {
-		s0 += x[i] * y[i]
-		s1 += x[i+1] * y[i+1]
-		s2 += x[i+2] * y[i+2]
-		s3 += x[i+3] * y[i+3]
-	}
-	for ; i < len(x); i++ {
-		s0 += x[i] * y[i]
-	}
-	return (s0 + s1) + (s2 + s3)
+	return simd.Dot(x, y)
 }
 
 func checkLen(op string, got, want int) {

@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"repro/internal/simd"
 	"repro/internal/tensor"
 )
 
@@ -146,6 +147,65 @@ func TestMatMulIntoVariants(t *testing.T) {
 	MatMulTransBInto(cn, an, bn)
 	if !cn.EqualApprox(naiveNT(an, bn), 1e-10) {
 		t.Fatal("MatMulTransBInto mismatch")
+	}
+}
+
+// TestGemmFringeBothDispatchPaths sweeps every extent in {1..9, 16,
+// 17} through the three data orders on the init-time dispatch path
+// and again with the kernels forced scalar, pinning asm-vs-oracle
+// agreement for every micro-kernel fringe (the issue's m,n,k sweep).
+func TestGemmFringeBothDispatchPaths(t *testing.T) {
+	ext := []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 16, 17}
+	run := func(t *testing.T) {
+		rng := rand.New(rand.NewSource(11))
+		for _, m := range ext {
+			for _, k := range ext {
+				for _, n := range ext {
+					a := randMat(rng, m, k)
+					b := randMat(rng, k, n)
+					c := tensor.NewMatrix(m, n)
+					GemmNN(c.Data(), a.Data(), b.Data(), m, k, n, 1)
+					if want := naiveNN(a, b); !c.EqualApprox(want, 1e-12*float64(k)) {
+						t.Fatalf("GemmNN %dx%dx%d: max diff %g", m, k, n, c.MaxAbsDiff(want))
+					}
+					at := randMat(rng, k, m)
+					GemmTN(c.Data(), at.Data(), b.Data(), k, m, n, 1)
+					if want := naiveTN(at, b); !c.EqualApprox(want, 1e-12*float64(k)) {
+						t.Fatalf("GemmTN %dx%dx%d: max diff %g", m, k, n, c.MaxAbsDiff(want))
+					}
+					bt := randMat(rng, n, k)
+					GemmNT(c.Data(), a.Data(), bt.Data(), m, k, n, 1)
+					if want := naiveNT(a, bt); !c.EqualApprox(want, 1e-12*float64(k)) {
+						t.Fatalf("GemmNT %dx%dx%d: max diff %g", m, k, n, c.MaxAbsDiff(want))
+					}
+				}
+			}
+		}
+	}
+	t.Run("dispatch="+simd.Path(), run)
+	restore := simd.ForceScalar()
+	defer restore()
+	t.Run("dispatch=scalar", run)
+}
+
+// TestGemmBitwiseAcrossWorkers pins the determinism contract on the
+// bound dispatch path: one kernel set per process means the worker
+// count cannot change a single bit of the result.
+func TestGemmBitwiseAcrossWorkers(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	m, k, n := 129, 65, 33
+	a := randMat(rng, m, k)
+	b := randMat(rng, k, n)
+	ref := tensor.NewMatrix(m, n)
+	GemmNN(ref.Data(), a.Data(), b.Data(), m, k, n, 1)
+	got := tensor.NewMatrix(m, n)
+	for w := 2; w <= 8; w++ {
+		GemmNN(got.Data(), a.Data(), b.Data(), m, k, n, w)
+		for i, v := range got.Data() {
+			if v != ref.Data()[i] { //repro:bitwise worker count must not change results
+				t.Fatalf("GemmNN workers=%d differs at %d on path %s", w, i, simd.Path())
+			}
+		}
 	}
 }
 

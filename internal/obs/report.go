@@ -41,8 +41,16 @@ type Report struct {
 	// MeasuredWords is the headline data-movement figure the ratios
 	// divide: loads+stores for sequential runs, max words per processor
 	// for parallel runs, streaming-model operand traffic for
-	// shared-memory engine runs.
+	// shared-memory engine runs. It is denominated in the paper's
+	// 8-byte words: element counts scale by WordBytes/8 on the way in.
 	MeasuredWords int64 `json:"measured_words"`
+
+	// WordBytes is the storage width in bytes of one streamed element:
+	// 8 for float64 runs, 4 for the float32 path (0 is treated as 8).
+	// The bounds count words, so halving the bytes per element honestly
+	// halves the measured traffic joined against them — set this before
+	// FillFromCollector or SetMeasuredWords.
+	WordBytes int `json:"word_bytes,omitempty"`
 
 	Bounds map[string]float64 `json:"bounds,omitempty"`
 	Ratios map[string]float64 `json:"ratios,omitempty"`
@@ -114,6 +122,21 @@ func (r *Report) JoinParBounds(P, M float64) {
 // bound is vacuous or absent.
 func (r *Report) Ratio(name string) float64 { return r.Ratios["measured/"+name] }
 
+// ScaleWords converts a streamed-element count into the paper's 8-byte
+// words under the report's word size: identity for float64, exactly
+// half for float32.
+func (r *Report) ScaleWords(elems int64) int64 {
+	wb := int64(r.WordBytes)
+	if wb == 0 {
+		wb = 8
+	}
+	return elems * wb / 8
+}
+
+// SetMeasuredWords records the headline traffic from a streamed
+// element count, applying the word-size scaling.
+func (r *Report) SetMeasuredWords(elems int64) { r.MeasuredWords = r.ScaleWords(elems) }
+
 // FillFromCollector copies the collector's totals, phase aggregates,
 // and — when MeasuredWords is still unset — the streaming-model word
 // total into the report.
@@ -122,7 +145,7 @@ func (r *Report) FillFromCollector(c *Collector) {
 	r.Counters = t
 	r.Phases = c.PhaseStats()
 	if r.MeasuredWords == 0 {
-		r.MeasuredWords = t.Words()
+		r.MeasuredWords = r.ScaleWords(t.Words())
 	}
 }
 
@@ -160,7 +183,11 @@ func (r *Report) Format(w io.Writer) {
 	for _, ps := range r.Phases {
 		fmt.Fprintf(w, "  phase %-14s count=%-6d total=%v\n", ps.Phase, ps.Count, time.Duration(ps.Nanos))
 	}
-	fmt.Fprintf(w, "  measured words moved = %d\n", r.MeasuredWords)
+	fmt.Fprintf(w, "  measured words moved = %d", r.MeasuredWords)
+	if r.WordBytes != 0 && r.WordBytes != 8 {
+		fmt.Fprintf(w, " (storage word = %d bytes)", r.WordBytes)
+	}
+	fmt.Fprintln(w)
 	for _, name := range sortedKeys(r.Bounds) {
 		v := r.Bounds[name]
 		if ratio, ok := r.Ratios["measured/"+name]; ok {

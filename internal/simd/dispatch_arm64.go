@@ -1,0 +1,90 @@
+//go:build arm64 && !purego
+
+package simd
+
+// Dispatch for arm64. AdvSIMD (NEON) is an architectural requirement
+// of AArch64, so there is nothing to detect — the float64 kernel set
+// binds unconditionally unless REPRO_NOSIMD=1 (or the purego tag)
+// holds it back. The float32-operand table stays on the scalar
+// generics: the Go assembler has no vector float32→float64 widening
+// (FCVTL), and the mixed-precision kernels are dominated by the
+// float64 accumulate anyway.
+
+func init() {
+	features = "neon"
+	if noSIMD() {
+		return
+	}
+	bindNEON()
+}
+
+func bindNEON() {
+	Axpy4x4 = func(c0, c1, c2, c3, a0, a1, a2, a3 []float64,
+		w00, w01, w02, w03,
+		w10, w11, w12, w13,
+		w20, w21, w22, w23,
+		w30, w31, w32, w33 float64) {
+		n := len(c0)
+		a0, a1, a2, a3 = a0[:n], a1[:n], a2[:n], a3[:n]
+		c1, c2, c3 = c1[:n], c2[:n], c3[:n]
+		axpy4x4NEON(c0, c1, c2, c3, a0, a1, a2, a3,
+			w00, w01, w02, w03, w10, w11, w12, w13,
+			w20, w21, w22, w23, w30, w31, w32, w33)
+	}
+	Axpy4x1 = func(c0, c1, c2, c3, a []float64, w0, w1, w2, w3 float64) {
+		n := len(c0)
+		a = a[:n]
+		c1, c2, c3 = c1[:n], c2[:n], c3[:n]
+		axpy4x1NEON(c0, c1, c2, c3, a, w0, w1, w2, w3)
+	}
+	Axpy1x4 = func(c, a0, a1, a2, a3 []float64, w0, w1, w2, w3 float64) {
+		n := len(c)
+		a0, a1, a2, a3 = a0[:n], a1[:n], a2[:n], a3[:n]
+		axpy1x4NEON(c, a0, a1, a2, a3, w0, w1, w2, w3)
+	}
+	Axpy = func(c, a []float64, w float64) {
+		a = a[:len(c)]
+		axpyNEON(c, a, w)
+	}
+	Axpy2 = func(o, p, d, l []float64, v float64) {
+		n := len(o)
+		p, d, l = p[:n], d[:n], l[:n]
+		axpy2NEON(o, p, d, l, v)
+	}
+	Dot = func(x, y []float64) float64 {
+		y = y[:len(x)]
+		return dotNEON(x, y)
+	}
+	Dot4 = func(x, y0, y1, y2, y3 []float64) (s0, s1, s2, s3 float64) {
+		n := len(x)
+		y0, y1, y2, y3 = y0[:n], y1[:n], y2[:n], y3[:n]
+		return dot4NEON(x, y0, y1, y2, y3)
+	}
+	Mul = func(dst, a, b []float64) {
+		n := len(dst)
+		a, b = a[:n], b[:n]
+		mulNEON(dst, a, b)
+	}
+	MulAdd = func(dst, a, b []float64) {
+		n := len(dst)
+		a, b = a[:n], b[:n]
+		muladdNEON(dst, a, b)
+	}
+	Add = func(dst, a []float64) {
+		a = a[:len(dst)]
+		addNEON(dst, a)
+	}
+	// The batched leaf fold binds to a Go loop over the NEON axpy:
+	// the win over the generic is the vector inner loop, and a
+	// hand-batched NEON kernel can come later without an API change.
+	// AxpyRowsF32 stays on the scalar generic with the rest of the
+	// float32 table (no vector widening in the Go assembler).
+	AxpyRows = func(dst, pk []float64, idx []int32, vals []float64) {
+		R := len(dst)
+		vals = vals[:len(idx)]
+		for c, ix := range idx {
+			axpyNEON(dst, pk[int(ix)*R:int(ix)*R+R], vals[c])
+		}
+	}
+	pathName = "neon"
+}

@@ -1,0 +1,8 @@
+//go:build purego || (!amd64 && !arm64)
+
+package simd
+
+// Portable build: no detector runs, the package-level defaults (the
+// *Generic kernels) stay bound, Path() reports "scalar". The purego
+// tag forces this file onto amd64/arm64 too, which is the supported
+// way to get exactly-scalar numerics without the REPRO_NOSIMD env.

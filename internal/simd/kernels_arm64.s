@@ -1,0 +1,570 @@
+//go:build arm64 && !purego
+
+// NEON (AdvSIMD) micro-kernels for the float64 dispatch table. The Go
+// arm64 assembler exposes VFMLA but no vector FADD/FMUL, so the two
+// non-FMA kernels are expressed as FMAs that are bit-identical to the
+// plain ops: dst = a⊙b is FMLA into a zeroed register (a*b is rounded
+// once either way) and dst += a is FMLA with a vector of ones (a*1 is
+// exact). Dot reductions merge accumulator vectors with a
+// ones-multiply FMLA (again exact), then fold lanes with a scalar
+// FADDD before the tail — the same accumulator-then-tail order as the
+// scalar and AVX2 kernels.
+//
+// VLD1/VST1 have no immediate-offset form, so every loop advances its
+// pointers with post-increment addressing; lengths count down in R2.
+
+#include "textflag.h"
+
+// func axpyNEON(c, a []float64, w float64)
+TEXT ·axpyNEON(SB), NOSPLIT, $0-56
+	MOVD  c_base+0(FP), R0
+	MOVD  a_base+24(FP), R1
+	MOVD  c_len+8(FP), R2
+	FMOVD w+48(FP), F8
+	VDUP  V8.D[0], V8.D2
+
+axpy_loop4:
+	CMP    $4, R2
+	BLT    axpy_loop2
+	VLD1   (R0), [V1.D2, V2.D2]
+	VLD1.P 32(R1), [V3.D2, V4.D2]
+	VFMLA  V8.D2, V3.D2, V1.D2
+	VFMLA  V8.D2, V4.D2, V2.D2
+	VST1.P [V1.D2, V2.D2], 32(R0)
+	SUB    $4, R2
+	B      axpy_loop4
+
+axpy_loop2:
+	CMP    $2, R2
+	BLT    axpy_tail
+	VLD1   (R0), [V1.D2]
+	VLD1.P 16(R1), [V3.D2]
+	VFMLA  V8.D2, V3.D2, V1.D2
+	VST1.P [V1.D2], 16(R0)
+	SUB    $2, R2
+	B      axpy_loop2
+
+axpy_tail:
+	CBZ    R2, axpy_done
+	FMOVD  (R0), F1
+	FMOVD  (R1), F3
+	FMADDD F8, F1, F3, F1
+	FMOVD  F1, (R0)
+	ADD    $8, R0
+	ADD    $8, R1
+	SUB    $1, R2
+	B      axpy_tail
+
+axpy_done:
+	RET
+
+// func axpy2NEON(o, p, d, l []float64, v float64)
+TEXT ·axpy2NEON(SB), NOSPLIT, $0-104
+	MOVD  o_base+0(FP), R0
+	MOVD  p_base+24(FP), R1
+	MOVD  d_base+48(FP), R3
+	MOVD  l_base+72(FP), R4
+	MOVD  o_len+8(FP), R2
+	FMOVD v+96(FP), F8
+	VDUP  V8.D[0], V8.D2
+
+axpy2_loop2:
+	CMP    $2, R2
+	BLT    axpy2_tail
+	VLD1   (R0), [V1.D2]
+	VLD1.P 16(R1), [V2.D2]
+	VLD1   (R3), [V3.D2]
+	VLD1.P 16(R4), [V4.D2]
+	VFMLA  V8.D2, V2.D2, V1.D2
+	VFMLA  V8.D2, V4.D2, V3.D2
+	VST1.P [V1.D2], 16(R0)
+	VST1.P [V3.D2], 16(R3)
+	SUB    $2, R2
+	B      axpy2_loop2
+
+axpy2_tail:
+	CBZ    R2, axpy2_done
+	FMOVD  (R0), F1
+	FMOVD  (R1), F2
+	FMOVD  (R3), F3
+	FMOVD  (R4), F4
+	FMADDD F8, F1, F2, F1
+	FMADDD F8, F3, F4, F3
+	FMOVD  F1, (R0)
+	FMOVD  F3, (R3)
+	ADD    $8, R0
+	ADD    $8, R1
+	ADD    $8, R3
+	ADD    $8, R4
+	SUB    $1, R2
+	B      axpy2_tail
+
+axpy2_done:
+	RET
+
+// func axpy4x1NEON(c0, c1, c2, c3, a []float64, w0, w1, w2, w3 float64)
+TEXT ·axpy4x1NEON(SB), NOSPLIT, $0-152
+	MOVD  c0_base+0(FP), R0
+	MOVD  c1_base+24(FP), R3
+	MOVD  c2_base+48(FP), R4
+	MOVD  c3_base+72(FP), R5
+	MOVD  a_base+96(FP), R1
+	MOVD  c0_len+8(FP), R2
+	FMOVD w0+120(FP), F8
+	FMOVD w1+128(FP), F9
+	FMOVD w2+136(FP), F10
+	FMOVD w3+144(FP), F11
+	VDUP  V8.D[0], V8.D2
+	VDUP  V9.D[0], V9.D2
+	VDUP  V10.D[0], V10.D2
+	VDUP  V11.D[0], V11.D2
+
+a4x1_loop2:
+	CMP    $2, R2
+	BLT    a4x1_tail
+	VLD1.P 16(R1), [V0.D2]
+	VLD1   (R0), [V1.D2]
+	VLD1   (R3), [V2.D2]
+	VLD1   (R4), [V3.D2]
+	VLD1   (R5), [V4.D2]
+	VFMLA  V8.D2, V0.D2, V1.D2
+	VFMLA  V9.D2, V0.D2, V2.D2
+	VFMLA  V10.D2, V0.D2, V3.D2
+	VFMLA  V11.D2, V0.D2, V4.D2
+	VST1.P [V1.D2], 16(R0)
+	VST1.P [V2.D2], 16(R3)
+	VST1.P [V3.D2], 16(R4)
+	VST1.P [V4.D2], 16(R5)
+	SUB    $2, R2
+	B      a4x1_loop2
+
+a4x1_tail:
+	CBZ    R2, a4x1_done
+	FMOVD  (R1), F0
+	FMOVD  (R0), F1
+	FMOVD  (R3), F2
+	FMOVD  (R4), F3
+	FMOVD  (R5), F4
+	FMADDD F8, F1, F0, F1
+	FMADDD F9, F2, F0, F2
+	FMADDD F10, F3, F0, F3
+	FMADDD F11, F4, F0, F4
+	FMOVD  F1, (R0)
+	FMOVD  F2, (R3)
+	FMOVD  F3, (R4)
+	FMOVD  F4, (R5)
+	ADD    $8, R0
+	ADD    $8, R1
+	ADD    $8, R3
+	ADD    $8, R4
+	ADD    $8, R5
+	SUB    $1, R2
+	B      a4x1_tail
+
+a4x1_done:
+	RET
+
+// func axpy1x4NEON(c, a0, a1, a2, a3 []float64, w0, w1, w2, w3 float64)
+TEXT ·axpy1x4NEON(SB), NOSPLIT, $0-152
+	MOVD  c_base+0(FP), R0
+	MOVD  a0_base+24(FP), R3
+	MOVD  a1_base+48(FP), R4
+	MOVD  a2_base+72(FP), R5
+	MOVD  a3_base+96(FP), R6
+	MOVD  c_len+8(FP), R2
+	FMOVD w0+120(FP), F8
+	FMOVD w1+128(FP), F9
+	FMOVD w2+136(FP), F10
+	FMOVD w3+144(FP), F11
+	VDUP  V8.D[0], V8.D2
+	VDUP  V9.D[0], V9.D2
+	VDUP  V10.D[0], V10.D2
+	VDUP  V11.D[0], V11.D2
+
+a1x4_loop2:
+	CMP    $2, R2
+	BLT    a1x4_tail
+	VLD1   (R0), [V1.D2]
+	VLD1.P 16(R3), [V2.D2]
+	VLD1.P 16(R4), [V3.D2]
+	VLD1.P 16(R5), [V4.D2]
+	VLD1.P 16(R6), [V5.D2]
+	VFMLA  V8.D2, V2.D2, V1.D2
+	VFMLA  V9.D2, V3.D2, V1.D2
+	VFMLA  V10.D2, V4.D2, V1.D2
+	VFMLA  V11.D2, V5.D2, V1.D2
+	VST1.P [V1.D2], 16(R0)
+	SUB    $2, R2
+	B      a1x4_loop2
+
+a1x4_tail:
+	CBZ    R2, a1x4_done
+	FMOVD  (R0), F1
+	FMOVD  (R3), F2
+	FMOVD  (R4), F3
+	FMOVD  (R5), F4
+	FMOVD  (R6), F5
+	FMADDD F8, F1, F2, F1
+	FMADDD F9, F1, F3, F1
+	FMADDD F10, F1, F4, F1
+	FMADDD F11, F1, F5, F1
+	FMOVD  F1, (R0)
+	ADD    $8, R0
+	ADD    $8, R3
+	ADD    $8, R4
+	ADD    $8, R5
+	ADD    $8, R6
+	SUB    $1, R2
+	B      a1x4_tail
+
+a1x4_done:
+	RET
+
+// func axpy4x4NEON(c0, c1, c2, c3, a0, a1, a2, a3 []float64,
+//	w00, ..., w33 float64)
+// All 16 broadcast weights fit in V8–V23 — one pass, unlike the
+// two-pass AVX2 layout.
+TEXT ·axpy4x4NEON(SB), NOSPLIT, $0-320
+	MOVD  c0_base+0(FP), R0
+	MOVD  c1_base+24(FP), R3
+	MOVD  c2_base+48(FP), R4
+	MOVD  c3_base+72(FP), R5
+	MOVD  a0_base+96(FP), R6
+	MOVD  a1_base+120(FP), R7
+	MOVD  a2_base+144(FP), R8
+	MOVD  a3_base+168(FP), R9
+	MOVD  c0_len+8(FP), R2
+	FMOVD w00+192(FP), F8
+	FMOVD w01+200(FP), F9
+	FMOVD w02+208(FP), F10
+	FMOVD w03+216(FP), F11
+	FMOVD w10+224(FP), F12
+	FMOVD w11+232(FP), F13
+	FMOVD w12+240(FP), F14
+	FMOVD w13+248(FP), F15
+	FMOVD w20+256(FP), F16
+	FMOVD w21+264(FP), F17
+	FMOVD w22+272(FP), F18
+	FMOVD w23+280(FP), F19
+	FMOVD w30+288(FP), F20
+	FMOVD w31+296(FP), F21
+	FMOVD w32+304(FP), F22
+	FMOVD w33+312(FP), F23
+	VDUP  V8.D[0], V8.D2
+	VDUP  V9.D[0], V9.D2
+	VDUP  V10.D[0], V10.D2
+	VDUP  V11.D[0], V11.D2
+	VDUP  V12.D[0], V12.D2
+	VDUP  V13.D[0], V13.D2
+	VDUP  V14.D[0], V14.D2
+	VDUP  V15.D[0], V15.D2
+	VDUP  V16.D[0], V16.D2
+	VDUP  V17.D[0], V17.D2
+	VDUP  V18.D[0], V18.D2
+	VDUP  V19.D[0], V19.D2
+	VDUP  V20.D[0], V20.D2
+	VDUP  V21.D[0], V21.D2
+	VDUP  V22.D[0], V22.D2
+	VDUP  V23.D[0], V23.D2
+
+a4x4_loop2:
+	CMP    $2, R2
+	BLT    a4x4_tail
+	VLD1.P 16(R6), [V0.D2]
+	VLD1.P 16(R7), [V1.D2]
+	VLD1.P 16(R8), [V2.D2]
+	VLD1.P 16(R9), [V3.D2]
+	VLD1   (R0), [V4.D2]
+	VFMLA  V8.D2, V0.D2, V4.D2
+	VFMLA  V9.D2, V1.D2, V4.D2
+	VFMLA  V10.D2, V2.D2, V4.D2
+	VFMLA  V11.D2, V3.D2, V4.D2
+	VST1.P [V4.D2], 16(R0)
+	VLD1   (R3), [V5.D2]
+	VFMLA  V12.D2, V0.D2, V5.D2
+	VFMLA  V13.D2, V1.D2, V5.D2
+	VFMLA  V14.D2, V2.D2, V5.D2
+	VFMLA  V15.D2, V3.D2, V5.D2
+	VST1.P [V5.D2], 16(R3)
+	VLD1   (R4), [V6.D2]
+	VFMLA  V16.D2, V0.D2, V6.D2
+	VFMLA  V17.D2, V1.D2, V6.D2
+	VFMLA  V18.D2, V2.D2, V6.D2
+	VFMLA  V19.D2, V3.D2, V6.D2
+	VST1.P [V6.D2], 16(R4)
+	VLD1   (R5), [V7.D2]
+	VFMLA  V20.D2, V0.D2, V7.D2
+	VFMLA  V21.D2, V1.D2, V7.D2
+	VFMLA  V22.D2, V2.D2, V7.D2
+	VFMLA  V23.D2, V3.D2, V7.D2
+	VST1.P [V7.D2], 16(R5)
+	SUB    $2, R2
+	B      a4x4_loop2
+
+	// Scalar tail: the dup'd weight vectors still hold w in lane 0,
+	// so F8–F23 read them directly.
+a4x4_tail:
+	CBZ    R2, a4x4_done
+	FMOVD  (R6), F0
+	FMOVD  (R7), F1
+	FMOVD  (R8), F2
+	FMOVD  (R9), F3
+	FMOVD  (R0), F4
+	FMADDD F8, F4, F0, F4
+	FMADDD F9, F4, F1, F4
+	FMADDD F10, F4, F2, F4
+	FMADDD F11, F4, F3, F4
+	FMOVD  F4, (R0)
+	FMOVD  (R3), F4
+	FMADDD F12, F4, F0, F4
+	FMADDD F13, F4, F1, F4
+	FMADDD F14, F4, F2, F4
+	FMADDD F15, F4, F3, F4
+	FMOVD  F4, (R3)
+	FMOVD  (R4), F4
+	FMADDD F16, F4, F0, F4
+	FMADDD F17, F4, F1, F4
+	FMADDD F18, F4, F2, F4
+	FMADDD F19, F4, F3, F4
+	FMOVD  F4, (R4)
+	FMOVD  (R5), F4
+	FMADDD F20, F4, F0, F4
+	FMADDD F21, F4, F1, F4
+	FMADDD F22, F4, F2, F4
+	FMADDD F23, F4, F3, F4
+	FMOVD  F4, (R5)
+	ADD    $8, R0
+	ADD    $8, R3
+	ADD    $8, R4
+	ADD    $8, R5
+	ADD    $8, R6
+	ADD    $8, R7
+	ADD    $8, R8
+	ADD    $8, R9
+	SUB    $1, R2
+	B      a4x4_tail
+
+a4x4_done:
+	RET
+
+// func dotNEON(x, y []float64) float64
+TEXT ·dotNEON(SB), NOSPLIT, $0-56
+	MOVD  x_base+0(FP), R0
+	MOVD  y_base+24(FP), R1
+	MOVD  x_len+8(FP), R2
+	VEOR  V0.B16, V0.B16, V0.B16
+	VEOR  V1.B16, V1.B16, V1.B16
+	FMOVD $1.0, F9
+	VDUP  V9.D[0], V9.D2
+
+dot_loop4:
+	CMP    $4, R2
+	BLT    dot_loop2
+	VLD1.P 32(R0), [V2.D2, V3.D2]
+	VLD1.P 32(R1), [V4.D2, V5.D2]
+	VFMLA  V2.D2, V4.D2, V0.D2
+	VFMLA  V3.D2, V5.D2, V1.D2
+	SUB    $4, R2
+	B      dot_loop4
+
+dot_loop2:
+	CMP    $2, R2
+	BLT    dot_reduce
+	VLD1.P 16(R0), [V2.D2]
+	VLD1.P 16(R1), [V4.D2]
+	VFMLA  V2.D2, V4.D2, V0.D2
+	SUB    $2, R2
+	B      dot_loop2
+
+dot_reduce:
+	// V0 += 1.0*V1 (exact add), then fold lanes before the tail.
+	VFMLA V9.D2, V1.D2, V0.D2
+	VMOV  V0.D[1], R3
+	FMOVD R3, F1
+	FADDD F1, F0, F0
+
+dot_tail:
+	CBZ    R2, dot_done
+	FMOVD  (R0), F2
+	FMOVD  (R1), F3
+	FMADDD F2, F0, F3, F0
+	ADD    $8, R0
+	ADD    $8, R1
+	SUB    $1, R2
+	B      dot_tail
+
+dot_done:
+	FMOVD F0, ret+48(FP)
+	RET
+
+// func dot4NEON(x, y0, y1, y2, y3 []float64) (s0, s1, s2, s3 float64)
+TEXT ·dot4NEON(SB), NOSPLIT, $0-152
+	MOVD x_base+0(FP), R0
+	MOVD y0_base+24(FP), R1
+	MOVD y1_base+48(FP), R3
+	MOVD y2_base+72(FP), R4
+	MOVD y3_base+96(FP), R5
+	MOVD x_len+8(FP), R2
+	VEOR V0.B16, V0.B16, V0.B16
+	VEOR V1.B16, V1.B16, V1.B16
+	VEOR V2.B16, V2.B16, V2.B16
+	VEOR V3.B16, V3.B16, V3.B16
+
+dot4_loop2:
+	CMP    $2, R2
+	BLT    dot4_reduce
+	VLD1.P 16(R0), [V4.D2]
+	VLD1.P 16(R1), [V5.D2]
+	VLD1.P 16(R3), [V6.D2]
+	VLD1.P 16(R4), [V7.D2]
+	VLD1.P 16(R5), [V8.D2]
+	VFMLA  V4.D2, V5.D2, V0.D2
+	VFMLA  V4.D2, V6.D2, V1.D2
+	VFMLA  V4.D2, V7.D2, V2.D2
+	VFMLA  V4.D2, V8.D2, V3.D2
+	SUB    $2, R2
+	B      dot4_loop2
+
+dot4_reduce:
+	VMOV  V0.D[1], R6
+	FMOVD R6, F4
+	FADDD F4, F0, F0
+	VMOV  V1.D[1], R6
+	FMOVD R6, F4
+	FADDD F4, F1, F1
+	VMOV  V2.D[1], R6
+	FMOVD R6, F4
+	FADDD F4, F2, F2
+	VMOV  V3.D[1], R6
+	FMOVD R6, F4
+	FADDD F4, F3, F3
+
+dot4_tail:
+	CBZ    R2, dot4_done
+	FMOVD  (R0), F4
+	FMOVD  (R1), F5
+	FMOVD  (R3), F6
+	FMOVD  (R4), F7
+	FMOVD  (R5), F8
+	FMADDD F4, F0, F5, F0
+	FMADDD F4, F1, F6, F1
+	FMADDD F4, F2, F7, F2
+	FMADDD F4, F3, F8, F3
+	ADD    $8, R0
+	ADD    $8, R1
+	ADD    $8, R3
+	ADD    $8, R4
+	ADD    $8, R5
+	SUB    $1, R2
+	B      dot4_tail
+
+dot4_done:
+	FMOVD F0, s0+120(FP)
+	FMOVD F1, s1+128(FP)
+	FMOVD F2, s2+136(FP)
+	FMOVD F3, s3+144(FP)
+	RET
+
+// func mulNEON(dst, a, b []float64)
+// dst = a⊙b via FMLA into a zeroed register: fma(a,b,0) rounds a*b
+// once, exactly like FMULD (modulo the sign of a -0 product, which no
+// consumer distinguishes).
+TEXT ·mulNEON(SB), NOSPLIT, $0-72
+	MOVD dst_base+0(FP), R0
+	MOVD a_base+24(FP), R1
+	MOVD b_base+48(FP), R3
+	MOVD dst_len+8(FP), R2
+
+mul_loop2:
+	CMP    $2, R2
+	BLT    mul_tail
+	VEOR   V1.B16, V1.B16, V1.B16
+	VLD1.P 16(R1), [V2.D2]
+	VLD1.P 16(R3), [V3.D2]
+	VFMLA  V2.D2, V3.D2, V1.D2
+	VST1.P [V1.D2], 16(R0)
+	SUB    $2, R2
+	B      mul_loop2
+
+mul_tail:
+	CBZ   R2, mul_done
+	FMOVD (R1), F2
+	FMOVD (R3), F3
+	FMULD F2, F3, F1
+	FMOVD F1, (R0)
+	ADD   $8, R0
+	ADD   $8, R1
+	ADD   $8, R3
+	SUB   $1, R2
+	B     mul_tail
+
+mul_done:
+	RET
+
+// func muladdNEON(dst, a, b []float64)
+TEXT ·muladdNEON(SB), NOSPLIT, $0-72
+	MOVD dst_base+0(FP), R0
+	MOVD a_base+24(FP), R1
+	MOVD b_base+48(FP), R3
+	MOVD dst_len+8(FP), R2
+
+muladd_loop2:
+	CMP    $2, R2
+	BLT    muladd_tail
+	VLD1   (R0), [V1.D2]
+	VLD1.P 16(R1), [V2.D2]
+	VLD1.P 16(R3), [V3.D2]
+	VFMLA  V2.D2, V3.D2, V1.D2
+	VST1.P [V1.D2], 16(R0)
+	SUB    $2, R2
+	B      muladd_loop2
+
+muladd_tail:
+	CBZ    R2, muladd_done
+	FMOVD  (R0), F1
+	FMOVD  (R1), F2
+	FMOVD  (R3), F3
+	FMADDD F2, F1, F3, F1
+	FMOVD  F1, (R0)
+	ADD    $8, R0
+	ADD    $8, R1
+	ADD    $8, R3
+	SUB    $1, R2
+	B      muladd_tail
+
+muladd_done:
+	RET
+
+// func addNEON(dst, a []float64)
+// dst += a via FMLA with a vector of ones: fma(a,1,dst) rounds
+// dst + a once, exactly like FADDD.
+TEXT ·addNEON(SB), NOSPLIT, $0-48
+	MOVD  dst_base+0(FP), R0
+	MOVD  a_base+24(FP), R1
+	MOVD  dst_len+8(FP), R2
+	FMOVD $1.0, F8
+	VDUP  V8.D[0], V8.D2
+
+add_loop2:
+	CMP    $2, R2
+	BLT    add_tail
+	VLD1   (R0), [V1.D2]
+	VLD1.P 16(R1), [V2.D2]
+	VFMLA  V8.D2, V2.D2, V1.D2
+	VST1.P [V1.D2], 16(R0)
+	SUB    $2, R2
+	B      add_loop2
+
+add_tail:
+	CBZ   R2, add_done
+	FMOVD (R0), F1
+	FMOVD (R1), F2
+	FADDD F2, F1, F1
+	FMOVD F1, (R0)
+	ADD   $8, R0
+	ADD   $8, R1
+	SUB   $1, R2
+	B     add_tail
+
+add_done:
+	RET

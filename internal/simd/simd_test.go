@@ -1,0 +1,376 @@
+package simd
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+// fringeLens covers the shapes the dispatch kernels must get right:
+// empty, sub-vector-width, every tail residue, and the unroll
+// boundaries of both the 4-wide and 16-wide loops.
+var fringeLens = []int{0, 1, 2, 3, 4, 5, 7, 8, 9, 15, 16, 17, 31, 32, 33, 63, 100}
+
+const relTol = 1e-13
+
+// fill writes a deterministic pseudorandom stream in [-1, 1) so every
+// architecture and dispatch path tests identical inputs.
+func fill(dst []float64, seed uint64) {
+	s := seed*2862933555777941757 + 3037000493
+	for i := range dst {
+		s = s*2862933555777941757 + 3037000493
+		dst[i] = float64(int64(s>>11))/float64(1<<52) - 0.5
+	}
+}
+
+func fill32(dst []float32, seed uint64) {
+	tmp := make([]float64, len(dst))
+	fill(tmp, seed)
+	for i, v := range tmp {
+		dst[i] = float32(v)
+	}
+}
+
+func relClose(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	d := math.Abs(a - b)
+	m := math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+	return d <= relTol*m
+}
+
+func checkSlices(t *testing.T, name string, got, want []float64) {
+	t.Helper()
+	for i := range want {
+		if !relClose(got[i], want[i]) {
+			t.Fatalf("%s: [%d] = %g, scalar oracle %g (diff %g)",
+				name, i, got[i], want[i], got[i]-want[i])
+		}
+	}
+}
+
+// forEachLen runs f once per fringe length under a subtest.
+func forEachLen(t *testing.T, f func(t *testing.T, n int)) {
+	for _, n := range fringeLens {
+		t.Run(fmt.Sprintf("n=%d", n), func(t *testing.T) { f(t, n) })
+	}
+}
+
+// The weights used by the tile kernels; values chosen to be exactly
+// representable so the oracle difference isolates kernel rounding.
+var w16 = [16]float64{
+	0.5, -0.25, 1.25, -2, 0.75, 3, -0.125, 1,
+	-1.5, 0.0625, 2.5, -0.75, 1.75, -3.25, 0.375, -1,
+}
+
+func TestAxpyAgainstScalar(t *testing.T) {
+	forEachLen(t, func(t *testing.T, n int) {
+		a := make([]float64, n)
+		fill(a, 1)
+		got := make([]float64, n)
+		want := make([]float64, n)
+		fill(got, 2)
+		copy(want, got)
+		Axpy(got, a, 1.5)
+		AxpyGeneric(want, a, 1.5)
+		checkSlices(t, "Axpy", got, want)
+	})
+}
+
+func TestAxpy2AgainstScalar(t *testing.T) {
+	forEachLen(t, func(t *testing.T, n int) {
+		p := make([]float64, n)
+		l := make([]float64, n)
+		fill(p, 3)
+		fill(l, 4)
+		o, d := make([]float64, n), make([]float64, n)
+		ow, dw := make([]float64, n), make([]float64, n)
+		fill(o, 5)
+		fill(d, 6)
+		copy(ow, o)
+		copy(dw, d)
+		Axpy2(o, p, d, l, -0.75)
+		Axpy2Generic(ow, p, dw, l, -0.75)
+		checkSlices(t, "Axpy2 o", o, ow)
+		checkSlices(t, "Axpy2 d", d, dw)
+	})
+}
+
+func TestAxpy4x1AgainstScalar(t *testing.T) {
+	forEachLen(t, func(t *testing.T, n int) {
+		a := make([]float64, n)
+		fill(a, 7)
+		var got, want [4][]float64
+		for j := 0; j < 4; j++ {
+			got[j] = make([]float64, n)
+			fill(got[j], uint64(8+j))
+			want[j] = append([]float64(nil), got[j]...)
+		}
+		Axpy4x1(got[0], got[1], got[2], got[3], a, w16[0], w16[1], w16[2], w16[3])
+		Axpy4x1Generic(want[0], want[1], want[2], want[3], a, w16[0], w16[1], w16[2], w16[3])
+		for j := 0; j < 4; j++ {
+			checkSlices(t, fmt.Sprintf("Axpy4x1 c%d", j), got[j], want[j])
+		}
+	})
+}
+
+func TestAxpy1x4AgainstScalar(t *testing.T) {
+	forEachLen(t, func(t *testing.T, n int) {
+		var a [4][]float64
+		for k := 0; k < 4; k++ {
+			a[k] = make([]float64, n)
+			fill(a[k], uint64(12+k))
+		}
+		got := make([]float64, n)
+		fill(got, 16)
+		want := append([]float64(nil), got...)
+		Axpy1x4(got, a[0], a[1], a[2], a[3], w16[4], w16[5], w16[6], w16[7])
+		Axpy1x4Generic(want, a[0], a[1], a[2], a[3], w16[4], w16[5], w16[6], w16[7])
+		checkSlices(t, "Axpy1x4", got, want)
+	})
+}
+
+func TestAxpy4x4AgainstScalar(t *testing.T) {
+	forEachLen(t, func(t *testing.T, n int) {
+		var a, got, want [4][]float64
+		for k := 0; k < 4; k++ {
+			a[k] = make([]float64, n)
+			fill(a[k], uint64(17+k))
+			got[k] = make([]float64, n)
+			fill(got[k], uint64(21+k))
+			want[k] = append([]float64(nil), got[k]...)
+		}
+		Axpy4x4(got[0], got[1], got[2], got[3], a[0], a[1], a[2], a[3],
+			w16[0], w16[1], w16[2], w16[3], w16[4], w16[5], w16[6], w16[7],
+			w16[8], w16[9], w16[10], w16[11], w16[12], w16[13], w16[14], w16[15])
+		Axpy4x4Generic(want[0], want[1], want[2], want[3], a[0], a[1], a[2], a[3],
+			w16[0], w16[1], w16[2], w16[3], w16[4], w16[5], w16[6], w16[7],
+			w16[8], w16[9], w16[10], w16[11], w16[12], w16[13], w16[14], w16[15])
+		for j := 0; j < 4; j++ {
+			checkSlices(t, fmt.Sprintf("Axpy4x4 c%d", j), got[j], want[j])
+		}
+	})
+}
+
+func TestDotAgainstScalar(t *testing.T) {
+	forEachLen(t, func(t *testing.T, n int) {
+		x := make([]float64, n)
+		y := make([]float64, n)
+		fill(x, 25)
+		fill(y, 26)
+		got := Dot(x, y)
+		want := DotGeneric(x, y)
+		if !relClose(got, want) {
+			t.Fatalf("Dot = %g, scalar oracle %g", got, want)
+		}
+	})
+}
+
+func TestDot4AgainstScalar(t *testing.T) {
+	forEachLen(t, func(t *testing.T, n int) {
+		x := make([]float64, n)
+		fill(x, 27)
+		var y [4][]float64
+		for k := 0; k < 4; k++ {
+			y[k] = make([]float64, n)
+			fill(y[k], uint64(28+k))
+		}
+		g0, g1, g2, g3 := Dot4(x, y[0], y[1], y[2], y[3])
+		w0, w1, w2, w3 := Dot4Generic(x, y[0], y[1], y[2], y[3])
+		for j, pair := range [][2]float64{{g0, w0}, {g1, w1}, {g2, w2}, {g3, w3}} {
+			if !relClose(pair[0], pair[1]) {
+				t.Fatalf("Dot4 s%d = %g, scalar oracle %g", j, pair[0], pair[1])
+			}
+		}
+	})
+}
+
+func TestMulMulAddAddAgainstScalar(t *testing.T) {
+	forEachLen(t, func(t *testing.T, n int) {
+		a := make([]float64, n)
+		b := make([]float64, n)
+		fill(a, 32)
+		fill(b, 33)
+
+		got := make([]float64, n)
+		want := make([]float64, n)
+		fill(got, 34)
+		copy(want, got)
+		Mul(got, a, b)
+		MulGeneric(want, a, b)
+		checkSlices(t, "Mul", got, want)
+
+		fill(got, 35)
+		copy(want, got)
+		MulAdd(got, a, b)
+		MulAddGeneric(want, a, b)
+		checkSlices(t, "MulAdd", got, want)
+
+		fill(got, 36)
+		copy(want, got)
+		Add(got, a)
+		AddGeneric(want, a)
+		checkSlices(t, "Add", got, want)
+	})
+}
+
+func TestF32KernelsAgainstScalar(t *testing.T) {
+	forEachLen(t, func(t *testing.T, n int) {
+		var a [4][]float32
+		for k := 0; k < 4; k++ {
+			a[k] = make([]float32, n)
+			fill32(a[k], uint64(40+k))
+		}
+		y := make([]float64, n)
+		fill(y, 44)
+
+		got := make([]float64, n)
+		want := make([]float64, n)
+		fill(got, 45)
+		copy(want, got)
+		AxpyF32(got, a[0], 1.25)
+		AxpyF32Generic(want, a[0], 1.25)
+		checkSlices(t, "AxpyF32", got, want)
+
+		fill(got, 46)
+		copy(want, got)
+		Axpy1x4F32(got, a[0], a[1], a[2], a[3], w16[0], w16[1], w16[2], w16[3])
+		Axpy1x4F32Generic(want, a[0], a[1], a[2], a[3], w16[0], w16[1], w16[2], w16[3])
+		checkSlices(t, "Axpy1x4F32", got, want)
+
+		gd := DotF32(a[0], y)
+		wd := DotF32Generic(a[0], y)
+		if !relClose(gd, wd) {
+			t.Fatalf("DotF32 = %g, scalar oracle %g", gd, wd)
+		}
+
+		var y4 [4][]float64
+		for k := 0; k < 4; k++ {
+			y4[k] = make([]float64, n)
+			fill(y4[k], uint64(47+k))
+		}
+		g0, g1, g2, g3 := Dot4F32(a[0], y4[0], y4[1], y4[2], y4[3])
+		w0, w1, w2, w3 := Dot4F32Generic(a[0], y4[0], y4[1], y4[2], y4[3])
+		for j, pair := range [][2]float64{{g0, w0}, {g1, w1}, {g2, w2}, {g3, w3}} {
+			if !relClose(pair[0], pair[1]) {
+				t.Fatalf("Dot4F32 s%d = %g, scalar oracle %g", j, pair[0], pair[1])
+			}
+		}
+	})
+}
+
+// TestForceScalarRestores pins the ForceScalar contract: under it the
+// dispatch variables produce bitwise-scalar results, and restore
+// rebinds the init-time choice.
+func TestForceScalarRestores(t *testing.T) {
+	initPath := Path()
+	restore := ForceScalar()
+	if Path() != "scalar" {
+		t.Fatalf("Path under ForceScalar = %q, want scalar", Path())
+	}
+	x := make([]float64, 17)
+	y := make([]float64, 17)
+	fill(x, 60)
+	fill(y, 61)
+	if got, want := Dot(x, y), DotGeneric(x, y); got != want {
+		t.Fatalf("forced-scalar Dot = %g not bitwise-equal to DotGeneric %g", got, want)
+	}
+	restore()
+	if Path() != initPath {
+		t.Fatalf("Path after restore = %q, want %q", Path(), initPath)
+	}
+}
+
+// TestScalarTailOrderMatchesUnrolled pins the satellite fix: the
+// scalar dot reduces its four accumulators before folding the tail,
+// so a length-(4k+r) dot equals the length-4k partial plus tail terms
+// added in order.
+func TestScalarTailOrderMatchesUnrolled(t *testing.T) {
+	x := make([]float64, 11)
+	y := make([]float64, 11)
+	fill(x, 70)
+	fill(y, 71)
+	want := DotGeneric(x[:8], y[:8])
+	want += x[8] * y[8]
+	want += x[9] * y[9]
+	want += x[10] * y[10]
+	if got := DotGeneric(x, y); got != want {
+		t.Fatalf("DotGeneric tail order: got %g, want head+tail %g", got, want)
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	d := Describe()
+	if want := "simd=" + Path(); len(d) < len(want) || d[:len(want)] != want {
+		t.Fatalf("Describe() = %q, want prefix %q", d, want)
+	}
+}
+
+// TestAxpyRowsAgainstScalar exercises the batched leaf fold across
+// fringe row widths (including the R=16 register-resident fast path)
+// and leaf counts, with repeated indices so the gather order matters.
+func TestAxpyRowsAgainstScalar(t *testing.T) {
+	forEachLen(t, func(t *testing.T, r int) {
+		for _, leaves := range []int{0, 1, 2, 3, 7, 16, 33} {
+			rows := 5
+			pk := make([]float64, rows*r)
+			fill(pk, 80)
+			idx := make([]int32, leaves)
+			vals := make([]float64, leaves)
+			vals32 := make([]float32, leaves)
+			fill(vals, 81)
+			fill32(vals32, 82)
+			for c := range idx {
+				idx[c] = int32((c * 3) % rows)
+			}
+
+			got := make([]float64, r)
+			want := make([]float64, r)
+			fill(got, 83)
+			copy(want, got)
+			AxpyRows(got, pk, idx, vals)
+			AxpyRowsGeneric(want, pk, idx, vals)
+			checkSlices(t, fmt.Sprintf("AxpyRows leaves=%d", leaves), got, want)
+
+			fill(got, 84)
+			copy(want, got)
+			AxpyRowsF32(got, pk, idx, vals32)
+			AxpyRowsF32Generic(want, pk, idx, vals32)
+			checkSlices(t, fmt.Sprintf("AxpyRowsF32 leaves=%d", leaves), got, want)
+		}
+	})
+}
+
+// TestAxpyRowsF32MatchesF64OnRounded pins the arithmetic-identity
+// contract the CSF f32-vs-f64 bitwise tests build on: fed a float64
+// stream that is exactly the widened float32 stream, AxpyRows and
+// AxpyRowsF32 accumulate bitwise-identically on the same dispatch
+// path.
+func TestAxpyRowsF32MatchesF64OnRounded(t *testing.T) {
+	for _, r := range []int{3, 8, 16, 17} {
+		rows := 4
+		pk := make([]float64, rows*r)
+		fill(pk, 90)
+		leaves := 11
+		idx := make([]int32, leaves)
+		vals32 := make([]float32, leaves)
+		fill32(vals32, 91)
+		vals := make([]float64, leaves)
+		for c := range vals {
+			vals[c] = float64(vals32[c])
+			idx[c] = int32((c * 5) % rows)
+		}
+		a := make([]float64, r)
+		b := make([]float64, r)
+		fill(a, 92)
+		copy(b, a)
+		AxpyRows(a, pk, idx, vals)
+		AxpyRowsF32(b, pk, idx, vals32)
+		for i := range a {
+			if a[i] != b[i] { //repro:bitwise exact widening must not change the accumulation
+				t.Fatalf("R=%d: f64 vs widened-f32 fold diverge at %d: %v vs %v", r, i, a[i], b[i])
+			}
+		}
+	}
+}

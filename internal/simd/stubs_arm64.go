@@ -1,0 +1,40 @@
+//go:build arm64 && !purego
+
+package simd
+
+// Assembly stubs (kernels_arm64.s). Lengths come from the first
+// destination (or x) slice header; the bind shims trim the rest.
+
+//go:noescape
+func axpyNEON(c, a []float64, w float64)
+
+//go:noescape
+func axpy2NEON(o, p, d, l []float64, v float64)
+
+//go:noescape
+func axpy4x1NEON(c0, c1, c2, c3, a []float64, w0, w1, w2, w3 float64)
+
+//go:noescape
+func axpy1x4NEON(c, a0, a1, a2, a3 []float64, w0, w1, w2, w3 float64)
+
+//go:noescape
+func axpy4x4NEON(c0, c1, c2, c3, a0, a1, a2, a3 []float64,
+	w00, w01, w02, w03,
+	w10, w11, w12, w13,
+	w20, w21, w22, w23,
+	w30, w31, w32, w33 float64)
+
+//go:noescape
+func dotNEON(x, y []float64) float64
+
+//go:noescape
+func dot4NEON(x, y0, y1, y2, y3 []float64) (s0, s1, s2, s3 float64)
+
+//go:noescape
+func mulNEON(dst, a, b []float64)
+
+//go:noescape
+func muladdNEON(dst, a, b []float64)
+
+//go:noescape
+func addNEON(dst, a []float64)

@@ -34,6 +34,11 @@ type CSF struct {
 	idx [][]int32
 	// vals are the leaf values, aligned with idx[N-1].
 	vals []float64
+	// vals32 is the optional float32 mirror of vals (EnableF32Values):
+	// when non-nil the kernels stream leaf values from it — half the
+	// bytes on the dominant read stream — and widen to float64 for
+	// every accumulation.
+	vals32 []float32
 
 	// rootLeaf[f] is the first leaf under root fiber f (len roots+1);
 	// the cumulative nonzero counts behind the nnz-balanced chunk
@@ -262,6 +267,29 @@ func (t *CSF) Root() int { return t.perm[0] }
 
 // NNZ returns the number of stored (deduplicated) nonzeros.
 func (t *CSF) NNZ() int { return len(t.vals) }
+
+// EnableF32Values converts the leaf-value stream to float32 storage
+// (rounding once per value) and points the kernels at it. The fiber
+// tree, factor mirrors, and all accumulation stay float64; only the
+// nnz-length value stream shrinks. Irreversible precision loss for
+// this tree — build a fresh CSF to return to float64 values.
+func (t *CSF) EnableF32Values() {
+	if t.vals32 != nil {
+		return
+	}
+	t.vals32 = make([]float32, len(t.vals))
+	for i, v := range t.vals {
+		t.vals32[i] = float32(v)
+	}
+	// Re-round the float64 copy so ToCOO and the reference kernels see
+	// exactly the values the f32 stream holds.
+	for i, v := range t.vals32 {
+		t.vals[i] = float64(v)
+	}
+}
+
+// F32Values reports whether the float32 value stream is active.
+func (t *CSF) F32Values() bool { return t.vals32 != nil }
 
 // Fibers returns the number of root fibers (distinct root-mode
 // indices present).

@@ -30,6 +30,7 @@ import (
 	"repro/internal/kernel"
 	"repro/internal/linalg"
 	"repro/internal/obs"
+	"repro/internal/simd"
 	"repro/internal/tensor"
 )
 
@@ -361,9 +362,7 @@ func (w *csfWalker) run(f0, f1 int) {
 			w.subtree(0, int32(f), s)
 			i := int(idx0[f]) * R
 			row := out[i : i+R]
-			for r, v := range s {
-				row[r] += v
-			}
+			simd.Add(row, s)
 		}
 		return
 	}
@@ -383,16 +382,15 @@ func (w *csfWalker) descend(lv int, node int32, prefix []float64) {
 		row := w.outs[lv][i : i+R]
 		if lv == len(t.dims)-1 {
 			v := t.vals[node]
-			for r, p := range prefix {
-				row[r] += v * p
+			if t.vals32 != nil {
+				v = float64(t.vals32[node])
 			}
+			simd.Axpy(row, prefix, v)
 			return
 		}
 		s := w.sub[lv*R : (lv+1)*R]
 		w.subtree(lv, node, s)
-		for r, p := range prefix {
-			row[r] += p * s[r]
-		}
+		simd.MulAdd(row, prefix, s)
 		return
 	}
 	i := int(t.idx[lv][node]) * R
@@ -401,9 +399,7 @@ func (w *csfWalker) descend(lv int, node int32, prefix []float64) {
 	if prefix == nil {
 		copy(cp, frow)
 	} else {
-		for r, p := range prefix {
-			cp[r] = p * frow[r]
-		}
+		simd.Mul(cp, prefix, frow)
 	}
 	for c := t.ptr[lv][node]; c < t.ptr[lv][node+1]; c++ {
 		w.descend(lv+1, c, cp)
@@ -423,13 +419,14 @@ func (w *csfWalker) subtree(lv int, node int32, dst []float64) {
 	pk := w.packed[lv+1]
 	if lv+1 == len(t.dims)-1 {
 		leafIdx := t.idx[lv+1]
-		for c := c0; c < c1; c++ {
-			v := t.vals[c]
-			i := int(leafIdx[c]) * R
-			row := pk[i : i+R]
-			for r, fr := range row {
-				dst[r] += v * fr
-			}
+		// One batched call folds the whole fiber's leaves: the kernel
+		// gathers pk rows by leaf index, so the per-leaf dispatch
+		// overhead of an Axpy-per-leaf loop disappears (and R=16 keeps
+		// dst in registers across the run on the AVX2 path).
+		if v32 := t.vals32; v32 != nil {
+			simd.AxpyRowsF32(dst, pk, leafIdx[c0:c1], v32[c0:c1])
+		} else {
+			simd.AxpyRows(dst, pk, leafIdx[c0:c1], t.vals[c0:c1])
 		}
 		return
 	}
@@ -438,10 +435,7 @@ func (w *csfWalker) subtree(lv int, node int32, dst []float64) {
 	for c := c0; c < c1; c++ {
 		w.subtree(lv+1, c, cs)
 		i := int(cIdx[c]) * R
-		row := pk[i : i+R]
-		for r, fr := range row {
-			dst[r] += fr * cs[r]
-		}
+		simd.MulAdd(dst, pk[i:i+R], cs)
 	}
 }
 
@@ -468,23 +462,25 @@ func (w *csfWalker) walkAll(lv int, node int32, prefix, dst []float64) {
 	if prefix == nil {
 		copy(cp, frow)
 	} else {
-		for r, p := range prefix {
-			cp[r] = p * frow[r]
-		}
+		simd.Mul(cp, prefix, frow)
 	}
 	c0, c1 := t.ptr[lv][node], t.ptr[lv][node+1]
 	pk := w.packed[lv+1]
 	if lv+1 == len(t.dims)-1 {
 		leafIdx := t.idx[lv+1]
 		outLeaf := w.outs[lv+1]
-		for c := c0; c < c1; c++ {
-			v := t.vals[c]
-			j := int(leafIdx[c]) * R
-			lrow := pk[j : j+R]
-			orow := outLeaf[j : j+R]
-			for r := 0; r < R; r++ {
-				orow[r] += v * cp[r]
-				dst[r] += v * lrow[r]
+		// Fused leaf update: one value drives both the leaf-mode
+		// output row and this node's subtree sum. The value-stream
+		// branch is hoisted out of the leaf loop.
+		if v32 := t.vals32; v32 != nil {
+			for c := c0; c < c1; c++ {
+				j := int(leafIdx[c]) * R
+				simd.Axpy2(outLeaf[j:j+R], cp, dst, pk[j:j+R], float64(v32[c]))
+			}
+		} else {
+			for c := c0; c < c1; c++ {
+				j := int(leafIdx[c]) * R
+				simd.Axpy2(outLeaf[j:j+R], cp, dst, pk[j:j+R], t.vals[c])
 			}
 		}
 	} else {
@@ -493,21 +489,14 @@ func (w *csfWalker) walkAll(lv int, node int32, prefix, dst []float64) {
 		for c := c0; c < c1; c++ {
 			w.walkAll(lv+1, c, cp, cs)
 			j := int(cIdx[c]) * R
-			row := pk[j : j+R]
-			for r, fr := range row {
-				dst[r] += fr * cs[r]
-			}
+			simd.MulAdd(dst, pk[j:j+R], cs)
 		}
 	}
 	orow := w.outs[lv][i : i+R]
 	if prefix == nil {
-		for r, v := range dst {
-			orow[r] += v
-		}
+		simd.Add(orow, dst)
 	} else {
-		for r, v := range dst {
-			orow[r] += prefix[r] * v
-		}
+		simd.MulAdd(orow, prefix, dst)
 	}
 }
 
