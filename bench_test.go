@@ -23,6 +23,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/par"
 	"repro/internal/pebble"
+	"repro/internal/plan"
 	"repro/internal/seq"
 	"repro/internal/simnet"
 	"repro/internal/sparse"
@@ -441,6 +442,7 @@ func BenchmarkDimTreeAllModes(b *testing.B) {
 			outs := make([]*tensor.Matrix, N)
 			for n := 0; n < N; n++ {
 				outs[n] = tensor.NewMatrix(x.Dim(n), R)
+				kernel.FastInto(outs[n], x, fs, n, 0, ws) // grow the workspace to steady state
 			}
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
@@ -736,4 +738,114 @@ func BenchmarkObsOverhead(b *testing.B) {
 		defer obs.Disable()
 		run(b)
 	})
+}
+
+// benchCal is a fixed calibration for the planner benchmarks, so the
+// plans (and therefore what each sub-benchmark measures) are identical
+// across machines and runs — the point is to time the planned
+// configuration, not to re-measure the machine mid-benchmark.
+func benchCal() *plan.Calibration {
+	c := plan.Default()
+	c.Key = "bench: fixed planner calibration"
+	return c
+}
+
+// BenchmarkPlannedMTTKRP races the cost-model planner's pick against
+// each fixed engine on a dense all-modes sweep — the shape class where
+// the engine choice (independent fast kernels vs the dimension tree)
+// matters most. The "auto" sub-benchmark runs whatever the planner
+// picked; its time should track the best fixed engine within the
+// model's resolution.
+func BenchmarkPlannedMTTKRP(b *testing.B) {
+	dims := []int{64, 64, 64}
+	const R = 16
+	x := tensor.RandomDense(42, dims...)
+	fs := tensor.RandomFactors(43, dims, R)
+	prob := plan.Problem{Dims: dims, R: R, Mode: plan.AllModes, MaxWorkers: 1}
+	cal := benchCal()
+	inst := &plan.Instance{X: x, Factors: fs}
+	res := &plan.Result{}
+	for _, name := range plan.Engines() {
+		name := name
+		choice, err := plan.PlanEngine(name, prob, cal)
+		if err != nil {
+			continue // engine does not support this problem
+		}
+		eng, _ := plan.Lookup(name)
+		b.Run(name, func(b *testing.B) {
+			if err := eng.Prepare(prob, inst); err != nil {
+				b.Fatal(err)
+			}
+			eng.Run(prob, inst, res, choice.Workers) // reach steady state
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				eng.Run(prob, inst, res, choice.Workers)
+			}
+		})
+	}
+	b.Run("auto", func(b *testing.B) {
+		choice, err := plan.Plan(prob, cal)
+		if err != nil {
+			b.Fatal(err)
+		}
+		eng, _ := plan.Lookup(choice.Engine)
+		if err := eng.Prepare(prob, inst); err != nil {
+			b.Fatal(err)
+		}
+		eng.Run(prob, inst, res, choice.Workers)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			eng.Run(prob, inst, res, choice.Workers)
+		}
+	})
+}
+
+// BenchmarkSmallShapeCutover is the regression benchmark behind the
+// planner's small-shape guard. Each iteration is a one-shot all-modes
+// sweep on a fresh problem instance — engine setup included — because
+// that is what a planned command run pays: at 16^3 the whole sweep is
+// tens of microseconds, the dimension tree pays construction and
+// partial materialization up front, and the streaming cost model
+// cannot resolve differences at that scale, so the planner pins the
+// setup-free fast kernel there (and must still pick "tree" once the
+// tensor is large enough for the flop saving to dominate). The
+// fast/tree rows document the measured gap on the current machine;
+// the auto rows fail the benchmark if either cutover decision drifts.
+func BenchmarkSmallShapeCutover(b *testing.B) {
+	const R = 8
+	cal := benchCal()
+	oneShot := func(b *testing.B, eng plan.Engine, prob plan.Problem, x *tensor.Dense, fs []*tensor.Matrix) {
+		b.Helper()
+		for i := 0; i < b.N; i++ {
+			inst := &plan.Instance{X: x, Factors: fs}
+			if err := eng.Prepare(prob, inst); err != nil {
+				b.Fatal(err)
+			}
+			eng.Run(prob, inst, &plan.Result{}, 1)
+		}
+	}
+	for _, side := range []int{16, 64} {
+		side := side
+		dims := []int{side, side, side}
+		x := tensor.RandomDense(42, dims...)
+		fs := tensor.RandomFactors(43, dims, R)
+		prob := plan.Problem{Dims: dims, R: R, Mode: plan.AllModes, MaxWorkers: 1}
+		pre := sizeName("side", int64(side)) + "/"
+		for _, name := range []string{"fast", "tree"} {
+			eng, _ := plan.Lookup(name)
+			b.Run(pre+name, func(b *testing.B) { oneShot(b, eng, prob, x, fs) })
+		}
+		choice, err := plan.Plan(prob, cal)
+		if err != nil {
+			b.Fatal(err)
+		}
+		want := map[int]string{16: "fast", 64: "tree"}[side]
+		if choice.Engine != want {
+			b.Fatalf("planner picked %q for side=%d all-modes, want %q", choice.Engine, side, want)
+		}
+		eng, _ := plan.Lookup(choice.Engine)
+		b.Run(pre+"auto", func(b *testing.B) { oneShot(b, eng, prob, x, fs) })
+	}
 }

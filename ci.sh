@@ -51,7 +51,7 @@ echo "== go test -tags purego (simd + engine packages) =="
 go test -tags purego ./internal/simd/... ./internal/linalg/... ./internal/kernel/... ./internal/sparse/... ./internal/dimtree/...
 
 echo "== go test -race (engine packages) =="
-go test -race ./internal/kernel/... ./internal/seq/... ./internal/par/... ./internal/dimtree/... ./internal/cpals/... ./internal/sparse/... ./internal/linalg/... ./internal/obs/... ./internal/comm/...
+go test -race ./internal/kernel/... ./internal/seq/... ./internal/par/... ./internal/dimtree/... ./internal/cpals/... ./internal/sparse/... ./internal/linalg/... ./internal/obs/... ./internal/comm/... ./internal/plan/...
 
 echo "== instrumented smoke (obs bound ratios) =="
 # The blocked algorithm must land within a small constant of the best
@@ -76,5 +76,26 @@ echo "== sparse smoke (measured words == hypergraph metric) =="
 go run ./cmd/sparsemttkrp -side 20 -nnz 1500 -r 4 -p 8 -engine csf >/dev/null
 go run ./cmd/sparsemttkrp -side 20 -nnz 1500 -r 4 -p 8 -engine coo >/dev/null
 go run ./cmd/sparsemttkrp -side 20 -nnz 1500 -r 4 -p 8 -engine csf -dtype f32 >/dev/null
+
+echo "== planner smoke (-engine auto) =="
+# The cost-model planner is the default engine selector; it must
+# calibrate from scratch (REPRO_CALIBRATION points into the temp dir
+# so CI never reads or writes the user cache), produce a runnable
+# plan, and surface the decision in the JSON report's "plan" block.
+# The second mttkrp run exercises the calibration-cache hit path.
+REPRO_CALIBRATION="$obsdir/calibration.json" go run ./cmd/mttkrp \
+	-dims 32,32,32 -r 8 -mode 1 -obs-json "$obsdir/auto.json" >/dev/null
+grep -q '"plan"' "$obsdir/auto.json"
+REPRO_CALIBRATION="$obsdir/calibration.json" go run ./cmd/cpals \
+	-dims 24,24,24 -rank 4 -iters 3 -obs-json "$obsdir/auto-cpals.json" >/dev/null
+grep -q '"plan"' "$obsdir/auto-cpals.json"
+REPRO_CALIBRATION="$obsdir/calibration.json" go run ./cmd/sparsemttkrp \
+	-side 20 -nnz 1500 -r 4 -p 8 -obs-json "$obsdir/auto-sparse.json" >/dev/null
+grep -q '"plan"' "$obsdir/auto-sparse.json"
+
+echo "== benchmark archive gate (benchjson -compare) =="
+# The archived planner snapshot must stay within tolerance of the
+# archived simd snapshot on the benchmarks they share.
+go run ./cmd/benchjson -compare BENCH_2026-08-08-simd.json BENCH_2026-08-08-auto.json >/dev/null
 
 echo "ci: OK"

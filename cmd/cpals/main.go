@@ -27,6 +27,7 @@ import (
 	"repro/internal/cpals"
 	"repro/internal/dimtree"
 	"repro/internal/obs"
+	"repro/internal/plan"
 	"repro/internal/workload"
 )
 
@@ -38,20 +39,48 @@ func main() {
 	iters := flag.Int("iters", 30, "maximum ALS sweeps")
 	tol := flag.Float64("tol", 1e-8, "fit-improvement stopping tolerance")
 	gridFlag := flag.String("grid", "", "processor grid (e.g. 2,2,2); empty = sequential")
-	engine := flag.String("engine", "independent", "sequential MTTKRP engine: independent|tree")
+	engine := flag.String("engine", "auto", "sequential MTTKRP engine: auto (cost-model planner) | independent | tree")
 	workers := flag.Int("workers", 0, "MTTKRP goroutines (0 = package default)")
 	seed := flag.Int64("seed", 7, "seed")
 	obsFlag := flag.Bool("obs", false, "print the instrumented observability report")
 	obsJSON := flag.String("obs-json", "", "write the observability report as JSON to this path (- for stdout)")
 	flag.Parse()
 
-	if *engine != "independent" && *engine != "tree" {
-		fatal(fmt.Errorf("unknown -engine %q (want independent or tree)", *engine))
+	if *engine != "auto" && *engine != "independent" && *engine != "tree" {
+		fatal(fmt.Errorf("unknown -engine %q (want auto, independent, or tree)", *engine))
 	}
 
 	dims, err := parseInts(*dimsFlag)
 	if err != nil {
 		fatal(err)
+	}
+
+	// -engine auto (the default) asks the planner to choose between the
+	// per-mode independent kernels and the dimension-tree engine for
+	// the sequential solver, amortizing over the full ALS run (every
+	// sweep recomputes all modes). The parallel solver has one MTTKRP
+	// strategy, so auto degrades to independent there.
+	var planInfo *obs.PlanInfo
+	if *engine == "auto" {
+		if *gridFlag != "" {
+			*engine = "independent"
+		} else {
+			prob := plan.Problem{Dims: dims, R: *rank, Mode: plan.AllModes,
+				MaxWorkers: *workers, Reuses: *iters}
+			choice, _, err := plan.Auto(prob)
+			if err != nil {
+				fatal(err)
+			}
+			choice.Apply()
+			if choice.Engine == "tree" {
+				*engine = "tree"
+			} else {
+				*engine = "independent"
+			}
+			planInfo = choice.PlanInfo()
+			fmt.Printf("plan: engine=%s workers=%d kc=%d mc=%d\n",
+				*engine, choice.Workers, choice.GemmKC, choice.GemmMC)
+		}
 	}
 	inst, err := workload.Generate(workload.Spec{Dims: dims, R: *trueRank, Seed: *seed, Noise: *noise})
 	if err != nil {
@@ -70,6 +99,7 @@ func main() {
 			return
 		}
 		rep := obs.NewReport("cpals", algo, dims, *rank, -1, mach)
+		rep.Plan = planInfo
 		rep.FillFromCollector(col)
 		if mach.P > 0 {
 			rep.JoinParBounds(float64(mach.P), 0)

@@ -30,6 +30,7 @@ import (
 	"repro/internal/kernel"
 	"repro/internal/linalg"
 	"repro/internal/obs"
+	"repro/internal/plan"
 	"repro/internal/seq"
 	"repro/internal/tensor"
 	"repro/internal/workload"
@@ -41,6 +42,8 @@ func main() {
 	mode := flag.Int("mode", 0, "MTTKRP mode n")
 	algo := flag.String("algo", "blocked",
 		"algorithm: unblocked | blocked | seq-matmul | stationary | general | par-matmul | fast")
+	engine := flag.String("engine", "auto",
+		"engine selection when -algo is not given: auto (cost-model planner) | fast | fast32 | tree")
 	m := flag.Int64("m", 512, "fast memory words (sequential algorithms)")
 	p := flag.Int("p", 8, "processors (parallel algorithms)")
 	workers := flag.Int("workers", 0, "goroutines for -algo fast (0 = GOMAXPROCS)")
@@ -75,6 +78,23 @@ func main() {
 	}
 	var rep *obs.Report
 	runStart := time.Now()
+
+	// Without an explicit -algo, the run goes through the cost-model
+	// planner: -engine auto (the default) lets the planner pick the
+	// engine and worker count, a named engine fixes the engine but
+	// still plans workers and block sizes. An explicit -algo always
+	// takes the legacy path below, planner untouched.
+	algoSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "algo" {
+			algoSet = true
+		}
+	})
+	if !algoSet {
+		runPlanned(*engine, inst, dims, *r, *mode, *dtype, *workers, *m,
+			runStart, observing, col, *obsFlag, *obsJSON, *obsMax, *obsMin)
+		return
+	}
 
 	fmt.Printf("MTTKRP: dims=%v R=%d mode=%d algo=%s\n", dims, *r, *mode, *algo)
 	switch *algo {
@@ -210,6 +230,95 @@ func main() {
 	if rep != nil {
 		rep.WallNs = int64(time.Since(runStart))
 		finishObs(rep, *algo, *obsFlag, *obsJSON, *obsMax, *obsMin)
+	}
+}
+
+// runPlanned is the -engine path: plan, apply the tunables, prepare
+// the chosen engine, run one warm pass and one timed steady-state
+// pass, verify against the reference kernel, and report the plan next
+// to what was measured.
+func runPlanned(engineName string, inst *workload.Instance, dims []int, r, mode int,
+	dtype string, workers int, m int64, runStart time.Time,
+	observing bool, col *obs.Collector, human bool, jsonPath string, maxRatio, minRatio float64) {
+
+	prob := plan.Problem{Dims: dims, R: r, Mode: mode, MaxWorkers: workers}
+	switch dtype {
+	case "f64":
+		prob.DType = plan.F64
+	case "f32":
+		prob.DType = plan.F32
+	default:
+		fatal(fmt.Errorf("unknown dtype %q (want f64 or f32)", dtype))
+	}
+
+	cal := plan.LoadOrMeasure(plan.DefaultCachePath())
+	var choice plan.Choice
+	var err error
+	if engineName == "auto" {
+		choice, err = plan.Plan(prob, cal)
+	} else {
+		choice, err = plan.PlanEngine(engineName, prob, cal)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	choice.Apply()
+	eng, _ := plan.Lookup(choice.Engine)
+	pinst := &plan.Instance{X: inst.X, Factors: inst.Factors}
+	if err := eng.Prepare(prob, pinst); err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("MTTKRP: dims=%v R=%d mode=%d engine=%s (planned)\n", dims, r, mode, choice.Engine)
+	fmt.Printf("plan: workers=%d kc=%d mc=%d predicted=%v\n",
+		choice.Workers, choice.GemmKC, choice.GemmMC,
+		time.Duration(choice.Predicted.Seconds*1e9))
+
+	var res plan.Result
+	eng.Run(prob, pinst, &res, choice.Workers) // warm: grows outputs and workspaces
+
+	// Reference results and timing come before the collector reset so
+	// the measured counters cover exactly one steady-state engine pass.
+	t0 := time.Now()
+	ref := seq.Ref(inst.X, inst.Factors, mode)
+	tRef := time.Since(t0)
+	var ref32 *tensor.Matrix
+	if prob.DType == plan.F32 {
+		// The f32 path's reference runs on the exactly-widened float32
+		// inputs; the only extra rounding allowed is the float32 store.
+		wide := make([]*tensor.Matrix, len(pinst.Factors32))
+		for k, f := range pinst.Factors32 {
+			wide[k] = f.ToMatrix()
+		}
+		ref32 = seq.Ref(pinst.X32.ToDense(), wide, mode)
+	}
+
+	if observing {
+		col.Reset() // measure the steady-state run only
+	}
+	t0 = time.Now()
+	eng.Run(prob, pinst, &res, choice.Workers)
+	tEng := time.Since(t0)
+
+	if prob.DType == plan.F32 {
+		scale := 1e-5 * float64(inst.X.Elems()) / float64(dims[mode])
+		check(res.B32.MaxAbsDiff(ref32) <= scale)
+	} else {
+		check(res.B.EqualApprox(ref, 1e-9))
+	}
+	fmt.Printf("engine time    = %v\n", tEng)
+	fmt.Printf("reference time = %v\n", tRef)
+	fmt.Printf("speedup        = %.2fx\n", float64(tRef)/float64(tEng))
+
+	if observing {
+		rep := obs.NewReport("mttkrp", "auto:"+choice.Engine, dims, r, mode,
+			obs.Machine{M: m, Workers: choice.Workers})
+		rep.WordBytes = prob.DType.WordBytes()
+		rep.Plan = choice.PlanInfo()
+		rep.FillFromCollector(col)
+		rep.JoinSeqBounds(float64(m))
+		rep.WallNs = int64(time.Since(runStart))
+		finishObs(rep, "auto", human, jsonPath, maxRatio, minRatio)
 	}
 }
 

@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/plan"
 	"repro/internal/sparse"
 	"repro/internal/tensor"
 )
@@ -34,20 +35,41 @@ func main() {
 	r := flag.Int("r", 4, "rank R")
 	p := flag.Int("p", 8, "parts / processors")
 	seed := flag.Int64("seed", 21, "seed")
-	engineFlag := flag.String("engine", "csf", "parallel local engine: csf or coo")
+	engineFlag := flag.String("engine", "auto", "parallel local engine: auto (cost-model planner) | csf | coo")
 	workers := flag.Int("workers", 0, "CSF kernel workers in the sequential race (0 = GOMAXPROCS)")
 	dtype := flag.String("dtype", "f64", "value/factor storage precision: f64 | f32 (accumulation stays float64)")
 	obsFlag := flag.Bool("obs", false, "print the instrumented observability report")
 	obsJSON := flag.String("obs-json", "", "write the observability report as JSON to this path (- for stdout)")
 	flag.Parse()
 
-	engine, err := sparse.ParseEngine(*engineFlag)
+	dims := []int{*side, *side, *side}
+
+	// -engine auto routes the local-engine pick through the cost-model
+	// planner: csf vs coo decided from the nonzero count and rank, the
+	// CSF chunk tunable applied from the plan.
+	engineName := *engineFlag
+	var choice plan.Choice
+	planned := false
+	if engineName == "auto" {
+		prob := plan.Problem{Dims: dims, R: *r, Mode: 0, NNZ: int64(*nnz), MaxWorkers: *workers}
+		if *dtype == "f32" {
+			prob.DType = plan.F32
+		}
+		var err error
+		choice, _, err = plan.Auto(prob)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sparsemttkrp:", err)
+			os.Exit(2)
+		}
+		choice.Apply()
+		engineName = choice.Engine
+		planned = true
+	}
+	engine, err := sparse.ParseEngine(engineName)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sparsemttkrp:", err)
 		os.Exit(2)
 	}
-
-	dims := []int{*side, *side, *side}
 	fs := tensor.RandomFactors(*seed+1, dims, *r)
 
 	blocks := 8
@@ -99,6 +121,10 @@ func main() {
 		os.Exit(2)
 	}
 	fmt.Printf("Sparse MTTKRP (E19/E25): dims=%v R=%d P=%d engine=%v dtype=%s\n", dims, *r, *p, engine, *dtype)
+	if planned {
+		fmt.Printf("plan: engine=%s chunks=%d predicted=%v\n",
+			choice.Engine, choice.Chunks, time.Duration(choice.Predicted.Seconds*1e9))
+	}
 	fmt.Printf("sequential mode-0, nnz=%d: coo=%v csf=%v (build %v), max |diff| = %.3g\n\n",
 		uni.NNZ(), cooDur, csfDur, buildDur, bCSF.MaxAbsDiff(bCOO))
 	if d := bCSF.MaxAbsDiff(bCOO); d > tol {
@@ -150,6 +176,9 @@ func main() {
 				rep.SetMeasuredWords(res.TotalSent())
 				rep.FillFromCollector(col)
 				rep.JoinBound("hypergraph-lambda1", float64(vol))
+				if planned {
+					rep.Plan = choice.PlanInfo()
+				}
 			}
 		}
 	}

@@ -16,7 +16,9 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/linalg"
 	"repro/internal/obs"
+	"repro/internal/plan"
 	"repro/internal/tensor"
 	"repro/internal/tucker"
 )
@@ -24,6 +26,7 @@ import (
 func main() {
 	dimsFlag := flag.String("dims", "16,16,16", "tensor dimensions")
 	ranksFlag := flag.String("ranks", "3,3,3", "multilinear ranks")
+	engine := flag.String("engine", "auto", "GEMM tuning: auto (calibrated block sizes) | default")
 	gridFlag := flag.String("grid", "", "processor grid; empty = sequential")
 	iters := flag.Int("iters", 10, "HOOI sweeps")
 	noise := flag.Float64("noise", 0.01, "noise half-width")
@@ -42,6 +45,35 @@ func main() {
 	}
 	if len(ranks) != len(dims) {
 		fatal(fmt.Errorf("need one rank per mode"))
+	}
+
+	// HOOI's hot loop is mode-k unfoldings times factor panels. With
+	// -engine auto (the default) the calibrated planner sizes the GEMM
+	// panel blocks for the dominant unfolding: rows = largest mode,
+	// shared dimension = the rest of the tensor, columns = that mode's
+	// rank. The block pick depends only on the shape and the cached
+	// calibration, never on the worker count.
+	var planInfo *obs.PlanInfo
+	switch *engine {
+	case "auto":
+		elems := 1
+		maxMode := 0
+		for k, d := range dims {
+			elems *= d
+			if d > dims[maxMode] {
+				maxMode = k
+			}
+		}
+		cal := plan.LoadOrMeasure(plan.DefaultCachePath())
+		kc, mc := plan.PlanGEMM(dims[maxMode], elems/dims[maxMode], ranks[maxMode], cal)
+		linalg.SetBlockSizes(kc, mc)
+		planInfo = &obs.PlanInfo{Engine: "hooi", Workers: linalg.Workers(),
+			GemmKC: kc, GemmMC: mc, CalibrationKey: cal.Key}
+		fmt.Printf("plan: gemm blocks kc=%d mc=%d\n", kc, mc)
+	case "default":
+		// keep the package block sizes
+	default:
+		fatal(fmt.Errorf("unknown -engine %q (want auto or default)", *engine))
 	}
 
 	// Synthetic data: random core expanded by orthonormal factors,
@@ -74,6 +106,7 @@ func main() {
 			}
 		}
 		rep := obs.NewReport("tucker", algo, dims, maxRank, -1, mach)
+		rep.Plan = planInfo
 		rep.FillFromCollector(col)
 		emitReport(rep, *obsFlag, *obsJSON)
 	}

@@ -56,7 +56,7 @@ type Config struct {
 // DefaultConfig returns the configuration repolint ships with.
 func DefaultConfig() Config {
 	return Config{
-		EnginePackages: []string{"kernel", "dimtree", "seq", "par", "cpals", "sparse"},
+		EnginePackages: []string{"kernel", "dimtree", "seq", "par", "cpals", "sparse", "plan"},
 		ErrorAllowlist: []string{
 			"fmt.Print",
 			"fmt.Fprint",

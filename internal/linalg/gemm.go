@@ -30,16 +30,54 @@ import (
 )
 
 // Cache-blocking parameters: the A panel held hot across a column
-// sweep is gemmMC x gemmKC words (512 KiB at 8 bytes/word, sized for a
-// typical L2).
-const (
+// sweep is gemmMC x gemmKC words (512 KiB at 8 bytes/word by default,
+// sized for a typical L2). They are package variables — not constants
+// — so the cost-model planner (internal/plan) can retune them from
+// measured machine constants; see SetBlockSizes.
+var (
 	gemmKC = 256
 	gemmMC = 256
-
-	// gemmSmall is the flop threshold below which spawning goroutines
-	// costs more than it saves; such products run inline.
-	gemmSmall = 1 << 15
 )
+
+// gemmSmall is the flop threshold below which spawning goroutines
+// costs more than it saves; such products run inline.
+const gemmSmall = 1 << 15
+
+// blockMin/blockMax bound the settable cache-blocking extents: below
+// 16 the register tiles dominate and the panel bookkeeping is pure
+// overhead; above 4096 the panel no longer fits any realistic cache.
+const (
+	blockMin = 16
+	blockMax = 4096
+)
+
+// SetBlockSizes retunes the GEMM cache-blocking extents (the KC x MC
+// A-panel held hot across a column sweep). Values are clamped to
+// [16, 4096]; n <= 0 restores a dimension's default (256). The blocks
+// change the floating-point summation order, so they must be fixed
+// before a run and never derived from the worker count — that is what
+// keeps results bitwise independent of the parallelism. Not safe to
+// call concurrently with running kernels; set once at planning time.
+func SetBlockSizes(kc, mc int) {
+	gemmKC = clampBlock(kc)
+	gemmMC = clampBlock(mc)
+}
+
+// BlockSizes reports the current GEMM cache-blocking extents (KC, MC).
+func BlockSizes() (kc, mc int) { return gemmKC, gemmMC }
+
+func clampBlock(n int) int {
+	if n <= 0 {
+		return 256
+	}
+	if n < blockMin {
+		return blockMin
+	}
+	if n > blockMax {
+		return blockMax
+	}
+	return n
+}
 
 // defaultWorkers is the package-wide parallelism knob; 0 means
 // GOMAXPROCS at call time.

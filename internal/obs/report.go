@@ -55,7 +55,26 @@ type Report struct {
 	Bounds map[string]float64 `json:"bounds,omitempty"`
 	Ratios map[string]float64 `json:"ratios,omitempty"`
 
+	// Plan records the autotuner's decision when the run was planned
+	// (engine auto): what was picked and what the cost model predicted,
+	// so reports can compare predicted against measured traffic/time.
+	Plan *PlanInfo `json:"plan,omitempty"`
+
 	WallNs int64 `json:"wall_ns,omitempty"`
+}
+
+// PlanInfo is the planner decision attached to a report. It lives here
+// (rather than in internal/plan) so obs stays dependency-free: plan
+// imports obs, never the reverse.
+type PlanInfo struct {
+	Engine           string  `json:"engine"`
+	Workers          int     `json:"workers"`
+	GemmKC           int     `json:"gemm_kc,omitempty"`
+	GemmMC           int     `json:"gemm_mc,omitempty"`
+	Chunks           int     `json:"chunks,omitempty"`
+	PredictedWords   float64 `json:"predicted_words"`
+	PredictedSeconds float64 `json:"predicted_seconds"`
+	CalibrationKey   string  `json:"calibration_key,omitempty"`
 }
 
 // NewReport starts a report for one measured run.
@@ -182,6 +201,20 @@ func (r *Report) Format(w io.Writer) {
 	fmt.Fprintf(w, " allocs=%d bytes=%d\n", t.Allocs, t.Bytes)
 	for _, ps := range r.Phases {
 		fmt.Fprintf(w, "  phase %-14s count=%-6d total=%v\n", ps.Phase, ps.Count, time.Duration(ps.Nanos))
+	}
+	if p := r.Plan; p != nil {
+		fmt.Fprintf(w, "  plan: engine=%s workers=%d", p.Engine, p.Workers)
+		if p.GemmKC > 0 {
+			fmt.Fprintf(w, " kc=%d mc=%d", p.GemmKC, p.GemmMC)
+		}
+		if p.Chunks > 0 {
+			fmt.Fprintf(w, " chunks=%d", p.Chunks)
+		}
+		fmt.Fprintf(w, " predicted_words=%.4g", p.PredictedWords)
+		if p.PredictedSeconds > 0 {
+			fmt.Fprintf(w, " predicted=%v", time.Duration(p.PredictedSeconds*1e9))
+		}
+		fmt.Fprintln(w)
 	}
 	fmt.Fprintf(w, "  measured words moved = %d", r.MeasuredWords)
 	if r.WordBytes != 0 && r.WordBytes != 8 {

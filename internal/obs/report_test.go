@@ -105,3 +105,28 @@ func TestJoinParBoundsCubical(t *testing.T) {
 		t.Fatal("M>0 missing the Cor 4.1 bound")
 	}
 }
+
+// TestPlanInfoSerialization: a planned run's report carries the plan
+// block; an unplanned run's report omits it entirely (the golden
+// fixture above guards the omission byte-for-byte).
+func TestPlanInfoSerialization(t *testing.T) {
+	rep := goldenReport()
+	rep.Plan = &PlanInfo{
+		Engine: "tree", Workers: 4, GemmKC: 256, GemmMC: 128,
+		PredictedWords: 1.5e6, PredictedSeconds: 0.002, CalibrationKey: "k",
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"plan"`, `"engine": "tree"`, `"gemm_kc": 256`, `"predicted_words"`} {
+		if !bytes.Contains(buf.Bytes(), []byte(want)) {
+			t.Errorf("plan JSON missing %s:\n%s", want, buf.Bytes())
+		}
+	}
+	var text bytes.Buffer
+	rep.Format(&text)
+	if !bytes.Contains(text.Bytes(), []byte("plan: engine=tree workers=4")) {
+		t.Errorf("Format missing the plan line:\n%s", text.Bytes())
+	}
+}

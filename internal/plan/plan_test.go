@@ -1,0 +1,341 @@
+package plan
+
+import (
+	"testing"
+
+	"repro/internal/dimtree"
+	"repro/internal/kernel"
+	"repro/internal/linalg"
+	"repro/internal/sparse"
+	"repro/internal/tensor"
+	"repro/internal/workload"
+)
+
+// testCal is a fixed calibration so planner tests are machine- and
+// SIMD-path-independent (both paths share the same rates).
+func testCal() *Calibration {
+	return &Calibration{
+		Version:      calibrationVersion,
+		Key:          "fixture",
+		GOMAXPROCS:   8,
+		FlopsSIMD:    4e9,
+		FlopsScalar:  4e9,
+		StreamSIMD:   8e8,
+		StreamScalar: 8e8,
+		ParEff:       0.8,
+		MemEff:       0.3,
+		SpawnNs:      20000,
+		CacheWords:   1 << 16,
+	}
+}
+
+func TestPlanDeterministic(t *testing.T) {
+	p := Problem{Dims: []int{64, 64, 64}, R: 16, Mode: AllModes, MaxWorkers: 8}
+	cal := testCal()
+	a, err := Plan(p, cal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Plan(p, cal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b { //repro:bitwise the determinism contract under test: identical plans, floats included
+		t.Errorf("same problem, same calibration, different plans:\n%+v\n%+v", a, b)
+	}
+}
+
+// TestPlanTunablesIndependentOfWorkers: the bitwise worker-count-
+// independence guarantee requires that block sizes and chunk counts
+// never vary with the worker budget.
+func TestPlanTunablesIndependentOfWorkers(t *testing.T) {
+	shapes := []Problem{
+		{Dims: []int{128, 128, 128}, R: 16, Mode: AllModes},
+		{Dims: []int{1024, 16, 16}, R: 16, Mode: 0},
+		{Dims: []int{256, 256, 256}, R: 16, Mode: 0, NNZ: 1 << 20},
+	}
+	cal := testCal()
+	for _, p := range shapes {
+		var kc0, mc0, ch0 int
+		for i, w := range []int{1, 2, 3, 8} {
+			p.MaxWorkers = w
+			c, err := Plan(p, cal)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if i == 0 {
+				kc0, mc0, ch0 = c.GemmKC, c.GemmMC, c.Chunks
+				continue
+			}
+			if c.GemmKC != kc0 || c.GemmMC != mc0 || c.Chunks != ch0 {
+				t.Errorf("dims %v: tunables vary with MaxWorkers=%d: kc/mc/chunks %d/%d/%d vs %d/%d/%d",
+					p.Dims, w, c.GemmKC, c.GemmMC, c.Chunks, kc0, mc0, ch0)
+			}
+		}
+	}
+}
+
+func TestPlanSmallShapeCutover(t *testing.T) {
+	cal := testCal()
+	small := Problem{Dims: []int{16, 16, 16}, R: 8, Mode: AllModes, MaxWorkers: 8}
+	c, err := Plan(small, cal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Engine != "fast" {
+		t.Errorf("16^3 all-modes picked %q, want the fast-kernel cutover", c.Engine)
+	}
+	// Above the cutover the tree's reuse advantage must reassert itself.
+	big := Problem{Dims: []int{32, 32, 32, 32, 32}, R: 16, Mode: AllModes, MaxWorkers: 8}
+	c, err = Plan(big, cal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Engine != "tree" {
+		t.Errorf("32^5 all-modes picked %q, want tree", c.Engine)
+	}
+}
+
+func TestPlanGEMMRespectsBudget(t *testing.T) {
+	cal := testCal()
+	kc, mc := PlanGEMM(4096, 1<<20, 16, cal)
+	if kc*mc > cal.CacheWords {
+		t.Errorf("blocks %dx%d exceed the %d-word budget", kc, mc, cal.CacheWords)
+	}
+	if kc < 16 || mc < 16 {
+		t.Errorf("blocks %dx%d below the kernel minimum", kc, mc)
+	}
+}
+
+func TestChoiceApply(t *testing.T) {
+	kc0, mc0 := linalg.BlockSizes()
+	ch0 := sparse.Chunks()
+	defer func() {
+		linalg.SetBlockSizes(kc0, mc0)
+		sparse.SetChunks(ch0)
+	}()
+	Choice{GemmKC: 128, GemmMC: 512, Chunks: 64}.Apply()
+	if kc, mc := linalg.BlockSizes(); kc != 128 || mc != 512 {
+		t.Errorf("Apply left blocks at %dx%d", kc, mc)
+	}
+	if sparse.Chunks() != 64 {
+		t.Errorf("Apply left chunks at %d", sparse.Chunks())
+	}
+	// Zero fields leave the installed values untouched.
+	Choice{}.Apply()
+	if kc, mc := linalg.BlockSizes(); kc != 128 || mc != 512 {
+		t.Errorf("zero Choice reset blocks to %dx%d", kc, mc)
+	}
+}
+
+func TestPlanInfoRoundTrip(t *testing.T) {
+	c := Choice{Engine: "tree", Workers: 4, GemmKC: 256, GemmMC: 128, Chunks: 32,
+		Predicted: Cost{Words: 100, Flops: 200, Seconds: 0.5}, CalKey: "k"}
+	pi := c.PlanInfo()
+	if pi.Engine != "tree" || pi.Workers != 4 || pi.GemmKC != 256 || pi.GemmMC != 128 ||
+		pi.Chunks != 32 || pi.PredictedWords != 100 || pi.PredictedSeconds != 0.5 || pi.CalibrationKey != "k" { //repro:bitwise exact copy check on constants
+		t.Errorf("PlanInfo dropped fields: %+v", pi)
+	}
+}
+
+// denseProblem builds a small dense instance for engine-adapter tests.
+func denseProblem(t *testing.T, dims []int, R int) (Problem, *Instance) {
+	t.Helper()
+	w, err := workload.Generate(workload.Spec{Dims: dims, R: R, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := Problem{Dims: dims, R: R, Mode: AllModes, MaxWorkers: 4}
+	return p, &Instance{X: w.X, Factors: w.Factors}
+}
+
+func matricesEqual(t *testing.T, what string, got, want *tensor.Matrix) {
+	t.Helper()
+	gd, wd := got.Data(), want.Data()
+	if len(gd) != len(wd) {
+		t.Fatalf("%s: length %d vs %d", what, len(gd), len(wd))
+	}
+	for i := range gd {
+		if gd[i] != wd[i] { //repro:bitwise the adapters must reproduce the wrapped engines exactly
+			t.Fatalf("%s: element %d differs: %g vs %g", what, i, gd[i], wd[i])
+		}
+	}
+}
+
+// TestFastAdapterMatchesKernel: the planner adapter must be a zero-cost
+// shim — bitwise identical to calling the kernel directly.
+func TestFastAdapterMatchesKernel(t *testing.T) {
+	dims := []int{12, 10, 8}
+	p, inst := denseProblem(t, dims, 6)
+	p.Mode = 1
+	e, _ := Lookup("fast")
+	if err := e.Prepare(p, inst); err != nil {
+		t.Fatal(err)
+	}
+	var res Result
+	e.Run(p, inst, &res, 2)
+	want := kernel.FastWorkers(inst.X, inst.Factors, 1, 2)
+	matricesEqual(t, "fast mode 1", res.B, want)
+}
+
+func TestTreeAdapterMatchesDimtree(t *testing.T) {
+	dims := []int{10, 9, 8, 7}
+	p, inst := denseProblem(t, dims, 5)
+	e, _ := Lookup("tree")
+	if err := e.Prepare(p, inst); err != nil {
+		t.Fatal(err)
+	}
+	var res Result
+	e.Run(p, inst, &res, 2)
+	want := dimtree.AllModesWorkers(inst.X, inst.Factors, 2)
+	for n := range dims {
+		matricesEqual(t, "tree mode", res.All[n], want.B[n])
+	}
+}
+
+func TestCSFAdapterMatchesSparse(t *testing.T) {
+	coo := sparse.Random(11, 500, 40, 30, 20)
+	fs := tensor.RandomFactors(3, []int{40, 30, 20}, 8)
+	p := Problem{Dims: []int{40, 30, 20}, R: 8, Mode: 0, NNZ: 500, MaxWorkers: 4}
+	inst := &Instance{COO: coo, Factors: fs}
+	e, _ := Lookup("csf")
+	if err := e.Prepare(p, inst); err != nil {
+		t.Fatal(err)
+	}
+	var res Result
+	e.Run(p, inst, &res, 2)
+	want := sparse.FromCOO(coo, 0).MTTKRPWorkers(fs, 0, 2)
+	matricesEqual(t, "csf mode 0", res.B, want)
+}
+
+func TestCOOAdapterMatchesSparse(t *testing.T) {
+	coo := sparse.Random(13, 200, 24, 18, 12)
+	fs := tensor.RandomFactors(5, []int{24, 18, 12}, 4)
+	p := Problem{Dims: []int{24, 18, 12}, R: 4, Mode: 2, NNZ: 200, MaxWorkers: 1}
+	inst := &Instance{COO: coo, Factors: fs}
+	e, _ := Lookup("coo")
+	if err := e.Prepare(p, inst); err != nil {
+		t.Fatal(err)
+	}
+	var res Result
+	e.Run(p, inst, &res, 1)
+	matricesEqual(t, "coo mode 2", res.B, sparse.MTTKRP(coo, fs, 2))
+}
+
+// TestFast32AdapterMatchesKernel: the f32 adapter mirrors operands on
+// Prepare and must then match the direct f32 kernel bitwise.
+func TestFast32AdapterMatchesKernel(t *testing.T) {
+	dims := []int{12, 10, 8}
+	p, inst := denseProblem(t, dims, 6)
+	p.DType = F32
+	p.Mode = 0
+	e, _ := Lookup("fast32")
+	if err := e.Prepare(p, inst); err != nil {
+		t.Fatal(err)
+	}
+	var res Result
+	e.Run(p, inst, &res, 1)
+	want := kernel.Fast32(inst.X32, inst.Factors32, 0)
+	gd, wd := res.B32.Data(), want.Data()
+	if len(gd) != len(wd) {
+		t.Fatalf("length %d vs %d", len(gd), len(wd))
+	}
+	for i := range gd {
+		if gd[i] != wd[i] { //repro:bitwise the adapters must reproduce the wrapped engines exactly
+			t.Fatalf("element %d differs: %g vs %g", i, gd[i], wd[i])
+		}
+	}
+}
+
+// TestAdapterWorkerIndependence: runs at 1, 2, and 3 workers must be
+// bitwise identical through the planner adapters, preserving each
+// engine's determinism contract.
+func TestAdapterWorkerIndependence(t *testing.T) {
+	dims := []int{14, 12, 10}
+	p, inst := denseProblem(t, dims, 8)
+	for _, name := range []string{"fast", "tree"} {
+		e, _ := Lookup(name)
+		if err := e.Prepare(p, inst); err != nil {
+			t.Fatal(err)
+		}
+		var ref Result
+		e.Run(p, inst, &ref, 1)
+		refCopy := make([]*tensor.Matrix, len(dims))
+		for n := range refCopy {
+			refCopy[n] = tensor.NewMatrix(ref.All[n].Rows(), ref.All[n].Cols())
+			copy(refCopy[n].Data(), ref.All[n].Data())
+		}
+		for _, w := range []int{2, 3} {
+			var res Result
+			e.Run(p, inst, &res, w)
+			for n := range dims {
+				matricesEqual(t, name+" worker-independence", res.All[n], refCopy[n])
+			}
+		}
+	}
+}
+
+// TestAdapterZeroAllocSteadyState: after a warm first pass, Run must
+// not allocate — the planner must not tax the hot loops it schedules.
+func TestAdapterZeroAllocSteadyState(t *testing.T) {
+	dims := []int{16, 12, 10}
+	p, inst := denseProblem(t, dims, 8)
+	var res Result
+	for _, name := range []string{"fast", "tree"} {
+		e, _ := Lookup(name)
+		if err := e.Prepare(p, inst); err != nil {
+			t.Fatal(err)
+		}
+		e.Run(p, inst, &res, 1)                                                                  // warm: grows outputs and workspaces
+		if allocs := testing.AllocsPerRun(10, func() { e.Run(p, inst, &res, 1) }); allocs != 0 { //repro:bitwise exact allocation count
+			t.Errorf("%s: %v allocs/op in steady state, want 0", name, allocs)
+		}
+	}
+	// Sparse CSF path.
+	coo := sparse.Random(17, 400, 30, 24, 18)
+	fs := tensor.RandomFactors(9, []int{30, 24, 18}, 8)
+	sp := Problem{Dims: []int{30, 24, 18}, R: 8, Mode: 0, NNZ: 400}
+	sinst := &Instance{COO: coo, Factors: fs}
+	e, _ := Lookup("csf")
+	if err := e.Prepare(sp, sinst); err != nil {
+		t.Fatal(err)
+	}
+	var sres Result
+	e.Run(sp, sinst, &sres, 1)
+	if allocs := testing.AllocsPerRun(10, func() { e.Run(sp, sinst, &sres, 1) }); allocs != 0 { //repro:bitwise exact allocation count
+		t.Errorf("csf: %v allocs/op in steady state, want 0", allocs)
+	}
+}
+
+func TestPlanRejectsBadProblems(t *testing.T) {
+	cal := testCal()
+	bad := []Problem{
+		{Dims: []int{64}, R: 8, Mode: 0},               // order 1
+		{Dims: []int{64, 64}, R: 0, Mode: 0},           // rank 0
+		{Dims: []int{64, 64}, R: 8, Mode: 2},           // mode out of range
+		{Dims: []int{64, 0}, R: 8, Mode: 0},            // zero dim
+		{Dims: []int{64, 64}, R: 8, Mode: 0, NNZ: -1},  // negative nnz
+		{Dims: []int{64, 64}, R: 8, Mode: 0, DType: 9}, // no engine for dtype
+	}
+	for i, p := range bad {
+		if _, err := Plan(p, cal); err == nil {
+			t.Errorf("case %d: Plan accepted %+v", i, p)
+		}
+	}
+}
+
+func TestEnginesRegistry(t *testing.T) {
+	names := Engines()
+	want := []string{"fast", "fast32", "tree", "csf", "coo"}
+	if len(names) != len(want) {
+		t.Fatalf("registry %v, want %v", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("registry %v, want %v", names, want)
+		}
+	}
+	if _, ok := Lookup("nope"); ok {
+		t.Error("Lookup found a nonexistent engine")
+	}
+}

@@ -34,11 +34,34 @@ import (
 	"repro/internal/tensor"
 )
 
-// csfChunks is the fixed accumulation-bucket count of the parallel
-// CSF walk. It is a constant — never derived from the worker count —
-// so chunk boundaries, bucket contents, and the ReduceTree merge
-// order are identical no matter how many workers drain the queue.
-const csfChunks = 32
+// csfChunks is the accumulation-bucket count of the parallel CSF
+// walk. It is a package variable — settable by the cost-model planner
+// via SetChunks — but never derived from the worker count, so chunk
+// boundaries, bucket contents, and the ReduceTree merge order are
+// identical no matter how many workers drain the queue.
+var csfChunks = 32
+
+// SetChunks retunes the nnz-balanced chunk (accumulation-bucket)
+// count of the parallel CSF walk. More chunks smooth load imbalance
+// across skewed fiber trees at the price of more ReduceTree merge
+// traffic. n is clamped to [1, 1024]; n <= 0 restores the default
+// (32). The chunking changes private-bucket contents but not the
+// merge discipline, so results stay bitwise independent of the worker
+// count for any setting. Not safe to call concurrently with running
+// kernels; set once at planning time.
+func SetChunks(n int) {
+	switch {
+	case n <= 0:
+		csfChunks = 32
+	case n > 1024:
+		csfChunks = 1024
+	default:
+		csfChunks = n
+	}
+}
+
+// Chunks reports the current chunk count of the parallel CSF walk.
+func Chunks() int { return csfChunks }
 
 // csfWalker is one worker's traversal state: per-level output
 // buckets for the chunk in hand plus recursion scratch for the
