@@ -1,6 +1,9 @@
 #!/bin/sh
 # CI gate: formatting, vet, the repo's own static-analysis suite
-# (repolint), the full test suite on both dispatch paths (native simd
+# (repolint: hotpath-alloc, determinism, float-eq, errcheck-lite, and
+# the concurrency-contract analyzers goroutine-leak, waitgroup-misuse,
+# channel-discipline, lock-order, workspace-aliasing — all nine are
+# hard failures), the full test suite on both dispatch paths (native simd
 # and REPRO_NOSIMD=1 scalar), a purego-tag build+test (the no-assembly
 # configuration), then a race-detector pass over the packages with
 # goroutine-parallel accumulation and tree reductions (kernel, seq,

@@ -96,6 +96,7 @@ func main() {
 		col.Reset()
 		fmt.Fprintln(w, "collector reset")
 	})
+	//repro:ignore goroutine-leak process-lifetime HTTP daemon; serves until the process exits
 	go func() {
 		if err := http.ListenAndServe(*addr, nil); err != nil {
 			fatal(err)

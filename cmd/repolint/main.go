@@ -1,7 +1,8 @@
 // Command repolint runs the repo's static-analysis suite
-// (internal/analysis): hotpath-alloc, determinism, float-eq and
-// errcheck-lite, the invariants the engines rely on but the compiler
-// cannot check.
+// (internal/analysis): hotpath-alloc, determinism, float-eq,
+// errcheck-lite, goroutine-leak, waitgroup-misuse, channel-discipline,
+// lock-order and workspace-aliasing — the invariants the engines rely
+// on but the compiler cannot check.
 //
 // Usage:
 //
@@ -13,9 +14,15 @@
 // which files' diagnostics are reported. Exit status: 0 clean, 1
 // diagnostics reported, 2 load or usage error.
 //
-// With -json each diagnostic is printed as one JSON object per line:
+// With -json each diagnostic is printed as one JSON object per line
+// in the stable schema editor and CI integrations can rely on:
 //
-//	{"file":"internal/kernel/kernel.go","line":12,"col":3,"analyzer":"float-eq","message":"..."}
+//	{"tool":"repolint","rule":"float-eq","pos":{"file":"internal/kernel/kernel.go","line":12,"col":3},"message":"..."}
+//
+// tool is always "repolint"; rule is the analyzer name as listed
+// above; pos.file is slash-separated and relative to the module root;
+// pos.line and pos.col are 1-based. Fields are append-only: new keys
+// may be added in later versions, existing keys keep their meaning.
 package main
 
 import (
@@ -53,8 +60,10 @@ func main() {
 		n++
 		if *jsonOut {
 			if err := enc.Encode(jsonDiag{
-				File: d.Pos.Filename, Line: d.Pos.Line, Col: d.Pos.Column,
-				Analyzer: d.Analyzer, Message: d.Message,
+				Tool: "repolint",
+				Rule: d.Analyzer,
+				Pos:  jsonPos{File: d.Pos.Filename, Line: d.Pos.Line, Col: d.Pos.Column},
+				Msg:  d.Message,
 			}); err != nil {
 				fmt.Fprintln(os.Stderr, "repolint:", err)
 				os.Exit(2)
@@ -69,12 +78,19 @@ func main() {
 	}
 }
 
+// jsonDiag is the stable -json schema; see the command doc. Keys are
+// append-only across versions.
 type jsonDiag struct {
-	File     string `json:"file"`
-	Line     int    `json:"line"`
-	Col      int    `json:"col"`
-	Analyzer string `json:"analyzer"`
-	Message  string `json:"message"`
+	Tool string  `json:"tool"`
+	Rule string  `json:"rule"`
+	Pos  jsonPos `json:"pos"`
+	Msg  string  `json:"message"`
+}
+
+type jsonPos struct {
+	File string `json:"file"`
+	Line int    `json:"line"`
+	Col  int    `json:"col"`
 }
 
 // matchAny reports whether a root-relative file path matches any

@@ -1,0 +1,318 @@
+package analysis
+
+// WorkspaceAliasing guards the zero-alloc contract's sharpest edge.
+// The engine packages keep grow-only pooled workspaces (sparse's
+// Workspace, plan/seq scratch buffers) that are recycled across calls:
+// any slice carved out of one is only valid until the workspace is
+// released. A pooled slice that is stored to a heap location, returned
+// across the pool boundary, or captured by a goroutine that outlives
+// the call will silently read data from a LATER pass — a
+// use-after-recycle bug no race detector reports, because the memory
+// is never freed, only reused.
+//
+// The analyzer marks every slice expression rooted in a pool type (a
+// named struct called Workspace in an engine package, plus the named
+// struct types its fields transitively embed), propagates the taint
+// through local assignments and module-call arguments (SSA-lite
+// def-use + call graph), and classifies escapes with the lattice in
+// escape.go. Scope is the hot-path-reachable function set — the same
+// blast radius the allocation checker walks — because that is where
+// pooled workspaces circulate.
+//
+// Sanctioned escapes: growing a workspace in place (`ws.buf = ...`) is
+// a store back into the pool, not out of it; methods on pool types may
+// return their own buffers (the caller borrowed the workspace, the
+// slice has the same lifetime); goroutines that provably join before
+// the spawner returns only borrow; a //repro:worker-pool directive on
+// the spawn sanctions capture by the parked pool that owns the
+// workspace anyway.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// WorkspaceAliasing is the analyzer; see the file-level description.
+type WorkspaceAliasing struct {
+	// EnginePackages are the final import-path elements searched for
+	// pool types named Workspace.
+	EnginePackages []string
+}
+
+// Name implements Analyzer.
+func (WorkspaceAliasing) Name() string { return "workspace-aliasing" }
+
+// Run implements Analyzer.
+func (a WorkspaceAliasing) Run(prog *Program) []Diagnostic {
+	pools := poolTypes(prog, a.EnginePackages)
+	if len(pools) == 0 {
+		return nil
+	}
+	g := prog.CallGraph()
+	scope := g.hotReachable()
+	names := make([]string, 0, len(scope))
+	for name := range scope {
+		if g.funcs[name] != nil {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+
+	var diags []Diagnostic
+	report := func(pos token.Pos, format string, args ...any) {
+		diags = append(diags, Diagnostic{
+			Pos:      prog.Fset.Position(pos),
+			Analyzer: a.Name(),
+			Message:  fmt.Sprintf(format, args...),
+		})
+	}
+
+	// Interprocedural taint: parameter objects that receive pooled
+	// slices at some call site in scope. Grown to fixpoint; diagnostics
+	// are only emitted on the final pass so every tainted parameter is
+	// known by then.
+	taint := make(map[token.Pos]bool)
+	for pass := 0; pass < 4; pass++ {
+		grew := false
+		final := pass == 3
+		for _, name := range names {
+			fi := g.funcs[name]
+			grew = a.checkFunc(prog, g, fi, pools, taint, scope, final, report) || grew
+		}
+		if !grew && !final {
+			// Taint is stable: one reporting pass and done.
+			for _, name := range names {
+				fi := g.funcs[name]
+				a.checkFunc(prog, g, fi, pools, taint, scope, true, report)
+			}
+			break
+		}
+	}
+	return diags
+}
+
+// checkFunc propagates taint through one function and, on the final
+// pass, reports escapes. Returns whether the global taint set grew.
+func (a WorkspaceAliasing) checkFunc(prog *Program, g *callGraph, fi *funcInfo, pools map[string]bool, taint map[token.Pos]bool, scope map[string]bool, final bool, report func(token.Pos, string, ...any)) bool {
+	info := fi.pkg.Info
+
+	isSlice := func(e ast.Expr) bool {
+		tv, ok := info.Types[e]
+		if !ok {
+			return false
+		}
+		_, s := tv.Type.Underlying().(*types.Slice)
+		return s
+	}
+	// local holds objects tainted within this function body.
+	local := make(map[token.Pos]bool)
+	var marked func(e ast.Expr) bool
+	marked = func(e ast.Expr) bool {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.SliceExpr:
+			return marked(x.X)
+		case *ast.IndexExpr:
+			return isSlice(e) && marked(x.X)
+		case *ast.SelectorExpr:
+			return isSlice(e) && pools[namedTypeOf(info, x.X)]
+		case *ast.Ident:
+			if !isSlice(e) {
+				return false
+			}
+			obj := info.Uses[x]
+			if obj == nil {
+				obj = info.Defs[x]
+			}
+			return obj != nil && (local[objKey(obj)] || taint[objKey(obj)])
+		}
+		return false
+	}
+
+	// Propagate through local assignments to a (cheap) fixpoint: taint
+	// flows forward and bodies are short, so two sweeps settle the
+	// straight-line chains and the third confirms.
+	for i := 0; i < 3; i++ {
+		changed := false
+		ast.Inspect(fi.decl.Body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || len(as.Lhs) != len(as.Rhs) {
+				return true
+			}
+			for j, rhs := range as.Rhs {
+				if !marked(rhs) {
+					continue
+				}
+				id, ok := ast.Unparen(as.Lhs[j]).(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := info.Defs[id]
+				if obj == nil {
+					obj = info.Uses[id]
+				}
+				if obj != nil && !local[objKey(obj)] {
+					local[objKey(obj)] = true
+					changed = true
+				}
+			}
+			return true
+		})
+		if !changed {
+			break
+		}
+	}
+
+	grew := false
+	for _, site := range escapeSites(fi.decl.Body, info, marked) {
+		switch site.kind {
+		case escArg:
+			// Taint flows into module callees in scope; external and
+			// dynamic callees are an analysis horizon (stdlib helpers do
+			// not retain engine slices).
+			callee := g.funcs[calleeName(prog, site.call, info)]
+			if callee == nil {
+				continue
+			}
+			params := paramObjs(callee)
+			if site.argIdx < len(params) && params[site.argIdx] != nil {
+				k := objKey(params[site.argIdx])
+				if !taint[k] {
+					taint[k] = true
+					grew = true
+				}
+			}
+		case escStored:
+			if !final {
+				continue
+			}
+			// Storing back into a pool type is the grow-in-place idiom.
+			if dest, ok := ast.Unparen(site.dest).(*ast.SelectorExpr); ok && pools[namedTypeOf(info, dest.X)] {
+				continue
+			}
+			if base := innermostSelector(site.dest); base != nil && pools[namedTypeOf(info, base.X)] {
+				continue
+			}
+			report(site.node.Pos(), "pooled workspace slice stored to a heap location (%s); the pool recycles it and the store becomes a use-after-recycle — copy the data out instead", exprLabel(site.dest))
+		case escReturned:
+			if !final {
+				continue
+			}
+			// The pool boundary is the exported API: unexported helpers
+			// (grow primitives, chunk carvers) circulate slices within
+			// the pool scope, and their results flow back into pool
+			// fields at the call site.
+			if !fi.decl.Name.IsExported() {
+				continue
+			}
+			// Pool-type methods hand out their own buffers by design.
+			if rt := recvTypeName(fi); rt != "" && pools[rt] {
+				continue
+			}
+			report(site.node.Pos(), "pooled workspace slice returned past the pool boundary; the backing array is recycled on release — return a copy, or document ownership on the workspace type")
+		case escCaptured:
+			if !final {
+				continue
+			}
+			gs, ok := site.node.(*ast.GoStmt)
+			if !ok {
+				continue
+			}
+			pos := prog.Fset.Position(gs.Pos())
+			if prog.Directives.WorkerPool(pos) {
+				continue // the parked pool owns the workspace anyway
+			}
+			if goroutineJoined(prog, g, fi.pkg, fi.decl, gs) {
+				continue // the goroutine is over before the frame returns
+			}
+			report(gs.Pos(), "pooled workspace slice captured by a goroutine with no reachable join; the goroutine can outlive the pool's recycle — join it or mark the pool with //repro:worker-pool")
+		}
+	}
+	return grew
+}
+
+// poolTypes collects the qualified names of pooled workspace types:
+// named structs called Workspace declared in engine packages, plus the
+// module-internal named struct types their fields reference
+// (transitively), since a slice reached through an embedded helper
+// struct shares the workspace's lifetime.
+func poolTypes(prog *Program, enginePkgs []string) map[string]bool {
+	engine := make(map[string]bool, len(enginePkgs))
+	for _, p := range enginePkgs {
+		engine[p] = true
+	}
+	pools := make(map[string]bool)
+	var queue []*types.Named
+	for _, pkg := range prog.Pkgs {
+		parts := strings.Split(pkg.Path, "/")
+		if !engine[parts[len(parts)-1]] {
+			continue
+		}
+		obj := pkg.Types.Scope().Lookup("Workspace")
+		tn, ok := obj.(*types.TypeName)
+		if !ok {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok {
+			continue
+		}
+		if _, isStruct := named.Underlying().(*types.Struct); !isStruct {
+			continue
+		}
+		q := tn.Pkg().Path() + "." + tn.Name()
+		if !pools[q] {
+			pools[q] = true
+			queue = append(queue, named)
+		}
+	}
+	// Transitive closure over field types.
+	for len(queue) > 0 {
+		named := queue[0]
+		queue = queue[1:]
+		st, ok := named.Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			for _, fn := range namedStructsIn(st.Field(i).Type()) {
+				if fn.Obj().Pkg() == nil || !strings.HasPrefix(fn.Obj().Pkg().Path(), prog.ModulePath) {
+					continue
+				}
+				q := fn.Obj().Pkg().Path() + "." + fn.Obj().Name()
+				if !pools[q] {
+					pools[q] = true
+					queue = append(queue, fn)
+				}
+			}
+		}
+	}
+	return pools
+}
+
+// namedStructsIn peels containers (slices, arrays, pointers, maps) off
+// a field type and returns the named struct types inside.
+func namedStructsIn(t types.Type) []*types.Named {
+	for {
+		switch u := t.(type) {
+		case *types.Slice:
+			t = u.Elem()
+		case *types.Array:
+			t = u.Elem()
+		case *types.Pointer:
+			t = u.Elem()
+		case *types.Map:
+			t = u.Elem()
+		default:
+			if named, ok := t.(*types.Named); ok {
+				if _, isStruct := named.Underlying().(*types.Struct); isStruct {
+					return []*types.Named{named}
+				}
+			}
+			return nil
+		}
+	}
+}

@@ -4,17 +4,28 @@
 // imports are type-checked from source) and runs analyzers that
 // enforce the engine invariants the compiler cannot see:
 //
-//	hotpath-alloc   //repro:hotpath functions and their static callees
-//	                within the module stay allocation-free
-//	determinism     engine packages stay run-to-run and
-//	                worker-count reproducible
-//	float-eq        no raw float ==/!= outside sanctioned
-//	                //repro:bitwise sites
-//	errcheck-lite   no silently discarded error returns
+//	hotpath-alloc       //repro:hotpath functions and their static
+//	                    callees within the module stay allocation-free
+//	determinism         engine packages stay run-to-run and
+//	                    worker-count reproducible
+//	float-eq            no raw float ==/!= outside sanctioned
+//	                    //repro:bitwise sites
+//	errcheck-lite       no silently discarded error returns
+//	goroutine-leak      every go statement reaches a join, or is an
+//	                    audited //repro:worker-pool / daemon
+//	waitgroup-misuse    Add before spawn and Wait, no WaitGroup copies
+//	channel-discipline  sends have receivers, one close, owner closes
+//	lock-order          global mutex acquisition order is acyclic and
+//	                    every Lock is matched by an Unlock
+//	workspace-aliasing  pooled workspace slices never outlive the pool
+//	                    (not stored, returned, or captured unjoined)
 //
-// Diagnostics carry file:line:col positions relative to the module
-// root and can be suppressed per line or per function with
-// //repro:ignore (see directives.go for the full vocabulary).
+// The concurrency analyzers share an SSA-lite dataflow layer (ssa.go,
+// callgraph.go, escape.go): flow-insensitive def-use chains over
+// go/types, a module-internal static call graph, and a conservative
+// escape lattice. Diagnostics carry file:line:col positions relative
+// to the module root and can be suppressed per line or per function
+// with //repro:ignore (see directives.go for the full vocabulary).
 package analysis
 
 import (
@@ -73,6 +84,11 @@ func DefaultAnalyzers(cfg Config) []Analyzer {
 		Determinism{EnginePackages: cfg.EnginePackages},
 		FloatEq{TestScope: cfg.EnginePackages},
 		ErrcheckLite{Allowlist: cfg.ErrorAllowlist},
+		GoroutineLeak{},
+		WaitGroupMisuse{},
+		ChannelDiscipline{},
+		LockOrder{},
+		WorkspaceAliasing{EnginePackages: cfg.EnginePackages},
 	}
 }
 

@@ -1,0 +1,414 @@
+package analysis
+
+// ChannelDiscipline enforces the ownership rules the engine packages
+// follow for channels:
+//
+//   - a channel someone sends on must have a receiver somewhere in the
+//     analyzed graph, or every send blocks forever (a goroutine leak
+//     with extra steps);
+//   - a channel is closed at most one static site — a second close
+//     panics at run time;
+//   - only the owner closes: the function that made the channel, or a
+//     method of the type holding it as a field. Closing a channel that
+//     arrived as a parameter hands the panic to someone else's send.
+//
+// The pass is built on the SSA-lite aliasing machinery: every channel
+// operation (make, send, receive, close, range, select case) is
+// indexed by the base object's cross-unit key, and keys are unified
+// with union-find across assignments, range bindings, and
+// argument-to-parameter edges of module calls. A group that escapes
+// the analysis horizon — passed to an external function, returned,
+// sent over another channel — is dropped entirely rather than
+// half-diagnosed: conservative means silent, not wrong.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// ChannelDiscipline is the analyzer; see the file-level description.
+type ChannelDiscipline struct{}
+
+// Name implements Analyzer.
+func (ChannelDiscipline) Name() string { return "channel-discipline" }
+
+// chanEvent is one channel operation.
+type chanEvent struct {
+	kind string // "make", "send", "recv", "close"
+	pos  token.Pos
+	fn   *funcInfo // enclosing function
+	// close bookkeeping
+	baseIsParam bool
+	// make bookkeeping: the named type owning the field the channel was
+	// stored into ("" for locals).
+	fieldOwner string
+}
+
+// chanIndex accumulates per-group state over the whole program.
+type chanIndex struct {
+	prog   *Program
+	g      *callGraph
+	parent map[token.Pos]token.Pos
+	events map[token.Pos][]chanEvent
+	escape map[token.Pos]bool
+}
+
+func (ci *chanIndex) find(k token.Pos) token.Pos {
+	for ci.parent[k] != 0 && ci.parent[k] != k {
+		ci.parent[k] = ci.parent[ci.parent[k]] // path halving
+		k = ci.parent[k]
+	}
+	if ci.parent[k] == 0 {
+		ci.parent[k] = k
+	}
+	return k
+}
+
+func (ci *chanIndex) union(a, b token.Pos) {
+	ra, rb := ci.find(a), ci.find(b)
+	if ra != rb {
+		if ra > rb {
+			ra, rb = rb, ra
+		}
+		ci.parent[rb] = ra // deterministic: lowest position is the root
+	}
+}
+
+// Run implements Analyzer.
+func (a ChannelDiscipline) Run(prog *Program) []Diagnostic {
+	ci := &chanIndex{
+		prog:   prog,
+		g:      prog.CallGraph(),
+		parent: make(map[token.Pos]token.Pos),
+		events: make(map[token.Pos][]chanEvent),
+		escape: make(map[token.Pos]bool),
+	}
+	for _, fi := range ci.sortedFuncs() {
+		ci.scanFunc(fi)
+	}
+
+	// Fold events and escapes into union-find groups.
+	groups := make(map[token.Pos][]chanEvent)
+	escaped := make(map[token.Pos]bool)
+	for k, evs := range ci.events {
+		groups[ci.find(k)] = append(groups[ci.find(k)], evs...)
+	}
+	for k, esc := range ci.escape {
+		if esc {
+			escaped[ci.find(k)] = true
+		}
+	}
+
+	var diags []Diagnostic
+	report := func(pos token.Pos, format string, args ...any) {
+		diags = append(diags, Diagnostic{
+			Pos:      prog.Fset.Position(pos),
+			Analyzer: a.Name(),
+			Message:  fmt.Sprintf(format, args...),
+		})
+	}
+	roots := make([]token.Pos, 0, len(groups))
+	for r := range groups {
+		roots = append(roots, r)
+	}
+	sort.Slice(roots, func(i, j int) bool { return roots[i] < roots[j] })
+	for _, root := range roots {
+		evs := groups[root]
+		sort.Slice(evs, func(i, j int) bool { return evs[i].pos < evs[j].pos })
+		var makes, sends, recvs, closes []chanEvent
+		for _, e := range evs {
+			switch e.kind {
+			case "make":
+				makes = append(makes, e)
+			case "send":
+				sends = append(sends, e)
+			case "recv":
+				recvs = append(recvs, e)
+			case "close":
+				closes = append(closes, e)
+			}
+		}
+
+		// Rule 3 applies even to escaped groups: closing a parameter is
+		// wrong regardless of what else happens to the channel.
+		for _, c := range closes {
+			if c.baseIsParam {
+				report(c.pos, "close of a channel received as a parameter; only the owner (the maker) closes — signal shutdown another way")
+			}
+		}
+		if escaped[root] || len(makes) == 0 {
+			continue // beyond the analysis horizon: no further claims
+		}
+
+		// Rule 1: sends with no receiver anywhere in the group.
+		if len(sends) > 0 && len(recvs) == 0 {
+			for _, s := range sends {
+				report(s.pos, "send on a channel with no reachable receiver in the call graph; every send will block forever")
+			}
+		}
+
+		// Rule 2: more than one static close site.
+		if len(closes) > 1 {
+			first := prog.Fset.Position(closes[0].pos)
+			for _, c := range closes[1:] {
+				report(c.pos, "channel closed at more than one site (first close at %s:%d); a second close panics", first.Filename, first.Line)
+			}
+		}
+
+		// Rule 3b: close outside the owner scope.
+		for _, c := range closes {
+			if c.baseIsParam || ownerCloses(makes, c) {
+				continue
+			}
+			maker := prog.Fset.Position(makes[0].pos)
+			report(c.pos, "channel closed outside its owner (made at %s:%d); move the close to the maker or a method of the owning type", maker.Filename, maker.Line)
+		}
+	}
+	return diags
+}
+
+// sortedFuncs returns the call graph's functions in deterministic
+// order.
+func (ci *chanIndex) sortedFuncs() []*funcInfo {
+	names := make([]string, 0, len(ci.g.funcs))
+	for name := range ci.g.funcs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]*funcInfo, 0, len(names))
+	for _, name := range names {
+		out = append(out, ci.g.funcs[name])
+	}
+	return out
+}
+
+// scanFunc indexes every channel operation in one function body.
+func (ci *chanIndex) scanFunc(fi *funcInfo) {
+	info := fi.pkg.Info
+	isChan := func(e ast.Expr) bool {
+		tv, ok := info.Types[e]
+		if !ok {
+			return false
+		}
+		_, isC := tv.Type.Underlying().(*types.Chan)
+		return isC
+	}
+	key := func(e ast.Expr) token.Pos {
+		return objKey(baseObj(e, info))
+	}
+	add := func(k token.Pos, ev chanEvent) {
+		if k == token.NoPos {
+			return
+		}
+		ev.fn = fi
+		ci.events[k] = append(ci.events[k], ev)
+	}
+	recordAssign := func(lhs, rhs ast.Expr) {
+		if !isChan(ast.Unparen(rhs)) && !isChan(ast.Unparen(lhs)) {
+			return
+		}
+		lk := key(lhs)
+		if lk == token.NoPos {
+			return
+		}
+		switch r := ast.Unparen(rhs).(type) {
+		case *ast.CallExpr:
+			if b, ok := calleeObject(r, info).(*types.Builtin); ok && b.Name() == "make" {
+				owner := ""
+				if sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr); ok {
+					owner = namedTypeOf(info, sel.X)
+				} else if ie, ok := ast.Unparen(lhs).(*ast.IndexExpr); ok {
+					// Chasing e.g. n.chans[i][j]: the field's owner.
+					if sel := innermostSelector(ie); sel != nil {
+						owner = namedTypeOf(info, sel.X)
+					}
+				}
+				add(lk, chanEvent{kind: "make", pos: r.Pos(), fieldOwner: owner})
+				return
+			}
+			// A channel produced by some other call: unknown provenance.
+			ci.escape[lk] = true
+		case *ast.Ident, *ast.SelectorExpr, *ast.IndexExpr, *ast.SliceExpr:
+			if rk := key(r); rk != token.NoPos {
+				ci.union(lk, rk)
+			} else {
+				ci.escape[lk] = true
+			}
+		case *ast.UnaryExpr:
+			if r.Op == token.ARROW {
+				ci.escape[lk] = true // a channel received over a channel
+			}
+		default:
+			// nil assignment, literals: nothing to track.
+		}
+	}
+	ast.Inspect(fi.decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) == len(n.Rhs) {
+				for i := range n.Lhs {
+					recordAssign(n.Lhs[i], n.Rhs[i])
+				}
+			} else if len(n.Rhs) == 1 {
+				for _, lhs := range n.Lhs {
+					if isChan(ast.Unparen(lhs)) {
+						ci.escape[key(lhs)] = true // multi-value unpacking: unknown
+					}
+				}
+			}
+		case *ast.ValueSpec:
+			for i, name := range n.Names {
+				if i < len(n.Values) {
+					recordAssign(name, n.Values[i])
+				}
+			}
+		case *ast.SendStmt:
+			add(key(n.Chan), chanEvent{kind: "send", pos: n.Pos()})
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				add(key(n.X), chanEvent{kind: "recv", pos: n.Pos()})
+			}
+		case *ast.RangeStmt:
+			if isChan(n.X) {
+				add(key(n.X), chanEvent{kind: "recv", pos: n.Pos()})
+			} else if n.Value != nil && isChan(n.Value) {
+				// ranging a collection of channels aliases the element
+				// to the collection's base object.
+				if vk, xk := key(n.Value), key(n.X); vk != token.NoPos && xk != token.NoPos {
+					ci.union(vk, xk)
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, r := range n.Results {
+				if isChan(r) {
+					if rk := key(r); rk != token.NoPos {
+						ci.escape[rk] = true
+					}
+				}
+			}
+		case *ast.CallExpr:
+			ci.scanCall(fi, n, isChan, key, add)
+		}
+		return true
+	})
+}
+
+// scanCall handles close() and channel-valued arguments.
+func (ci *chanIndex) scanCall(fi *funcInfo, call *ast.CallExpr, isChan func(ast.Expr) bool, key func(ast.Expr) token.Pos, add func(token.Pos, chanEvent)) {
+	info := fi.pkg.Info
+	if b, ok := calleeObject(call, info).(*types.Builtin); ok {
+		if b.Name() == "close" && len(call.Args) == 1 {
+			base := baseObj(call.Args[0], info)
+			isParam := false
+			if v, ok := base.(*types.Var); ok && !v.IsField() {
+				isParam = isParamOf(fi, v)
+			}
+			add(objKey(base), chanEvent{kind: "close", pos: call.Pos(), baseIsParam: isParam})
+		}
+		return
+	}
+	// Channel arguments: union with a module callee's parameters, or
+	// mark escaped for callees beyond the horizon.
+	name := calleeName(ci.prog, call, info)
+	var params []types.Object
+	if fi2 := ci.g.funcs[name]; fi2 != nil {
+		params = paramObjs(fi2)
+	}
+	for i, arg := range call.Args {
+		if !isChan(arg) {
+			continue
+		}
+		ak := key(arg)
+		if ak == token.NoPos {
+			continue
+		}
+		if i < len(params) && params[i] != nil {
+			ci.union(ak, objKey(params[i]))
+		} else {
+			ci.escape[ak] = true
+		}
+	}
+}
+
+// ownerCloses reports whether a close site is within the owner scope
+// of the group: the function containing a make, or a method of the
+// type holding the channel field.
+func ownerCloses(makes []chanEvent, c chanEvent) bool {
+	for _, m := range makes {
+		if m.fn == c.fn {
+			return true
+		}
+		if m.fieldOwner != "" && c.fn != nil && recvTypeName(c.fn) == m.fieldOwner {
+			return true
+		}
+	}
+	return false
+}
+
+// isParamOf reports whether v is a declared parameter of fi.
+func isParamOf(fi *funcInfo, v *types.Var) bool {
+	for _, p := range paramObjs(fi) {
+		if p == v {
+			return true
+		}
+	}
+	return false
+}
+
+// recvTypeName returns the qualified name of a method's receiver base
+// type, or "".
+func recvTypeName(fi *funcInfo) string {
+	sig, ok := fi.obj.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	return named.Obj().Pkg().Path() + "." + named.Obj().Name()
+}
+
+// namedTypeOf returns the qualified named type of an expression (after
+// pointer indirection), or "".
+func namedTypeOf(info *types.Info, e ast.Expr) string {
+	tv, ok := info.Types[e]
+	if !ok {
+		return ""
+	}
+	t := tv.Type
+	for {
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+			continue
+		}
+		break
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return ""
+	}
+	return named.Obj().Pkg().Path() + "." + named.Obj().Name()
+}
+
+// innermostSelector digs the selector expression out of nested index
+// expressions (n.chans[i][j] -> n.chans).
+func innermostSelector(e ast.Expr) *ast.SelectorExpr {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			return x
+		default:
+			return nil
+		}
+	}
+}

@@ -24,7 +24,16 @@ import (
 //     inside a `go` closure, unless the enclosing function merges the
 //     private buffers through kernel.ReduceTree — the engines'
 //     worker-count-independent reduction. Disjoint plain writes
-//     (out[w] = ...) are fine; shared read-modify-write is not.
+//     (out[w] = ...) are fine; shared read-modify-write is not;
+//  4. accumulating inside a select with more than one communication
+//     case: when several cases are ready the runtime picks uniformly
+//     at random, so the accumulation order differs run to run (drain
+//     the channels in a fixed order instead);
+//  5. lock-free float accumulation — a compare-and-swap retry loop
+//     round-tripping through math.Float64bits/Float64frombits —
+//     which commits contributions in completion order and is neither
+//     run-to-run nor worker-count reproducible. Integer atomics
+//     (counters, tokens, queue cursors) are exact and exempt.
 type Determinism struct {
 	// EnginePackages are final import-path elements to cover.
 	EnginePackages []string
@@ -108,6 +117,34 @@ func (a Determinism) checkFunc(prog *Program, pkg *Package, fd *ast.FuncDecl) []
 				}
 				report(n, "global math/rand generator is unseeded and process-global; use rand.New(rand.NewSource(seed))")
 			}
+		case *ast.SelectStmt:
+			comm := 0
+			for _, cl := range n.Body.List {
+				if cc, ok := cl.(*ast.CommClause); ok && cc.Comm != nil {
+					comm++
+				}
+			}
+			if comm < 2 {
+				break // one case (plus optional default) has a fixed order
+			}
+			for _, cl := range n.Body.List {
+				cc, ok := cl.(*ast.CommClause)
+				if !ok || cc.Comm == nil {
+					continue
+				}
+				for _, stmt := range cc.Body {
+					ast.Inspect(stmt, func(m ast.Node) bool {
+						if as, ok := m.(*ast.AssignStmt); ok && isCompound(as.Tok) {
+							report(as, "accumulation inside a select with %d communication cases; the runtime picks ready cases at random, so the order differs run to run — drain channels in a fixed order", comm)
+						}
+						return true
+					})
+				}
+			}
+		case *ast.ForStmt:
+			if cas := floatCASIn(n.Body, info); cas != nil {
+				report(cas, "compare-and-swap float accumulation commits in completion order and is not worker-count reproducible; accumulate into private buffers and merge with kernel.ReduceTree")
+			}
 		case *ast.GoStmt:
 			lit, ok := n.Call.Fun.(*ast.FuncLit)
 			if !ok || reduces {
@@ -177,6 +214,45 @@ func callsReduceTree(body *ast.BlockStmt, info *types.Info) bool {
 		return !found
 	})
 	return found
+}
+
+// floatCASIn returns the compare-and-swap call of a lock-free float
+// accumulation loop: a body that both calls an atomic CompareAndSwap
+// (package function or atomic.Uint32/Uint64 method) and round-trips
+// through math.Float32/64bits/frombits. Either ingredient alone is
+// innocent — integer CAS is exact, and bit inspection without CAS is
+// not accumulation — so both must be present.
+func floatCASIn(body *ast.BlockStmt, info *types.Info) *ast.CallExpr {
+	var cas *ast.CallExpr
+	floatBits := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		obj, _ := calleeObject(call, info).(*types.Func)
+		if obj == nil || obj.Pkg() == nil {
+			return true
+		}
+		switch obj.Pkg().Path() {
+		case "sync/atomic":
+			if strings.HasPrefix(obj.Name(), "CompareAndSwap") || obj.Name() == "CompareAndSwap" {
+				if cas == nil {
+					cas = call
+				}
+			}
+		case "math":
+			switch obj.Name() {
+			case "Float64bits", "Float64frombits", "Float32bits", "Float32frombits":
+				floatBits = true
+			}
+		}
+		return true
+	})
+	if cas != nil && floatBits {
+		return cas
+	}
+	return nil
 }
 
 // recvIsRand reports whether a function is a method on a math/rand

@@ -34,6 +34,20 @@ import (
 //	    through it, and every module function assigned to it joins
 //	    the hot-path walk; calls through any other package-level
 //	    function variable are diagnosed.
+//
+//	//repro:worker-pool [justification]
+//	    On a `go` statement's line (or the line above), or on the
+//	    spawning function's doc comment: the spawned goroutines are a
+//	    parked worker pool by design — they outlive the spawning call
+//	    and wake on tokens (e.g. internal/sparse's token-woken CSF
+//	    pool). Exempts the goroutine-leak analyzer's join requirement
+//	    and sanctions pooled-workspace capture by the pool's workers.
+//
+//	//repro:besteffort [justification]
+//	    On a statement's line (or the line above), or on a function's
+//	    doc comment: the discarded error there is best-effort by
+//	    design (e.g. closing a trace file at process exit). Exempts
+//	    errcheck-lite, including the writable defer-Close rule.
 type directive struct {
 	verb string   // "hotpath", "bitwise", "ignore"
 	args []string // analyzer names for "ignore"
@@ -142,6 +156,18 @@ func (d *Directives) Ignored(pos token.Position, analyzer string) bool {
 // line, line above, or enclosing function doc).
 func (d *Directives) Bitwise(pos token.Position) bool {
 	return d.match(pos, func(dir directive) bool { return dir.verb == "bitwise" })
+}
+
+// WorkerPool reports whether a //repro:worker-pool sanction covers pos
+// (same line, line above, or enclosing function doc).
+func (d *Directives) WorkerPool(pos token.Position) bool {
+	return d.match(pos, func(dir directive) bool { return dir.verb == "worker-pool" })
+}
+
+// BestEffort reports whether a //repro:besteffort sanction covers pos
+// (same line, line above, or enclosing function doc).
+func (d *Directives) BestEffort(pos token.Position) bool {
+	return d.match(pos, func(dir directive) bool { return dir.verb == "besteffort" })
 }
 
 func (d *Directives) match(pos token.Position, pred func(directive) bool) bool {

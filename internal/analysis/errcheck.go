@@ -10,9 +10,18 @@ import (
 // whose result set includes an error used as a bare statement, or
 // behind go/defer. Explicit discards (_ = f()) are visible in review
 // and allowed. Exemptions: the main and init functions of main
-// packages (process exit is the error handler there) and callees on
+// packages (process exit is the error handler there), callees on
 // the configured allowlist (best-effort writers like fmt.Print* and
-// in-memory buffers whose errors are unreachable).
+// in-memory buffers whose errors are unreachable), and statements
+// covered by a //repro:besteffort directive.
+//
+// Deferred Close gets provenance-aware treatment through the SSA-lite
+// def-use index: `defer f.Close()` is exempt when every definition of
+// f traces to os.Open — closing a read-only file cannot lose data, and
+// the idiom is universal. A handle that was (or may have been) opened
+// for writing — os.Create, os.OpenFile, net.Dial, or unknown
+// provenance — keeps the diagnostic: Close is where buffered writes
+// surface their errors, and dropping it can silently truncate output.
 type ErrcheckLite struct {
 	// Allowlist holds qualified-name prefixes, e.g. "fmt.Print" or
 	// "(*bytes.Buffer).".
@@ -36,8 +45,10 @@ func (a ErrcheckLite) Run(prog *Program) []Diagnostic {
 				if isMain && fd.Recv == nil && (fd.Name.Name == "main" || fd.Name.Name == "init") {
 					continue
 				}
+				var du *defUse // built on the first deferred Close
 				ast.Inspect(fd.Body, func(n ast.Node) bool {
 					var call *ast.CallExpr
+					deferred := false
 					switch n := n.(type) {
 					case *ast.ExprStmt:
 						call, _ = n.X.(*ast.CallExpr)
@@ -45,14 +56,29 @@ func (a ErrcheckLite) Run(prog *Program) []Diagnostic {
 						call = n.Call
 					case *ast.DeferStmt:
 						call = n.Call
+						deferred = true
 					}
 					if call == nil || !a.returnsError(call, pkg.Info) || a.allowed(call, pkg.Info) {
 						return true
 					}
+					pos := prog.Fset.Position(call.Pos())
+					if prog.Directives.BestEffort(pos) {
+						return true // audited best-effort discard
+					}
+					msg := "error return silently discarded; handle it or discard explicitly with _ ="
+					if deferred && isCloseCall(call, pkg.Info) {
+						if du == nil {
+							du = buildDefUse(fd, pkg.Info)
+						}
+						if readOnlyHandle(call, du) {
+							return true // closing an os.Open handle cannot lose data
+						}
+						msg = "deferred Close on a writable or unknown-provenance handle discards the error (buffered writes fail at close); check it, or mark the discard //repro:besteffort"
+					}
 					diags = append(diags, Diagnostic{
-						Pos:      prog.Fset.Position(call.Pos()),
+						Pos:      pos,
 						Analyzer: a.Name(),
-						Message:  "error return silently discarded; handle it or discard explicitly with _ =",
+						Message:  msg,
 					})
 					return true
 				})
@@ -84,6 +110,45 @@ func (a ErrcheckLite) returnsError(call *ast.CallExpr, info *types.Info) bool {
 
 func isErrorType(t types.Type) bool {
 	return types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+// isCloseCall reports whether the call is a no-argument Close method.
+func isCloseCall(call *ast.CallExpr, info *types.Info) bool {
+	fn, _ := calleeObject(call, info).(*types.Func)
+	if fn == nil || fn.Name() != "Close" || len(call.Args) != 0 {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() != nil
+}
+
+// readOnlyHandle reports whether the Close receiver's every recorded
+// definition is a direct os.Open call — the one provenance where a
+// dropped Close error is provably harmless. Multi-value unpacking
+// (f, err := os.Open(...)) records the call itself as the definition,
+// so the common idiom resolves in one hop. Any other source — a
+// parameter, os.Create, a constructor return — keeps the handle in
+// the writable/unknown bucket.
+func readOnlyHandle(call *ast.CallExpr, du *defUse) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	srcs := du.sources(sel.X)
+	if len(srcs) == 0 {
+		return false
+	}
+	for _, s := range srcs {
+		c, ok := ast.Unparen(s).(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		pkg, name, ok := calleePath(c, du.info)
+		if !ok || pkg != "os" || name != "Open" {
+			return false
+		}
+	}
+	return true
 }
 
 // allowed reports whether the callee's qualified name matches the

@@ -1,0 +1,162 @@
+package analysis
+
+// escape.go is the third piece of the SSA-lite layer: a conservative
+// escape lattice for slice and pointer values. Given a predicate that
+// marks "interesting" expressions (the workspace-aliasing analyzer
+// marks pooled-workspace-derived slices), it classifies every place a
+// marked value can leave its stack frame:
+//
+//	escNone     stays local: reads, arithmetic, copy() out of it
+//	escArg      passed to another function (the caller of the lattice
+//	            decides whether to follow the edge interprocedurally)
+//	escStored   written to a heap location: a field of some other
+//	            object, a package-level variable, a map
+//	escReturned returned to the caller
+//	escCaptured referenced by (or passed to) a goroutine, which may
+//	            outlive the frame entirely
+//
+// The lattice is ordered by how far the value can travel; analyses
+// that only care about "escapes at all" can treat anything above
+// escArg as hot. The classification is syntactic and flow-insensitive:
+// it never proves an escape safe, only cheap to audit.
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+type escKind int
+
+const (
+	escNone escKind = iota
+	escArg
+	escStored
+	escReturned
+	escCaptured
+)
+
+func (k escKind) String() string {
+	switch k {
+	case escArg:
+		return "passed"
+	case escStored:
+		return "stored"
+	case escReturned:
+		return "returned"
+	case escCaptured:
+		return "captured by goroutine"
+	}
+	return "local"
+}
+
+// escSite is one place a marked value escapes.
+type escSite struct {
+	kind   escKind
+	node   ast.Node      // the assignment, return, go statement, or call
+	dest   ast.Expr      // escStored: the l-value written to
+	call   *ast.CallExpr // escArg: the receiving call
+	argIdx int           // escArg: positional argument index
+}
+
+// escapeSites walks one function body and returns every escape of a
+// marked expression. marked must be cheap; it is called once per
+// candidate expression. Goroutine capture covers both closures that
+// reference marked variables and marked arguments of `go f(x)`.
+func escapeSites(body *ast.BlockStmt, info *types.Info, marked func(ast.Expr) bool) []escSite {
+	var sites []escSite
+	inGo := make(map[ast.Node]bool) // go-statement call subtrees
+	ast.Inspect(body, func(n ast.Node) bool {
+		if gs, ok := n.(*ast.GoStmt); ok {
+			inGo[gs.Call] = true
+		}
+		return true
+	})
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) != len(n.Rhs) {
+				break // multi-value call results are never marked expressions
+			}
+			for i, rhs := range n.Rhs {
+				if marked(rhs) && heapDest(n.Lhs[i], info) {
+					sites = append(sites, escSite{kind: escStored, node: n, dest: n.Lhs[i]})
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, r := range n.Results {
+				if marked(r) {
+					sites = append(sites, escSite{kind: escReturned, node: n})
+				}
+			}
+		case *ast.GoStmt:
+			// Marked arguments handed to the spawned call.
+			for i, arg := range n.Call.Args {
+				if marked(arg) {
+					sites = append(sites, escSite{kind: escCaptured, node: n, call: n.Call, argIdx: i})
+				}
+			}
+			// Marked free variables referenced inside a spawned closure.
+			if lit, ok := n.Call.Fun.(*ast.FuncLit); ok {
+				found := false
+				ast.Inspect(lit.Body, func(m ast.Node) bool {
+					if found {
+						return false
+					}
+					if id, ok := m.(*ast.Ident); ok && marked(id) {
+						if v, ok := info.Uses[id].(*types.Var); ok && !v.IsField() &&
+							(v.Pos() < lit.Pos() || v.Pos() > lit.End()) {
+							found = true
+						}
+					}
+					return true
+				})
+				if found {
+					sites = append(sites, escSite{kind: escCaptured, node: n, call: n.Call})
+				}
+			}
+		case *ast.CallExpr:
+			if inGo[n] {
+				break // already classified as escCaptured above
+			}
+			for i, arg := range n.Args {
+				if marked(arg) {
+					sites = append(sites, escSite{kind: escArg, node: n, call: n, argIdx: i})
+				}
+			}
+		}
+		return true
+	})
+	return sites
+}
+
+// heapDest reports whether an assignment destination is a heap
+// location from the frame's point of view: a package-level variable, a
+// field selector, a map element, or an element of something that is
+// itself package-level or a field. Plain locals — including elements
+// of local slices — are not heap destinations.
+func heapDest(lhs ast.Expr, info *types.Info) bool {
+	for {
+		switch x := ast.Unparen(lhs).(type) {
+		case *ast.Ident:
+			v, ok := info.Uses[x].(*types.Var)
+			if !ok {
+				if v, ok = info.Defs[x].(*types.Var); !ok {
+					return false
+				}
+			}
+			// Package-level variables live forever.
+			return v.Pkg() != nil && v.Parent() == v.Pkg().Scope()
+		case *ast.SelectorExpr:
+			return true // a field of something: heap from this frame's view
+		case *ast.IndexExpr:
+			if _, ok := info.Types[x.X].Type.Underlying().(*types.Map); ok {
+				return true
+			}
+			lhs = x.X
+		case *ast.StarExpr:
+			return true // write through a pointer we did not allocate here
+		default:
+			return false
+		}
+	}
+}

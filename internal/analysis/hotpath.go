@@ -17,10 +17,13 @@ import (
 // closures that capture local variables by reference.
 //
 // Exemptions: code inside the arguments of a panic(...) call is the
-// failure path and is not checked; a //repro:ignore hotpath-alloc on a
-// call line cuts propagation into that callee (the call is audited,
-// e.g. a grow-only workspace primitive); a function-level ignore skips
-// the function entirely. Calls through interfaces and local function
+// failure path and is not checked, and so is the body of an
+// `if err != nil` block (a cold error path: allocating the error
+// report there is fine, and propagation into callees invoked only on
+// that path is cut); a //repro:ignore hotpath-alloc on a call line
+// cuts propagation into that callee (the call is audited, e.g. a
+// grow-only workspace primitive); a function-level ignore skips the
+// function entirely. Calls through interfaces and local function
 // values are not followed — keep hot paths direct.
 //
 // Two extensions cover the internal/simd kernel layer:
@@ -46,12 +49,6 @@ func (HotpathAlloc) Name() string { return "hotpath-alloc" }
 var fmtAllocFuncs = map[string]bool{
 	"Sprintf": true, "Sprint": true, "Sprintln": true, "Errorf": true,
 	"Appendf": true, "Append": true, "Appendln": true,
-}
-
-type funcNode struct {
-	decl *ast.FuncDecl
-	pkg  *Package
-	obj  *types.Func
 }
 
 // dispatchTable indexes the //repro:dispatch function variables by
@@ -81,24 +78,11 @@ type litRoot struct {
 // roots plus everything assigned to a dispatch variable, and walk the
 // static call graph breadth-first, checking each reached body once.
 func (a HotpathAlloc) Run(prog *Program) []Diagnostic {
-	reg := make(map[string]*funcNode)
-	for _, pkg := range prog.Pkgs {
-		for _, f := range pkg.Files {
-			for _, decl := range f.Decls {
-				fd, ok := decl.(*ast.FuncDecl)
-				if !ok || fd.Body == nil {
-					// Bodyless FuncDecls are assembly stubs; there is
-					// nothing to check and calls to them are legal.
-					continue
-				}
-				obj, ok := pkg.Info.Defs[fd.Name].(*types.Func)
-				if !ok {
-					continue
-				}
-				reg[obj.FullName()] = &funcNode{decl: fd, pkg: pkg, obj: obj}
-			}
-		}
-	}
+	// The function registry is the call graph's: one map of every
+	// declared body, shared with the concurrency analyzers. Bodyless
+	// FuncDecls (assembly stubs) are absent — nothing to check and
+	// calls to them are legal.
+	reg := prog.CallGraph().funcs
 	dispatch := collectDispatchVars(prog)
 
 	type item struct{ key, root string }
@@ -267,9 +251,9 @@ func (a HotpathAlloc) checkBody(prog *Program, body *ast.BlockStmt, pkg *Package
 	var diags []Diagnostic
 	var callees []string
 	info := pkg.Info
-	panicRanges := panicArgRanges(body, info)
+	exemptRanges := append(panicArgRanges(body, info), coldErrRanges(body, info)...)
 	inPanic := func(n ast.Node) bool {
-		for _, r := range panicRanges {
+		for _, r := range exemptRanges {
 			if r.pos <= n.Pos() && n.End() <= r.end {
 				return true
 			}
@@ -399,6 +383,60 @@ func panicArgRanges(body *ast.BlockStmt, info *types.Info) []posRange {
 		return true
 	})
 	return ranges
+}
+
+// coldErrRanges collects the body ranges of `if err != nil` (and
+// `err == nil` else-arms') error blocks: code reachable only once an
+// error has already occurred is off the steady-state hot path, so
+// allocating the error report there — and whatever cleanup helpers it
+// calls — is not a contract violation.
+func coldErrRanges(body *ast.BlockStmt, info *types.Info) []posRange {
+	var ranges []posRange
+	ast.Inspect(body, func(n ast.Node) bool {
+		ifs, ok := n.(*ast.IfStmt)
+		if !ok {
+			return true
+		}
+		eq, isErrCond := errNilCond(ifs.Cond, info)
+		if !isErrCond {
+			return true
+		}
+		if !eq {
+			// if err != nil { cold }
+			ranges = append(ranges, posRange{ifs.Body.Pos(), ifs.Body.End()})
+		} else if ifs.Else != nil {
+			// if err == nil { hot } else { cold }
+			ranges = append(ranges, posRange{ifs.Else.Pos(), ifs.Else.End()})
+		}
+		return true
+	})
+	return ranges
+}
+
+// errNilCond matches `x == nil` / `x != nil` where x has type error;
+// eq reports which comparison it is.
+func errNilCond(cond ast.Expr, info *types.Info) (eq, ok bool) {
+	bin, isBin := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !isBin || (bin.Op != token.EQL && bin.Op != token.NEQ) {
+		return false, false
+	}
+	x, y := bin.X, bin.Y
+	if isNilExpr(x, info) {
+		x, y = y, x
+	}
+	if !isNilExpr(y, info) {
+		return false, false
+	}
+	tv, found := info.Types[x]
+	if !found || !isErrorType(tv.Type) {
+		return false, false
+	}
+	return bin.Op == token.EQL, true
+}
+
+func isNilExpr(e ast.Expr, info *types.Info) bool {
+	tv, ok := info.Types[ast.Unparen(e)]
+	return ok && tv.IsNil()
 }
 
 // capturedVars lists (in source order) the local variables a function

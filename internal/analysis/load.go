@@ -35,6 +35,8 @@ type Program struct {
 	Root       string
 	Pkgs       []*Package
 	Directives *Directives
+
+	graph *callGraph // built lazily by CallGraph, shared by analyzers
 }
 
 // Load parses and type-checks every package under root (skipping

@@ -1,0 +1,300 @@
+package analysis
+
+// LockOrder enforces two mutex invariants over the whole module:
+//
+//  1. A consistent acquisition order. Every time lock B is acquired
+//     while lock A is held — directly, or through any module function
+//     the holder calls — the pair (A, B) joins a global acquisition
+//     graph. A cycle in that graph is a latent deadlock: two
+//     goroutines can interleave the two orders and block each other
+//     forever, which no amount of single-threaded testing surfaces.
+//  2. No lock left behind. A function that calls Lock (or RLock) on a
+//     mutex must also unlock it on every path out. Flow-insensitively:
+//     a Lock with no matching Unlock/RUnlock on the same object
+//     anywhere in the function (deferred counts) is diagnosed.
+//     Lock-handoff designs, where one function locks and another
+//     unlocks, are out of contract here — annotate them with
+//     //repro:ignore lock-order if one ever becomes necessary.
+//
+// Mutex identity is the SSA-lite object key, so s.mu names the same
+// lock in every method of the type, and two different fields named mu
+// on different structs stay distinct. Held windows are positional:
+// from the Lock call to the first later Unlock on the same key (to the
+// end of the function for deferred unlocks), matching the
+// straight-line lock...unlock discipline the engines use.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+)
+
+// LockOrder is the analyzer; see the file-level description.
+type LockOrder struct{}
+
+// Name implements Analyzer.
+func (LockOrder) Name() string { return "lock-order" }
+
+// lockEvent is one mutex operation in source order.
+type lockEvent struct {
+	key      token.Pos // identity of the mutex object
+	label    string    // human name, e.g. "ws.mu"
+	pos      token.Pos
+	lock     bool // true = Lock/RLock, false = Unlock/RUnlock
+	deferred bool
+}
+
+// heldWindow is a positional span during which a lock is held.
+type heldWindow struct {
+	key        token.Pos
+	label      string
+	start, end token.Pos
+}
+
+// lockEdge is "to acquired while from held".
+type lockEdge struct {
+	from, to   token.Pos
+	fromL, toL string
+	pos        token.Pos // the acquisition site that created the edge
+}
+
+// Run implements Analyzer.
+func (a LockOrder) Run(prog *Program) []Diagnostic {
+	g := prog.CallGraph()
+	names := make([]string, 0, len(g.funcs))
+	for name := range g.funcs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	events := make(map[string][]lockEvent)
+	for _, name := range names {
+		events[name] = collectLockEvents(g.funcs[name])
+	}
+
+	// Transitive locksets: every lock a function may acquire, directly
+	// or through module callees. Fixpoint over the call graph.
+	locksets := make(map[string]map[token.Pos]string)
+	for _, name := range names {
+		set := make(map[token.Pos]string)
+		for _, e := range events[name] {
+			if e.lock {
+				set[e.key] = e.label
+			}
+		}
+		locksets[name] = set
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, name := range names {
+			for _, callee := range g.callees[name] {
+				for k, l := range locksets[callee] {
+					if _, ok := locksets[name][k]; !ok {
+						locksets[name][k] = l
+						changed = true
+					}
+				}
+			}
+		}
+	}
+
+	var diags []Diagnostic
+	report := func(pos token.Pos, format string, args ...any) {
+		diags = append(diags, Diagnostic{
+			Pos:      prog.Fset.Position(pos),
+			Analyzer: a.Name(),
+			Message:  fmt.Sprintf(format, args...),
+		})
+	}
+
+	// Per-function: missing unlocks, and acquisition edges from held
+	// windows (direct nested Locks and locks of called functions).
+	var edges []lockEdge
+	edgeSeen := make(map[[2]token.Pos]bool)
+	addEdge := func(e lockEdge) {
+		if e.from == e.to {
+			return // recursive self-acquisition is rule 2's business
+		}
+		if k := [2]token.Pos{e.from, e.to}; !edgeSeen[k] {
+			edgeSeen[k] = true
+			edges = append(edges, e)
+		}
+	}
+	for _, name := range names {
+		fi := g.funcs[name]
+		evs := events[name]
+		if len(evs) == 0 && len(g.callees[name]) == 0 {
+			continue
+		}
+
+		// Rule 2: every Lock needs some same-key Unlock in this function.
+		unlocked := make(map[token.Pos]bool)
+		for _, e := range evs {
+			if !e.lock {
+				unlocked[e.key] = true
+			}
+		}
+		flagged := make(map[token.Pos]bool)
+		for _, e := range evs {
+			if e.lock && !unlocked[e.key] && !flagged[e.key] {
+				flagged[e.key] = true
+				report(e.pos, "%s locked but never unlocked in this function; every path out must release it (defer %s.Unlock())", e.label, e.label)
+			}
+		}
+
+		// Held windows for rule 1.
+		windows := heldWindows(fi, evs)
+		for _, w := range windows {
+			for _, e := range evs {
+				if e.lock && w.start < e.pos && e.pos < w.end {
+					addEdge(lockEdge{from: w.key, to: e.key, fromL: w.label, toL: e.label, pos: e.pos})
+				}
+			}
+			ast.Inspect(fi.decl.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || call.Pos() <= w.start || call.Pos() >= w.end {
+					return true
+				}
+				callee := calleeName(prog, call, fi.pkg.Info)
+				if callee == "" {
+					return true
+				}
+				inner := locksets[callee]
+				ks := make([]token.Pos, 0, len(inner))
+				for k := range inner {
+					ks = append(ks, k)
+				}
+				sort.Slice(ks, func(i, j int) bool { return ks[i] < ks[j] })
+				for _, k := range ks {
+					addEdge(lockEdge{from: w.key, to: k, fromL: w.label, toL: inner[k], pos: call.Pos()})
+				}
+				return true
+			})
+		}
+	}
+
+	// Rule 1: report every edge that sits on a cycle.
+	adj := make(map[token.Pos][]token.Pos)
+	for _, e := range edges {
+		adj[e.from] = append(adj[e.from], e.to)
+	}
+	reaches := func(from, to token.Pos) bool {
+		seen := map[token.Pos]bool{}
+		stack := []token.Pos{from}
+		for len(stack) > 0 {
+			n := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if n == to {
+				return true
+			}
+			if seen[n] {
+				continue
+			}
+			seen[n] = true
+			stack = append(stack, adj[n]...)
+		}
+		return false
+	}
+	sort.Slice(edges, func(i, j int) bool { return edges[i].pos < edges[j].pos })
+	for _, e := range edges {
+		if reaches(e.to, e.from) {
+			report(e.pos, "lock order cycle: %s acquired while %s is held, but elsewhere %s is acquired under %s; pick one global order", e.toL, e.fromL, e.fromL, e.toL)
+		}
+	}
+	return diags
+}
+
+// collectLockEvents gathers the mutex operations of one function body
+// in source order. Operations inside nested function literals are
+// skipped: a closure's locks run on its schedule, not the enclosing
+// function's, and the closure is analyzed when it is spawned or
+// invoked.
+func collectLockEvents(fi *funcInfo) []lockEvent {
+	info := fi.pkg.Info
+	var evs []lockEvent
+	var visit func(n ast.Node, deferred bool) bool
+	visit = func(n ast.Node, deferred bool) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.DeferStmt:
+			ast.Inspect(n.Call, func(m ast.Node) bool { return visit(m, true) })
+			return false
+		case *ast.CallExpr:
+			obj := calleeObject(n, info)
+			var lock bool
+			switch {
+			case isMethodOn(obj, "sync", "Mutex", "Lock"),
+				isMethodOn(obj, "sync", "RWMutex", "Lock"),
+				isMethodOn(obj, "sync", "RWMutex", "RLock"):
+				lock = true
+			case isMethodOn(obj, "sync", "Mutex", "Unlock"),
+				isMethodOn(obj, "sync", "RWMutex", "Unlock"),
+				isMethodOn(obj, "sync", "RWMutex", "RUnlock"):
+				lock = false
+			default:
+				return true
+			}
+			sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			base := baseObj(sel.X, info)
+			if base == nil {
+				return true
+			}
+			evs = append(evs, lockEvent{
+				key:      objKey(base),
+				label:    exprLabel(sel.X),
+				pos:      n.Pos(),
+				lock:     lock,
+				deferred: deferred,
+			})
+		}
+		return true
+	}
+	ast.Inspect(fi.decl.Body, func(n ast.Node) bool { return visit(n, false) })
+	sort.Slice(evs, func(i, j int) bool { return evs[i].pos < evs[j].pos })
+	return evs
+}
+
+// heldWindows derives the positional spans during which each lock is
+// held: Lock to the first later non-deferred Unlock on the same key,
+// or to the end of the body when the unlock is deferred (or missing).
+func heldWindows(fi *funcInfo, evs []lockEvent) []heldWindow {
+	var ws []heldWindow
+	for i, e := range evs {
+		if !e.lock {
+			continue
+		}
+		end := fi.decl.Body.End()
+		for _, u := range evs[i+1:] {
+			if !u.lock && u.key == e.key && !u.deferred {
+				end = u.pos
+				break
+			}
+		}
+		ws = append(ws, heldWindow{key: e.key, label: e.label, start: e.pos, end: end})
+	}
+	return ws
+}
+
+// exprLabel renders a short human-readable name for a mutex expression
+// (ws.mu, mu, s.state.mu).
+func exprLabel(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprLabel(e.X) + "." + e.Sel.Name
+	case *ast.StarExpr:
+		return exprLabel(e.X)
+	case *ast.UnaryExpr:
+		return exprLabel(e.X)
+	case *ast.IndexExpr:
+		return exprLabel(e.X) + "[...]"
+	default:
+		return "mutex"
+	}
+}

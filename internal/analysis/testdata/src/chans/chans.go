@@ -1,0 +1,88 @@
+// Package chans exercises the channel-discipline analyzer: sends need
+// a reachable receiver, a channel is closed at exactly one site, and
+// only the owner — the maker, or a method of the type holding the
+// field — closes.
+package chans
+
+// SendNoReceiver makes a channel and sends with no receive anywhere
+// in the call graph: flagged at the send.
+func SendNoReceiver() {
+	ch := make(chan int, 1)
+	ch <- 1
+}
+
+// DoubleClose closes the same channel twice: flagged at the second
+// close.
+func DoubleClose() {
+	ch := make(chan int, 1)
+	ch <- 1
+	<-ch
+	close(ch)
+	close(ch)
+}
+
+// CloseParam closes a channel it received from outside: flagged —
+// only the owner closes.
+func CloseParam(ch chan int) {
+	close(ch)
+}
+
+// OwnerClose is the sanctioned shape: the maker sends, closes once,
+// and the consumer drains. Allowed.
+func OwnerClose(n int) int {
+	ch := make(chan int, n)
+	for i := 0; i < n; i++ {
+		ch <- i
+	}
+	close(ch)
+	s := 0
+	for v := range ch {
+		s += v
+	}
+	return s
+}
+
+// Net owns its link channel as a field; methods of the owning type
+// may close it.
+type Net struct {
+	links chan int
+}
+
+func (nt *Net) init(n int) {
+	nt.links = make(chan int, n)
+}
+
+// Push and Pop give the field sends and receives.
+func (nt *Net) Push(v int) { nt.links <- v }
+
+// Pop receives from the owned channel.
+func (nt *Net) Pop() int { return <-nt.links }
+
+// Shutdown closes from a method of the owning type: allowed.
+func (nt *Net) Shutdown() { close(nt.links) }
+
+// Relay owns out, but a free function closes it.
+type Relay struct {
+	out chan int
+}
+
+func (r *Relay) init(n int) {
+	r.out = make(chan int, n)
+}
+
+// Get receives from the owned channel.
+func (r *Relay) Get() int { return <-r.out }
+
+// StealClose closes a channel owned by Relay from outside the owner
+// scope: flagged.
+func StealClose(r *Relay) {
+	close(r.out)
+}
+
+// Escapes returns the channel to the caller: beyond the analysis
+// horizon, so the receiver-less send is not diagnosed. Allowed.
+func Escapes(n int) chan int {
+	ch := make(chan int, n)
+	ch <- n
+	return ch
+}

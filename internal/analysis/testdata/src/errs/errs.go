@@ -25,11 +25,61 @@ func Bare() {
 	valueAndError()
 }
 
+// Deferred drops Close on a handle of unknown provenance (a
+// parameter): flagged — it may buffer writes.
 func Deferred(f *os.File) {
 	defer f.Close()
 }
 
+// DeferredWritable drops Close on a handle it created for writing:
+// flagged — buffered writes surface their errors at Close.
+func DeferredWritable(path string, data []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	_, err = f.Write(data)
+	return err
+}
+
+// DeferredReadOnly drops Close on an os.Open handle: allowed —
+// closing a read-only file cannot lose data.
+func DeferredReadOnly(path string) ([]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	buf := make([]byte, 16)
+	n, err := f.Read(buf)
+	return buf[:n], err
+}
+
+// DeferredBestEffort audits the discard with a directive: allowed.
+func DeferredBestEffort(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close() //repro:ignore errcheck-lite trace file closed at exit; loss is acceptable
+	return nil
+}
+
+// DeferredBestEffortDirective uses the dedicated //repro:besteffort
+// verb instead of a plain ignore: allowed.
+func DeferredBestEffortDirective(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	//repro:besteffort scratch output; a lost close error only drops telemetry
+	defer f.Close()
+	return nil
+}
+
 func Launched() {
+	//repro:ignore goroutine-leak fixture exercises the dropped error, not the join
 	go mayFail()
 }
 

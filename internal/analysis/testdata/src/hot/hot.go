@@ -4,7 +4,10 @@
 // edge cutting.
 package hot
 
-import "fmt"
+import (
+	"errors"
+	"fmt"
+)
 
 type point struct{ x, y float64 }
 
@@ -40,6 +43,53 @@ func Hot(dst []float64, n int) []float64 {
 // helper is reached transitively from Hot, so its body is hot too.
 func helper(x []float64) {
 	_ = append(x, 2)
+}
+
+// ColdErrBlock allocates only inside error-handling blocks, which are
+// off the steady-state path: allowed. The else-arm of an err == nil
+// test is cold for the same reason.
+//
+//repro:hotpath
+func ColdErrBlock(xs []float64) (float64, error) {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	err := validate(s)
+	if err != nil {
+		return 0, fmt.Errorf("cold: bad sum %f: %w", s, err)
+	}
+	if err == nil {
+		s *= 2
+	} else {
+		msg := make([]byte, 64)
+		_ = msg
+	}
+	return s, nil
+}
+
+// WarmAlloc still allocates on the success path next to an error
+// check: the make outside the cold block stays flagged.
+//
+//repro:hotpath
+func WarmAlloc(xs []float64) ([]float64, error) {
+	if err := validate(float64(len(xs))); err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(xs))
+	copy(out, xs)
+	return out, nil
+}
+
+var errNegative = errors.New("negative sum")
+
+// validate is hot-reachable, so it must not allocate outside cold
+// blocks; the sentinel error is built at package init.
+func validate(s float64) error {
+	if s < 0 {
+		return errNegative
+	}
+	return nil
 }
 
 // audited is reached from Hot but its function-level suppression marks

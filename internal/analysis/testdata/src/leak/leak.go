@@ -1,0 +1,86 @@
+// Package leak exercises the goroutine-leak analyzer: every go
+// statement must reach a join the spawner (or a function it calls)
+// can see — a WaitGroup.Wait or a channel receive observing the
+// goroutine's completion signal. Parked pools are sanctioned with
+// //repro:worker-pool; everything else must join.
+package leak
+
+import "sync"
+
+func work(out []float64) {
+	for i := range out {
+		out[i]++
+	}
+}
+
+// LeakPlain spawns a named function that signals nothing: flagged.
+func LeakPlain(out []float64) {
+	go work(out)
+}
+
+// LeakClosure spawns a closure that signals nothing: flagged.
+func LeakClosure(out []float64) {
+	go func() {
+		work(out)
+	}()
+}
+
+// JoinWaitGroup joins through a WaitGroup in the same function:
+// allowed.
+func JoinWaitGroup(parts [][]float64) {
+	var wg sync.WaitGroup
+	for _, p := range parts {
+		wg.Add(1)
+		go func(p []float64) {
+			defer wg.Done()
+			work(p)
+		}(p)
+	}
+	wg.Wait()
+}
+
+// JoinChannel joins through a channel receive: allowed.
+func JoinChannel(p []float64) float64 {
+	done := make(chan float64, 1)
+	go func() {
+		work(p)
+		done <- p[0]
+	}()
+	return <-done
+}
+
+func waitAll(wg *sync.WaitGroup) {
+	wg.Wait()
+}
+
+// JoinViaHelper hands the WaitGroup to a helper that waits; the join
+// is found through the call graph's argument-to-parameter aliasing:
+// allowed.
+func JoinViaHelper(parts [][]float64) {
+	var wg sync.WaitGroup
+	for _, p := range parts {
+		wg.Add(1)
+		go func(p []float64) {
+			defer wg.Done()
+			work(p)
+		}(p)
+	}
+	waitAll(&wg)
+}
+
+var tokens chan int
+
+// StartPool parks workers on the token channel for the process
+// lifetime; the directive audits the deliberate non-join.
+func StartPool(n int) {
+	if tokens == nil {
+		tokens = make(chan int, n)
+	}
+	for i := 0; i < n; i++ {
+		//repro:worker-pool parked fixture pool; woken by tokens, lives with the process
+		go func() {
+			for range tokens {
+			}
+		}()
+	}
+}

@@ -1,0 +1,77 @@
+// Package locks exercises the lock-order analyzer: mutex acquisition
+// must follow one global order (cycles are latent deadlocks), and a
+// function that locks must unlock on every path out.
+package locks
+
+import "sync"
+
+var (
+	muA sync.Mutex
+	muB sync.Mutex
+)
+
+// LockAB acquires A then B.
+func LockAB() {
+	muA.Lock()
+	defer muA.Unlock()
+	muB.Lock()
+	defer muB.Unlock()
+}
+
+// LockBA acquires B then A — the reverse of LockAB, so both nested
+// acquisitions sit on a cycle: flagged.
+func LockBA() {
+	muB.Lock()
+	defer muB.Unlock()
+	muA.Lock()
+	defer muA.Unlock()
+}
+
+// Forgotten locks and never unlocks in this function: flagged.
+func Forgotten(mu *sync.Mutex, n *int) {
+	mu.Lock()
+	*n++
+}
+
+var (
+	muC sync.Mutex
+	muD sync.Mutex
+)
+
+// ConsistentDirect takes C before D.
+func ConsistentDirect() {
+	muC.Lock()
+	muD.Lock()
+	muD.Unlock()
+	muC.Unlock()
+}
+
+func lockD() {
+	muD.Lock()
+	defer muD.Unlock()
+}
+
+// ConsistentTransitive takes C and then acquires D through a call;
+// the transitive edge agrees with ConsistentDirect's order, so no
+// cycle: allowed.
+func ConsistentTransitive() {
+	muC.Lock()
+	defer muC.Unlock()
+	lockD()
+}
+
+var muE sync.Mutex
+
+// unlockE is Handoff's paired release.
+func unlockE() {
+	muE.Unlock()
+}
+
+// Handoff locks here and releases in the paired helper — a
+// cross-function handoff outside the analyzer's contract, audited
+// with a directive. Allowed.
+//
+//repro:ignore lock-order paired with unlockE; handoff audited by the fixture
+func Handoff() {
+	muE.Lock()
+}

@@ -1,12 +1,16 @@
-// Package par exercises the determinism analyzer's goroutine rule:
+// Package par exercises the determinism analyzer's concurrency rules:
 // compound assignment into captured state is flagged unless the
-// enclosing function merges private buffers through kernel.ReduceTree.
-// The import also exercises module-path resolution in the fixture
-// loader.
+// enclosing function merges private buffers through kernel.ReduceTree,
+// accumulation inside multi-case selects is order-randomized, and
+// lock-free float accumulation through a CAS retry loop commits in
+// completion order. The import also exercises module-path resolution
+// in the fixture loader.
 package par
 
 import (
+	"math"
 	"sync"
+	"sync/atomic"
 
 	"fix/kernel"
 )
@@ -59,6 +63,64 @@ func GoodReduce(parts [][]float64, n int) []float64 {
 	wg.Wait()
 	kernel.ReduceTree(bufs, len(bufs))
 	return bufs[0]
+}
+
+// BadSelect accumulates inside a select with two communication cases:
+// flagged in both case bodies — when both channels are ready the
+// runtime picks at random, so the accumulation order differs run to
+// run.
+func BadSelect(a, b chan float64, rounds int) float64 {
+	var s float64
+	for i := 0; i < rounds; i++ {
+		select {
+		case v := <-a:
+			s += v
+		case v := <-b:
+			s += v
+		}
+	}
+	return s
+}
+
+// GoodSelect drains a single channel; one communication case (plus
+// default) has a fixed order: allowed.
+func GoodSelect(a chan float64) float64 {
+	var s float64
+	for {
+		select {
+		case v, ok := <-a:
+			if !ok {
+				return s
+			}
+			s += v
+		default:
+			return s
+		}
+	}
+}
+
+// BadAtomicFloat accumulates a float through a compare-and-swap retry
+// loop: flagged — contributions commit in completion order, which is
+// neither run-to-run nor worker-count reproducible.
+func BadAtomicFloat(acc *uint64, v float64) {
+	for {
+		old := atomic.LoadUint64(acc)
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if atomic.CompareAndSwapUint64(acc, old, next) {
+			return
+		}
+	}
+}
+
+// GoodAtomicCASInt retries an integer CAS (a queue cursor): integer
+// atomics are exact regardless of commit order, allowed.
+func GoodAtomicCASInt(cur *uint64) uint64 {
+	for {
+		old := atomic.LoadUint64(cur)
+		if atomic.CompareAndSwapUint64(cur, old, old+1) {
+			return old + 1
+		}
+	}
 }
 
 // GoodDisjoint writes disjoint plain assignments: allowed.

@@ -1,0 +1,87 @@
+// Package seq exercises the workspace-aliasing analyzer. The package
+// deliberately borrows an engine-package name: pool types called
+// Workspace are only discovered in engine packages, and the analyzer
+// only walks hot-path-reachable functions, so every fixture function
+// below is a //repro:hotpath root.
+package seq
+
+// Workspace is the pooled scratch arena; tileState is pulled into the
+// pool-type set transitively through the field.
+type Workspace struct {
+	buf  []float64
+	tile tileState
+}
+
+type tileState struct {
+	idx []int32
+}
+
+var sink []float64
+
+// StoreGlobal parks a pooled slice in a package-level variable:
+// flagged — the pool recycles the backing array under it.
+//
+//repro:hotpath
+func StoreGlobal(ws *Workspace, n int) {
+	s := ws.buf[:n]
+	sink = s
+}
+
+// ReturnSlice hands a pooled slice across the exported API boundary:
+// flagged.
+//
+//repro:hotpath
+func ReturnSlice(ws *Workspace, n int) []float64 {
+	return ws.buf[:n]
+}
+
+// CaptureLeak lets an unjoined goroutine hold a slice reached through
+// the transitive pool type: flagged (and the leak itself is flagged by
+// goroutine-leak).
+//
+//repro:hotpath
+func CaptureLeak(ws *Workspace) {
+	t := ws.tile.idx
+	//repro:ignore hotpath-alloc fixture closure; the capture is the point
+	go func() {
+		_ = t
+	}()
+}
+
+// grow is the sanctioned grow-in-place primitive: an unexported
+// helper may return its slice parameter — the result flows back into
+// the pool at the call site.
+//
+//repro:ignore hotpath-alloc grow-only workspace primitive
+func grow(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+// GrowInPlace stores the grown slice back into the pool field:
+// allowed.
+//
+//repro:hotpath
+func GrowInPlace(ws *Workspace, n int) {
+	ws.buf = grow(ws.buf, n)
+}
+
+// JoinedBorrow lends a pooled slice to a goroutine that provably
+// joins before the frame returns: allowed.
+//
+//repro:hotpath
+func JoinedBorrow(ws *Workspace, n int) float64 {
+	s := ws.buf[:n]
+	done := make(chan float64, 1) //repro:ignore hotpath-alloc fixture scaffolding
+	//repro:ignore hotpath-alloc fixture closure; the borrow is the point
+	go func() {
+		t := 0.0
+		for _, v := range s {
+			t += v
+		}
+		done <- t
+	}()
+	return <-done
+}

@@ -1,0 +1,74 @@
+// Package wg exercises the waitgroup-misuse analyzer: Add must
+// happen-before both the spawn and the Wait, and a WaitGroup must
+// never be copied.
+package wg
+
+import "sync"
+
+func step(v float64) float64 {
+	return v * 2
+}
+
+// AddInsideGoroutine defers the Add to the spawned goroutine: flagged
+// — Wait can run before the goroutine is scheduled and see a zero
+// counter.
+func AddInsideGoroutine(parts []float64) {
+	var wg sync.WaitGroup
+	for _, p := range parts {
+		go func(p float64) {
+			wg.Add(1)
+			defer wg.Done()
+			step(p)
+		}(p)
+	}
+	wg.Wait()
+}
+
+// AddAfterWait reuses the group after its Wait: flagged at the second
+// Add — the engines' discipline is all Adds, then spawns, then one
+// Wait.
+func AddAfterWait() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+	}()
+	wg.Wait()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+	}()
+	wg.Wait()
+}
+
+// ByValue receives the WaitGroup by value: flagged — Done decrements
+// a copy and the caller's Wait never returns.
+func ByValue(wg sync.WaitGroup) {
+	wg.Done()
+}
+
+// CopyAssign duplicates a WaitGroup by assignment: flagged.
+func CopyAssign() {
+	var a sync.WaitGroup
+	b := a
+	b.Add(1)
+	b.Done()
+}
+
+func worker(wg *sync.WaitGroup, p []float64) {
+	defer wg.Done()
+	for i := range p {
+		p[i] = step(p[i])
+	}
+}
+
+// Good follows the contract: Add for every spawn strictly before the
+// spawns, a shared *sync.WaitGroup, one Wait. Allowed.
+func Good(parts [][]float64) {
+	var wg sync.WaitGroup
+	wg.Add(len(parts))
+	for _, p := range parts {
+		go worker(&wg, p)
+	}
+	wg.Wait()
+}

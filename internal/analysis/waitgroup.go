@@ -1,0 +1,155 @@
+package analysis
+
+// WaitGroupMisuse catches the three classic sync.WaitGroup mistakes
+// that survive testing at low worker counts and explode later:
+//
+//  1. Add inside the spawned goroutine — Wait can run before the
+//     goroutine is scheduled, see a zero counter, and return early
+//     (Add must happen-before both the spawn and the Wait);
+//  2. Wait positioned before a later Add on the same WaitGroup inside
+//     one function — flow-insensitively approximated by source order,
+//     which is exactly the discipline the engines follow (all Adds,
+//     then spawn, then one Wait);
+//  3. WaitGroup copies — a by-value parameter or a plain assignment
+//     copies the counter, so Done decrements a ghost (go vet's
+//     copylocks catches some of these; this rule keeps the invariant
+//     inside repolint's single report and covers fixtures go vet
+//     never compiles).
+//
+// WaitGroup identity is the SSA-lite object key, so field-held groups
+// (ws.wg) match across methods of the same type.
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// WaitGroupMisuse is the analyzer; see the file-level description.
+type WaitGroupMisuse struct{}
+
+// Name implements Analyzer.
+func (WaitGroupMisuse) Name() string { return "waitgroup-misuse" }
+
+// Run implements Analyzer.
+func (a WaitGroupMisuse) Run(prog *Program) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range prog.Pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				diags = append(diags, a.checkFunc(prog, pkg, fd)...)
+			}
+		}
+	}
+	return diags
+}
+
+func (a WaitGroupMisuse) checkFunc(prog *Program, pkg *Package, fd *ast.FuncDecl) []Diagnostic {
+	var diags []Diagnostic
+	info := pkg.Info
+	report := func(n ast.Node, msg string) {
+		diags = append(diags, Diagnostic{
+			Pos:      prog.Fset.Position(n.Pos()),
+			Analyzer: a.Name(),
+			Message:  msg,
+		})
+	}
+
+	// Rule 3a: by-value WaitGroup parameters.
+	if fd.Type.Params != nil {
+		for _, field := range fd.Type.Params.List {
+			if t, ok := info.Types[field.Type]; ok && isNamedType(t.Type, "sync", "WaitGroup") {
+				if _, isPtr := t.Type.(*types.Pointer); !isPtr {
+					report(field.Type, "sync.WaitGroup passed by value; Done on the copy never releases the caller's Wait — pass *sync.WaitGroup")
+				}
+			}
+		}
+	}
+
+	// Collect go-closure ranges so rule-2 bookkeeping can tell spawner
+	// code from goroutine code, and flag Adds inside goroutines.
+	type span struct{ pos, end int }
+	var goRanges []span
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		gs, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		if lit, ok := gs.Call.Fun.(*ast.FuncLit); ok {
+			goRanges = append(goRanges, span{int(lit.Body.Pos()), int(lit.Body.End())})
+		}
+		return true
+	})
+	inGo := func(n ast.Node) bool {
+		for _, r := range goRanges {
+			if r.pos <= int(n.Pos()) && int(n.End()) <= r.end {
+				return true
+			}
+		}
+		return false
+	}
+
+	type ev struct {
+		node ast.Node
+		key  int
+	}
+	var adds, waits []ev
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			obj := calleeObject(n, info)
+			sel, _ := ast.Unparen(n.Fun).(*ast.SelectorExpr)
+			if sel == nil {
+				return true
+			}
+			base := baseObj(sel.X, info)
+			if base == nil {
+				return true
+			}
+			key := int(objKey(base))
+			switch {
+			case isMethodOn(obj, "sync", "WaitGroup", "Add"):
+				if inGo(n) {
+					report(n, "WaitGroup.Add inside the spawned goroutine; Wait can observe a zero counter and return early — Add before the go statement")
+				} else {
+					adds = append(adds, ev{n, key})
+				}
+			case isMethodOn(obj, "sync", "WaitGroup", "Wait"):
+				waits = append(waits, ev{n, key})
+			}
+		case *ast.AssignStmt:
+			// Rule 3b: value copies via assignment.
+			if len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for _, rhs := range n.Rhs {
+				r := ast.Unparen(rhs)
+				switch r.(type) {
+				case *ast.Ident, *ast.SelectorExpr:
+				default:
+					continue
+				}
+				if t, ok := info.Types[r]; ok && isNamedType(t.Type, "sync", "WaitGroup") {
+					if _, isPtr := t.Type.(*types.Pointer); !isPtr {
+						report(n, "sync.WaitGroup copied by assignment; the copy's counter is disconnected — share a *sync.WaitGroup")
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	// Rule 2: an Add textually after a Wait on the same WaitGroup.
+	for _, ad := range adds {
+		for _, w := range waits {
+			if ad.key == w.key && ad.node.Pos() > w.node.Pos() {
+				report(ad.node, "WaitGroup.Add after Wait on the same WaitGroup in this function; Wait may have already returned — Add strictly before Wait")
+				break
+			}
+		}
+	}
+	return diags
+}

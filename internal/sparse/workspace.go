@@ -101,6 +101,7 @@ func (ws *Workspace) ensurePool(workers int) {
 	}
 	for ws.spawned < workers-1 {
 		ws.spawned++
+		//repro:worker-pool parked CSF workers: woken by start tokens, drained by runChunks' WaitGroup, terminated by Release
 		go poolWorker(ws, ws.start)
 	}
 }
