@@ -21,6 +21,7 @@ import (
 	"repro/internal/lp"
 	"repro/internal/memsim"
 	"repro/internal/obs"
+	"repro/internal/obs/flight"
 	"repro/internal/par"
 	"repro/internal/pebble"
 	"repro/internal/plan"
@@ -737,6 +738,47 @@ func BenchmarkObsOverhead(b *testing.B) {
 		obs.Enable(obs.New(0))
 		defer obs.Disable()
 		run(b)
+	})
+}
+
+// BenchmarkFlightOverhead prices the flight recorder the same way: the
+// disabled default (one atomic pointer load and a branch per
+// instrumentation site) against an enabled recorder writing into its
+// rings, on the dimension-tree hot path — plus a raw record-call
+// nanobenchmark for the per-event cost in isolation.
+func BenchmarkFlightOverhead(b *testing.B) {
+	dims := []int{64, 64, 64}
+	const R = 16
+	x := tensor.RandomDense(42, dims...)
+	fs := tensor.RandomFactors(43, dims, R)
+	run := func(b *testing.B) {
+		eng := dimtree.NewEngine(0)
+		res := &dimtree.Result{}
+		eng.AllModesInto(res, x, fs)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			eng.AllModesInto(res, x, fs)
+		}
+	}
+	b.Run("disabled", func(b *testing.B) {
+		flight.Disable()
+		run(b)
+	})
+	b.Run("enabled", func(b *testing.B) {
+		flight.Enable(flight.New(0, flight.DefaultRingCap))
+		defer flight.Disable()
+		run(b)
+	})
+	b.Run("record", func(b *testing.B) {
+		flight.Enable(flight.New(0, flight.DefaultRingCap))
+		defer flight.Disable()
+		name := flight.RegisterName("bench-record")
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			flight.Rec().Kernel(0, 0, name, 100, 10)
+		}
 	})
 }
 

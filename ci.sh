@@ -71,6 +71,29 @@ go run ./cmd/mttkrp -dims 32,32,32 -r 16 -mode 0 -algo unblocked -m 256 \
 go run ./cmd/mttkrp -dims 16,16,16 -r 8 -mode 1 -algo stationary -p 8 \
 	-obs -obs-json "$obsdir/stationary.json" -obs-maxratio 4
 
+echo "== trace smoke (flight recorder -> tracecheck) =="
+# A parallel run must export a Chrome trace that round-trips as JSON
+# and survives schema validation: known phases only, every Send flow
+# paired with exactly one Recv flow (tracecheck exits nonzero
+# otherwise). The shared-memory planned run exercises the engine-row
+# export path and the planner's plan instant.
+go run ./cmd/mttkrp -dims 16,16,16 -r 8 -mode 1 -algo stationary -p 8 \
+	-trace "$obsdir/stationary-trace.json" >/dev/null
+go run ./cmd/tracecheck "$obsdir/stationary-trace.json" >/dev/null
+REPRO_CALIBRATION="$obsdir/calibration-trace.json" go run ./cmd/mttkrp \
+	-dims 16,16,16 -r 8 -trace "$obsdir/fast-trace.json" >/dev/null
+go run ./cmd/tracecheck "$obsdir/fast-trace.json" >/dev/null
+
+echo "== metrics smoke (obsserve -once /metrics scrape) =="
+# obsserve binds an ephemeral port, runs a few engine passes, scrapes
+# its own /healthz and /metrics over real HTTP, echoes the exposition
+# text, and shuts the server down gracefully. The grep pins the scrape
+# payload to the Prometheus text format.
+go run ./cmd/obsserve -addr localhost:0 -dims 16,16,16 -r 4 -once \
+	> "$obsdir/metrics.txt"
+grep -q '^repro_obsserve_iterations_total 3$' "$obsdir/metrics.txt"
+grep -q '^# TYPE repro_obsserve_iteration_seconds histogram$' "$obsdir/metrics.txt"
+
 echo "== sparse smoke (measured words == hypergraph metric) =="
 # cmd/sparsemttkrp exits nonzero when either the simulated network's or
 # the obs collector's measured comm words deviate from the (lambda-1)

@@ -26,6 +26,7 @@ import (
 	"os"
 	"os/exec"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -118,17 +119,52 @@ func main() {
 
 // envInfo seeds the env map with the toolchain and machine facts a
 // later diff needs to interpret the numbers: the commit the benchmarks
-// ran at, the Go version, and the parallelism. Lines parsed from the
-// benchmark header (goos/goarch/cpu/pkg) are added on top.
+// ran at, the Go version, the parallelism, and the repository's own
+// behavior switches (REPRO_NOSIMD disables the SIMD micro-kernels,
+// REPRO_CALIBRATION redirects the planner's calibration cache) —
+// verbatim, with "" meaning unset. The switches are read from this
+// process's environment, so export them for the whole pipeline:
+// `VAR=1 go test ... | benchjson` sets VAR on go test only and the
+// snapshot would record it as unset. Lines parsed from the benchmark
+// header (goos/goarch/cpu/pkg) are added on top.
 func envInfo() map[string]string {
 	env := map[string]string{
-		"go":         runtime.Version(),
-		"gomaxprocs": strconv.Itoa(runtime.GOMAXPROCS(0)),
+		"go":                runtime.Version(),
+		"gomaxprocs":        strconv.Itoa(runtime.GOMAXPROCS(0)),
+		"REPRO_NOSIMD":      os.Getenv("REPRO_NOSIMD"),
+		"REPRO_CALIBRATION": os.Getenv("REPRO_CALIBRATION"),
+		"dtype":             "f64",
 	}
 	if head, err := exec.Command("git", "rev-parse", "HEAD").Output(); err == nil {
 		env["commit"] = strings.TrimSpace(string(head))
 	}
 	return env
+}
+
+// diffEnv lists the env keys whose values differ between two
+// snapshots, "key: old -> new" per line, sorted. Keys absent on one
+// side show as "" — indistinguishable from explicitly unset, which is
+// exactly how the behavior switches are read.
+func diffEnv(oldSnap, newSnap *Snapshot) []string {
+	keys := map[string]bool{}
+	for k := range oldSnap.Env {
+		keys[k] = true
+	}
+	for k := range newSnap.Env {
+		keys[k] = true
+	}
+	names := make([]string, 0, len(keys))
+	for k := range keys {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	var out []string
+	for _, k := range names {
+		if o, n := oldSnap.Env[k], newSnap.Env[k]; o != n {
+			out = append(out, fmt.Sprintf("%s: %q -> %q", k, o, n))
+		}
+	}
+	return out
 }
 
 // parseLine parses one benchmark result line:
@@ -201,6 +237,15 @@ func compareSnapshots(oldPath, newPath string, tolerance float64) error {
 	}
 
 	fmt.Printf("benchjson: %s (%s) vs %s (%s)\n", oldPath, oldSnap.Date, newPath, newSnap.Date)
+	// Environment differences come before the numbers: a dtype or
+	// REPRO_NOSIMD mismatch usually explains a "regression" better than
+	// the table below it.
+	if diffs := diffEnv(oldSnap, newSnap); len(diffs) > 0 {
+		fmt.Println("env differences:")
+		for _, d := range diffs {
+			fmt.Println("  " + d)
+		}
+	}
 	width := len("benchmark")
 	for _, n := range names {
 		if len(n) > width {

@@ -27,6 +27,7 @@ import (
 	"repro/internal/cpals"
 	"repro/internal/dimtree"
 	"repro/internal/obs"
+	"repro/internal/obs/flight"
 	"repro/internal/plan"
 	"repro/internal/workload"
 )
@@ -44,6 +45,7 @@ func main() {
 	seed := flag.Int64("seed", 7, "seed")
 	obsFlag := flag.Bool("obs", false, "print the instrumented observability report")
 	obsJSON := flag.String("obs-json", "", "write the observability report as JSON to this path (- for stdout)")
+	traceOut := flag.String("trace", "", "write a flight-recorder Chrome trace (JSON) to this path")
 	flag.Parse()
 
 	if *engine != "auto" && *engine != "independent" && *engine != "tree" {
@@ -53,6 +55,28 @@ func main() {
 	dims, err := parseInts(*dimsFlag)
 	if err != nil {
 		fatal(err)
+	}
+
+	// -trace starts before the planner runs so the trace carries the
+	// plan instant; parallel runs get one process row per rank.
+	if *traceOut != "" {
+		ranks := 0
+		if *gridFlag != "" {
+			shape, err := parseInts(*gridFlag)
+			if err != nil {
+				fatal(err)
+			}
+			ranks = 1
+			for _, s := range shape {
+				ranks *= s
+			}
+		}
+		flush := flight.StartTrace(*traceOut, ranks)
+		defer func() {
+			if err := flush(); err != nil {
+				fatal(err)
+			}
+		}()
 	}
 
 	// -engine auto (the default) asks the planner to choose between the

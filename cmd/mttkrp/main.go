@@ -30,6 +30,7 @@ import (
 	"repro/internal/kernel"
 	"repro/internal/linalg"
 	"repro/internal/obs"
+	"repro/internal/obs/flight"
 	"repro/internal/plan"
 	"repro/internal/seq"
 	"repro/internal/tensor"
@@ -53,6 +54,7 @@ func main() {
 	obsJSON := flag.String("obs-json", "", "write the observability report as JSON to this path (- for stdout)")
 	obsMax := flag.Float64("obs-maxratio", 0, "fail (exit 3) when the measured/best-bound ratio exceeds this (0 = off)")
 	obsMin := flag.Float64("obs-minratio", 0, "fail (exit 3) when the measured/best-bound ratio is below this (0 = off)")
+	traceOut := flag.String("trace", "", "write a flight-recorder Chrome trace (JSON) to this path")
 	flag.Parse()
 
 	dims, err := parseDims(*dimsFlag)
@@ -90,6 +92,26 @@ func main() {
 			algoSet = true
 		}
 	})
+
+	// -trace records a flight-recorder timeline of whichever path runs.
+	// Parallel algorithms get one process row per simulated rank; the
+	// sequential/shared-memory paths render on the single engine row.
+	if *traceOut != "" {
+		ranks := 0
+		if algoSet {
+			switch *algo {
+			case "stationary", "general", "par-matmul":
+				ranks = *p
+			}
+		}
+		flush := flight.StartTrace(*traceOut, ranks)
+		defer func() {
+			if err := flush(); err != nil {
+				fatal(err)
+			}
+		}()
+	}
+
 	if !algoSet {
 		runPlanned(*engine, inst, dims, *r, *mode, *dtype, *workers, *m,
 			runStart, observing, col, *obsFlag, *obsJSON, *obsMax, *obsMin)

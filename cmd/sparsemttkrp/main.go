@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/obs/flight"
 	"repro/internal/plan"
 	"repro/internal/sparse"
 	"repro/internal/tensor"
@@ -40,9 +41,22 @@ func main() {
 	dtype := flag.String("dtype", "f64", "value/factor storage precision: f64 | f32 (accumulation stays float64)")
 	obsFlag := flag.Bool("obs", false, "print the instrumented observability report")
 	obsJSON := flag.String("obs-json", "", "write the observability report as JSON to this path (- for stdout)")
+	traceOut := flag.String("trace", "", "write a flight-recorder Chrome trace (JSON) to this path")
 	flag.Parse()
 
 	dims := []int{*side, *side, *side}
+
+	// -trace starts before the planner runs so the trace carries the
+	// plan instant; the expand/fold runs get one process row per part.
+	if *traceOut != "" {
+		flush := flight.StartTrace(*traceOut, *p)
+		defer func() {
+			if err := flush(); err != nil {
+				fmt.Fprintln(os.Stderr, "sparsemttkrp:", err)
+				os.Exit(2)
+			}
+		}()
+	}
 
 	// -engine auto routes the local-engine pick through the cost-model
 	// planner: csf vs coo decided from the nonzero count and rank, the

@@ -1,0 +1,57 @@
+// Command tracecheck validates a flight-recorder Chrome trace export
+// against the trace-event schema the repository emits: known phases
+// only, required keys present, every Send flow paired with exactly one
+// Recv flow arriving no earlier than it left. On success it prints a
+// one-screen summary (event counts, per-rank comm words); on any
+// schema violation it reports the failure and exits nonzero, so CI can
+// gate on "the trace a command just wrote is well formed".
+//
+// Usage:
+//
+//	mttkrp -algo stationary -p 8 -trace run.json && tracecheck run.json
+package main
+
+import (
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/obs/flight"
+)
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: tracecheck <trace.json>")
+		os.Exit(2)
+	}
+	path := os.Args[1]
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracecheck:", err)
+		os.Exit(2)
+	}
+	sum, err := flight.Validate(data)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tracecheck: %s: %v\n", path, err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("%s: valid Chrome trace\n", path)
+	fmt.Printf("  events    = %d (%d metadata, %d spans, %d instants)\n",
+		sum.Events, sum.Metadata, sum.Spans, sum.Instants)
+	fmt.Printf("  flows     = %d (all Send→Recv pairs matched)\n", sum.Flows)
+	if len(sum.SendEvents) > 0 {
+		pids := make([]int, 0, len(sum.SendEvents))
+		for pid := range sum.SendEvents {
+			pids = append(pids, pid)
+		}
+		sort.Ints(pids)
+		fmt.Printf("  comm per rank:\n")
+		for _, pid := range pids {
+			fmt.Printf("    rank %3d: %d sends / %d words out, %d recvs / %d words in\n",
+				pid, sum.SendEvents[pid], sum.SendWords[pid],
+				sum.RecvEvents[pid], sum.RecvWords[pid])
+		}
+		fmt.Printf("  total send words = %d\n", sum.TotalSendWords())
+	}
+}

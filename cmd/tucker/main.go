@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/linalg"
 	"repro/internal/obs"
+	"repro/internal/obs/flight"
 	"repro/internal/plan"
 	"repro/internal/tensor"
 	"repro/internal/tucker"
@@ -33,6 +34,7 @@ func main() {
 	seed := flag.Int64("seed", 5, "seed")
 	obsFlag := flag.Bool("obs", false, "print the instrumented observability report")
 	obsJSON := flag.String("obs-json", "", "write the observability report as JSON to this path (- for stdout)")
+	traceOut := flag.String("trace", "", "write a flight-recorder Chrome trace (JSON) to this path")
 	flag.Parse()
 
 	dims, err := parseInts(*dimsFlag)
@@ -45,6 +47,28 @@ func main() {
 	}
 	if len(ranks) != len(dims) {
 		fatal(fmt.Errorf("need one rank per mode"))
+	}
+
+	// -trace starts before the planner runs so the trace carries the
+	// plan instant; parallel HOOI gets one process row per rank.
+	if *traceOut != "" {
+		procs := 0
+		if *gridFlag != "" {
+			shape, err := parseInts(*gridFlag)
+			if err != nil {
+				fatal(err)
+			}
+			procs = 1
+			for _, s := range shape {
+				procs *= s
+			}
+		}
+		flush := flight.StartTrace(*traceOut, procs)
+		defer func() {
+			if err := flush(); err != nil {
+				fatal(err)
+			}
+		}()
 	}
 
 	// HOOI's hot loop is mode-k unfoldings times factor panels. With
@@ -69,6 +93,14 @@ func main() {
 		linalg.SetBlockSizes(kc, mc)
 		planInfo = &obs.PlanInfo{Engine: "hooi", Workers: linalg.Workers(),
 			GemmKC: kc, GemmMC: mc, CalibrationKey: cal.Key}
+		// HOOI plans GEMM blocks directly rather than through
+		// plan.Choice.Apply, so it records its own plan instant.
+		flight.Rec().ColdInstant("plan", map[string]string{
+			"engine":  "hooi",
+			"gemm_kc": strconv.Itoa(kc),
+			"gemm_mc": strconv.Itoa(mc),
+			"cal_key": cal.Key,
+		})
 		fmt.Printf("plan: gemm blocks kc=%d mc=%d\n", kc, mc)
 	case "default":
 		// keep the package block sizes

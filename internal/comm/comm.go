@@ -85,7 +85,7 @@ func (c *Comm) Recv(src int) []float64 {
 // received payloads, so no extra size exchange is modeled (in practice
 // sizes are known from the data distribution).
 func (c *Comm) AllGatherV(mine []float64) [][]float64 {
-	span := obs.Start(obs.PhaseAllGather)
+	span := obs.StartRank(c.ranks[c.me], obs.PhaseAllGather)
 	defer span.Stop()
 	q := len(c.ranks)
 	blocks := make([][]float64, q)
@@ -129,7 +129,7 @@ func (c *Comm) AllGatherConcat(mine []float64) []float64 {
 // at rank j after q-1 steps. Each rank sends (total - |own chunk|)
 // words: (q-1)*w for balanced chunks of w words.
 func (c *Comm) ReduceScatterV(contrib [][]float64) []float64 {
-	span := obs.Start(obs.PhaseReduceScatter)
+	span := obs.StartRank(c.ranks[c.me], obs.PhaseReduceScatter)
 	defer span.Stop()
 	q := len(c.ranks)
 	if len(contrib) != q {
@@ -166,7 +166,7 @@ func (c *Comm) ReduceScatterV(contrib [][]float64) []float64 {
 // on every rank, implemented as an even-partition Reduce-Scatter
 // followed by an All-Gather (cost 2*(q-1)/q * len(x) words each way).
 func (c *Comm) AllReduce(x []float64) []float64 {
-	span := obs.Start(obs.PhaseAllReduce)
+	span := obs.StartRank(c.ranks[c.me], obs.PhaseAllReduce)
 	defer span.Stop()
 	q := len(c.ranks)
 	if q == 1 {

@@ -24,7 +24,7 @@ import (
 // and ignore the number of messages"). Every rank must contribute
 // exactly the same number of words.
 func (c *Comm) RDAllGather(mine []float64) [][]float64 {
-	span := obs.Start(obs.PhaseAllGather)
+	span := obs.StartRank(c.ranks[c.me], obs.PhaseAllGather)
 	defer span.Stop()
 	q := len(c.ranks)
 	w := len(mine)

@@ -9,6 +9,7 @@ import (
 	"repro/internal/grid"
 	"repro/internal/kernel"
 	"repro/internal/linalg"
+	"repro/internal/obs"
 	"repro/internal/simnet"
 	"repro/internal/tensor"
 )
@@ -124,7 +125,9 @@ func DecomposeParallel(x *tensor.Dense, shape []int, opts Options) (*ParallelRes
 				}
 				// Local MTTKRP (workers=1: each simulated rank already
 				// runs on its own goroutine) and row-wise Reduce-Scatter.
+				span := obs.StartRank(rank, obs.PhaseLocal)
 				c := kernel.FastWorkers(localX[rank], gathered, n, 1)
+				span.Stop()
 				cn := comm.New(net, lay.HyperSlice(n, coords), rank)
 				b := reduceScatterRows(cn, c, opts.R)
 				mttkrpWords[rank] += net.RankStats(rank).Words() - before

@@ -38,6 +38,7 @@ import (
 
 	"repro/internal/linalg"
 	"repro/internal/obs"
+	"repro/internal/obs/flight"
 	"repro/internal/simd"
 	"repro/internal/tensor"
 )
@@ -156,6 +157,12 @@ func Contract3(out, data, kl, kr []float64, L, M, Rt, R, workers int, ws *Worksp
 	}
 }
 
+// slabName tags one interior slab chunk on the flight recorder's
+// timeline: chunk counts depend only on interiorChunks and Rt, so slab
+// event totals — like the obs counters — are worker-count independent;
+// only their thread-row attribution varies.
+var slabName = flight.RegisterName("slab")
+
 // interiorChunks is the fixed accumulation-bucket count of the
 // two-sided slab kernel. Slab ranges and the ReduceTree association
 // depend only on this constant and Rt — never on the worker count — so
@@ -178,7 +185,10 @@ func interior(out, data, kl, kr []float64, L, M, Rt, R, workers int, ws *Workspa
 		out[i] = 0
 	}
 	if nbuf == 1 {
+		fr := flight.Rec()
+		fr.Begin(flight.AnonPid, 0, slabName)
 		interiorSlabs(out, ws.scratch[:MR], data, kl, kr, L, M, Rt, R, 0, Rt)
+		fr.End(flight.AnonPid, 0, slabName)
 		return
 	}
 	bufs := append(ws.bufs[:0], out) //repro:ignore hotpath-alloc bucket list reuses workspace capacity ensured by ensureScratch
@@ -193,8 +203,11 @@ func interior(out, data, kl, kr []float64, L, M, Rt, R, workers int, ws *Workspa
 		workers = nbuf
 	}
 	if workers <= 1 {
+		fr := flight.Rec()
 		for c := 0; c < nbuf; c++ {
+			fr.Begin(flight.AnonPid, 0, slabName)
 			interiorSlabs(bufs[c], ws.scratch[:MR], data, kl, kr, L, M, Rt, R, c*Rt/nbuf, (c+1)*Rt/nbuf)
+			fr.End(flight.AnonPid, 0, slabName)
 		}
 	} else {
 		// A separate function so the goroutine closure's captures don't
@@ -219,13 +232,16 @@ func interiorParallel(bufs [][]float64, scratch, data, kl, kr []float64, L, M, R
 	for w := 0; w < workers; w++ {
 		go func(w int) {
 			defer wg.Done()
+			fr := flight.Rec()
 			wbuf := scratch[w*MR : (w+1)*MR]
 			for {
 				c := int(next.Add(1)) - 1
 				if c >= nbuf {
 					return
 				}
+				fr.Begin(flight.AnonPid, w, slabName)
 				interiorSlabs(bufs[c], wbuf, data, kl, kr, L, M, Rt, R, c*Rt/nbuf, (c+1)*Rt/nbuf)
+				fr.End(flight.AnonPid, w, slabName)
 			}
 		}(w)
 	}

@@ -1,0 +1,244 @@
+// Chrome trace-event JSON export. The output loads in Perfetto /
+// chrome://tracing: simnet ranks render as process rows, workers as
+// thread rows, Begin/End pairs as duration slices, kernel calls as
+// instants, and Send→Recv pairs as flow arrows keyed by
+// (src, dst, seq) — the per-mode message schedule of Eq. (14)/(18)
+// made visible. Format reference: the Trace Event Format spec's JSON
+// object form ({"traceEvents": [...]}).
+package flight
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// TraceEvent is one entry of the exported traceEvents array.
+type TraceEvent struct {
+	Name string         `json:"name,omitempty"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"` // microseconds
+	Dur  *float64       `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`  // instant scope
+	ID   string         `json:"id,omitempty"` // flow id
+	BP   string         `json:"bp,omitempty"` // flow binding point
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// TraceDoc is the exported JSON object form.
+type TraceDoc struct {
+	TraceEvents     []TraceEvent   `json:"traceEvents"`
+	DisplayTimeUnit string         `json:"displayTimeUnit"`
+	OtherData       map[string]any `json:"otherData,omitempty"`
+}
+
+// WriteTrace exports the recorder's current contents as Chrome
+// trace-event JSON. Call when recording goroutines are quiescent.
+func (r *Recorder) WriteTrace(w io.Writer) error {
+	return ExportEvents(w, r.Events(), r.ColdEvents())
+}
+
+// usec converts recorder nanoseconds to trace microseconds.
+func usec(ns int64) float64 { return float64(ns) / 1e3 }
+
+// ExportEvents renders an event batch (sorted by TS, as returned by
+// Events) plus cold instants as a Chrome trace document. Exported
+// separately from Recorder so tests can drive it with crafted events
+// and golden-compare the bytes.
+//
+// Anonymous events (Pid == AnonPid) are mapped onto process row 0 when
+// the batch holds no comm events; in a distributed batch (any
+// send/recv present) row 0 belongs to rank 0, so anonymous events are
+// dropped and counted in otherData instead of being misattributed.
+func ExportEvents(w io.Writer, evs []Event, cold []ColdEvent) error {
+	distributed := false
+	for i := range evs {
+		if k := Kind(evs[i].Kind); k == KindSend || k == KindRecv {
+			distributed = true
+			break
+		}
+	}
+
+	var out []TraceEvent
+	rows := map[[2]int]bool{}
+	droppedAnon := 0
+	unmatched := 0
+
+	// Per-(pid,tid) stacks pair Begin/End events into X slices.
+	type open struct {
+		ts   int64
+		name uint8
+	}
+	stacks := map[[2]int][]open{}
+	// A command may run several sequential simnet networks (each restarts
+	// its channel sequence numbers at zero), so a (src, dst, seq) triple
+	// can repeat across runs. Per-channel FIFO order makes the k-th send
+	// occurrence pair with the k-th recv occurrence, so an occurrence
+	// index disambiguates the flow id; the first occurrence keeps the
+	// plain id.
+	sendOcc := map[string]int{}
+	recvOcc := map[string]int{}
+	occID := func(id string, occ map[string]int) string {
+		k := occ[id]
+		occ[id] = k + 1
+		if k == 0 {
+			return id
+		}
+		return fmt.Sprintf("%s.%d", id, k)
+	}
+	row := func(ev Event) ([2]int, bool) {
+		pid, tid := int(ev.Pid), int(ev.Tid)
+		if pid < 0 {
+			if distributed {
+				return [2]int{}, false
+			}
+			pid = 0
+		}
+		return [2]int{pid, tid}, true
+	}
+
+	for _, ev := range evs {
+		rt, ok := row(ev)
+		if !ok {
+			droppedAnon++
+			continue
+		}
+		rows[rt] = true
+		switch Kind(ev.Kind) {
+		case KindBegin:
+			stacks[rt] = append(stacks[rt], open{ts: ev.TS, name: ev.Name})
+		case KindEnd:
+			st := stacks[rt]
+			// Pop to the innermost matching open; opens above it lost
+			// their End to a ring wrap and are dropped.
+			m := len(st) - 1
+			for m >= 0 && st[m].name != ev.Name {
+				m--
+			}
+			if m < 0 {
+				unmatched++ // End whose Begin was overwritten
+				continue
+			}
+			unmatched += len(st) - 1 - m
+			dur := usec(ev.TS - st[m].ts)
+			out = append(out, TraceEvent{
+				Name: NameOf(ev.Name), Cat: "phase", Ph: "X",
+				TS: usec(st[m].ts), Dur: &dur, Pid: rt[0], Tid: rt[1],
+			})
+			stacks[rt] = st[:m]
+		case KindInstant:
+			out = append(out, TraceEvent{
+				Name: NameOf(ev.Name), Cat: "mark", Ph: "i", S: "t",
+				TS: usec(ev.TS), Pid: rt[0], Tid: rt[1],
+				Args: map[string]any{"value": ev.A},
+			})
+		case KindKernel:
+			out = append(out, TraceEvent{
+				Name: NameOf(ev.Name), Cat: "kernel", Ph: "i", S: "t",
+				TS: usec(ev.TS), Pid: rt[0], Tid: rt[1],
+				Args: map[string]any{"flops": ev.A, "words": ev.B},
+			})
+		case KindSend:
+			id := occID(flowID(int(ev.Pid), int(ev.Peer), ev.Seq), sendOcc)
+			zero := 0.0
+			out = append(out, TraceEvent{
+				Name: "send", Cat: "comm", Ph: "X",
+				TS: usec(ev.TS), Dur: &zero, Pid: rt[0], Tid: rt[1],
+				Args: map[string]any{"peer": ev.Peer, "words": ev.A, "seq": ev.Seq},
+			})
+			out = append(out, TraceEvent{
+				Name: "msg", Cat: "comm", Ph: "s", ID: id,
+				TS: usec(ev.TS), Pid: rt[0], Tid: rt[1],
+			})
+		case KindRecv:
+			id := occID(flowID(int(ev.Peer), int(ev.Pid), ev.Seq), recvOcc)
+			zero := 0.0
+			out = append(out, TraceEvent{
+				Name: "recv", Cat: "comm", Ph: "X",
+				TS: usec(ev.TS), Dur: &zero, Pid: rt[0], Tid: rt[1],
+				Args: map[string]any{"peer": ev.Peer, "words": ev.A, "seq": ev.Seq},
+			})
+			out = append(out, TraceEvent{
+				Name: "msg", Cat: "comm", Ph: "f", BP: "e", ID: id,
+				TS: usec(ev.TS), Pid: rt[0], Tid: rt[1],
+			})
+		}
+	}
+	for _, st := range stacks {
+		unmatched += len(st) //repro:ignore determinism integer accumulation is exact in any order
+	}
+
+	for _, ce := range cold {
+		rows[[2]int{0, 0}] = true
+		args := make(map[string]any, len(ce.Args))
+		for k, v := range ce.Args {
+			args[k] = v
+		}
+		out = append(out, TraceEvent{
+			Name: ce.Name, Cat: "plan", Ph: "i", S: "g",
+			TS: usec(ce.TS), Pid: 0, Tid: 0, Args: args,
+		})
+	}
+
+	// Metadata rows, sorted for deterministic output.
+	var keys [][2]int
+	for rt := range rows {
+		keys = append(keys, rt)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	var meta []TraceEvent
+	lastPid := -1
+	for _, rt := range keys {
+		if rt[0] != lastPid {
+			lastPid = rt[0]
+			pname := "engine"
+			if distributed {
+				pname = fmt.Sprintf("rank %d", rt[0])
+			}
+			meta = append(meta, TraceEvent{
+				Name: "process_name", Ph: "M", Pid: rt[0], Tid: 0,
+				Args: map[string]any{"name": pname},
+			})
+		}
+		tname := "main"
+		if rt[1] != 0 {
+			tname = fmt.Sprintf("worker %d", rt[1])
+		}
+		meta = append(meta, TraceEvent{
+			Name: "thread_name", Ph: "M", Pid: rt[0], Tid: rt[1],
+			Args: map[string]any{"name": tname},
+		})
+	}
+
+	doc := TraceDoc{
+		TraceEvents:     append(meta, out...),
+		DisplayTimeUnit: "ns",
+	}
+	if droppedAnon > 0 || unmatched > 0 {
+		doc.OtherData = map[string]any{}
+		if droppedAnon > 0 {
+			doc.OtherData["dropped_anonymous_events"] = droppedAnon
+		}
+		if unmatched > 0 {
+			doc.OtherData["unmatched_span_events"] = unmatched
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(doc)
+}
+
+// flowID names the flow arrow of one (src, dst, seq) message; both
+// the send ("s") and recv ("f") halves derive the same id.
+func flowID(src, dst int, seq int32) string {
+	return fmt.Sprintf("%d>%d#%d", src, dst, seq)
+}

@@ -1,0 +1,171 @@
+package flight_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/obs/flight"
+)
+
+// goldenEvents is a small distributed batch exercising every exported
+// shape: a dropped anonymous kernel instant, spans on two rank rows, a
+// paired Send→Recv flow, and a planner cold instant.
+func goldenEvents() ([]flight.Event, []flight.ColdEvent) {
+	local := flight.RegisterName("local")
+	gemm := flight.RegisterName("gemm")
+	evs := []flight.Event{
+		{TS: 500, Kind: uint8(flight.KindKernel), Name: gemm, Pid: flight.AnonPid, A: 200, B: 30},
+		{TS: 1000, Kind: uint8(flight.KindBegin), Name: local, Pid: 0},
+		{TS: 1500, Kind: uint8(flight.KindSend), Pid: 0, Peer: 1, Seq: 0, A: 8},
+		{TS: 2500, Kind: uint8(flight.KindRecv), Pid: 1, Peer: 0, Seq: 0, A: 8},
+		{TS: 3000, Kind: uint8(flight.KindEnd), Name: local, Pid: 0},
+		{TS: 3200, Kind: uint8(flight.KindBegin), Name: local, Pid: 1, Tid: 2},
+		{TS: 4000, Kind: uint8(flight.KindEnd), Name: local, Pid: 1, Tid: 2},
+	}
+	cold := []flight.ColdEvent{
+		{TS: 100, Name: "plan", Args: map[string]string{"engine": "fast", "workers": "4"}},
+	}
+	return evs, cold
+}
+
+// TestGoldenTrace compares the exporter's bytes against the checked-in
+// Chrome-trace fixture (regenerate with REPRO_UPDATE_GOLDEN=1) and
+// validates the fixture against the trace-event schema.
+func TestGoldenTrace(t *testing.T) {
+	evs, cold := goldenEvents()
+	var buf bytes.Buffer
+	if err := flight.ExportEvents(&buf, evs, cold); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "golden_trace.json")
+	if os.Getenv("REPRO_UPDATE_GOLDEN") != "" {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with REPRO_UPDATE_GOLDEN=1 to regenerate)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("exported trace differs from %s:\ngot:\n%s", golden, buf.String())
+	}
+
+	sum, err := flight.Validate(want)
+	if err != nil {
+		t.Fatalf("golden trace fails schema validation: %v", err)
+	}
+	if sum.Flows != 1 {
+		t.Fatalf("golden flows = %d, want 1", sum.Flows)
+	}
+	if sum.Spans != 2 {
+		t.Fatalf("golden spans = %d, want 2", sum.Spans)
+	}
+	if sum.SendEvents[0] != 1 || sum.RecvEvents[1] != 1 {
+		t.Fatalf("golden comm events = %v / %v", sum.SendEvents, sum.RecvEvents)
+	}
+	if sum.SendWords[0] != 8 || sum.RecvWords[1] != 8 {
+		t.Fatalf("golden comm words = %v / %v", sum.SendWords, sum.RecvWords)
+	}
+	// The anonymous kernel instant is dropped (distributed batch); the
+	// only instant left is the planner cold event.
+	if sum.Instants != 1 {
+		t.Fatalf("golden instants = %d, want 1", sum.Instants)
+	}
+
+	// The export round-trips: parse, re-marshal, re-validate.
+	var doc any
+	if err := json.Unmarshal(want, &doc); err != nil {
+		t.Fatal(err)
+	}
+	again, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := flight.Validate(again); err != nil {
+		t.Fatalf("re-marshaled trace fails validation: %v", err)
+	}
+}
+
+// TestExportSharedMemoryKeepsAnonymous: without comm events, anonymous
+// engine rows export onto process 0 ("engine").
+func TestExportSharedMemoryKeepsAnonymous(t *testing.T) {
+	name := flight.RegisterName("shm-span")
+	evs := []flight.Event{
+		{TS: 10, Kind: uint8(flight.KindBegin), Name: name, Pid: flight.AnonPid},
+		{TS: 20, Kind: uint8(flight.KindKernel), Name: name, Pid: flight.AnonPid, Tid: 1, A: 2, B: 2},
+		{TS: 30, Kind: uint8(flight.KindEnd), Name: name, Pid: flight.AnonPid},
+	}
+	var buf bytes.Buffer
+	if err := flight.ExportEvents(&buf, evs, nil); err != nil {
+		t.Fatal(err)
+	}
+	sum, err := flight.Validate(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Spans != 1 || sum.Instants != 1 {
+		t.Fatalf("spans=%d instants=%d, want 1/1 (anonymous events kept)", sum.Spans, sum.Instants)
+	}
+}
+
+// TestValidateRejectsBadTraces pins the checker's teeth: unpaired and
+// time-reversed flows, unknown phases, and missing required keys all
+// fail.
+func TestValidateRejectsBadTraces(t *testing.T) {
+	cases := map[string]string{
+		"unpaired flow": `{"traceEvents":[
+			{"ph":"s","id":"0>1#0","ts":1,"pid":0,"tid":0,"name":"msg"}],"displayTimeUnit":"ns"}`,
+		"time-reversed flow": `{"traceEvents":[
+			{"ph":"s","id":"0>1#0","ts":5,"pid":0,"tid":0,"name":"msg"},
+			{"ph":"f","bp":"e","id":"0>1#0","ts":2,"pid":1,"tid":0,"name":"msg"}],"displayTimeUnit":"ns"}`,
+		"duplicate flow start": `{"traceEvents":[
+			{"ph":"s","id":"0>1#0","ts":1,"pid":0,"tid":0},
+			{"ph":"s","id":"0>1#0","ts":2,"pid":0,"tid":0},
+			{"ph":"f","bp":"e","id":"0>1#0","ts":3,"pid":1,"tid":0}],"displayTimeUnit":"ns"}`,
+		"unknown phase":   `{"traceEvents":[{"ph":"Q","ts":1,"pid":0,"tid":0}],"displayTimeUnit":"ns"}`,
+		"missing pid":     `{"traceEvents":[{"ph":"i","ts":1,"tid":0}],"displayTimeUnit":"ns"}`,
+		"X without dur":   `{"traceEvents":[{"ph":"X","ts":1,"pid":0,"tid":0}],"displayTimeUnit":"ns"}`,
+		"no traceEvents":  `{"displayTimeUnit":"ns"}`,
+		"bad time unit":   `{"traceEvents":[],"displayTimeUnit":"fortnights"}`,
+		"flow without bp": `{"traceEvents":[{"ph":"s","id":"a","ts":1,"pid":0,"tid":0},{"ph":"f","id":"a","ts":2,"pid":1,"tid":0}],"displayTimeUnit":"ns"}`,
+		"not even JSON":   `]`,
+	}
+	for name, doc := range cases {
+		if _, err := flight.Validate([]byte(doc)); err == nil {
+			t.Errorf("%s: Validate accepted a bad trace", name)
+		}
+	}
+}
+
+// TestWriteTraceLive drives a real recorder through a two-rank
+// exchange and validates the export end to end.
+func TestWriteTraceLive(t *testing.T) {
+	rec := flight.New(2, 256)
+	name := flight.RegisterName("live-span")
+	rec.Begin(0, 0, name)
+	rec.Send(0, 1, 16, 0)
+	rec.Send(0, 1, 16, 1)
+	rec.Recv(0, 1, 16, 0)
+	rec.Recv(0, 1, 16, 1)
+	rec.End(0, 0, name)
+	rec.ColdInstant("plan", map[string]string{"engine": "csf"})
+
+	var buf bytes.Buffer
+	if err := rec.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	sum, err := flight.Validate(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Flows != 2 {
+		t.Fatalf("flows = %d, want 2", sum.Flows)
+	}
+	if sum.SendWords[0] != 32 || sum.RecvWords[1] != 32 {
+		t.Fatalf("words = %v / %v, want 32/32", sum.SendWords, sum.RecvWords)
+	}
+}

@@ -1,0 +1,509 @@
+// Package flight is the repository's flight recorder: a zero-alloc
+// structured event tracer that sits one layer below internal/obs.
+// Where obs answers "how much" (words, flops, bound ratios), flight
+// answers "when and where": which worker ran which kernel slab, which
+// rank was blocked in a collective, how a CP-ALS sweep's critical path
+// is laid out, and how every simnet Send pairs with its Recv — the
+// per-mode communication schedule the paper's Eq. (14)/(18) count,
+// rendered as a timeline instead of a total.
+//
+// The design follows obs's slab discipline:
+//
+//   - A Recorder owns per-track preallocated event rings carved out of
+//     one backing slab, each ring headed by a cache-line-padded atomic
+//     cursor. Recording an event is a clock read, an atomic counter
+//     add, an atomic cursor bump, and six atomic word stores (one
+//     48-byte event) — nothing on the record path allocates, ever (the
+//     repolint hotpath-alloc analyzer walks it). Rings wrap,
+//     overwriting the oldest events; per-kind aggregate counts stay
+//     exact regardless. Slots are atomic words rather than a struct
+//     memcpy so that writers which collide on a wrapped slot (two
+//     cursor claims exactly one capacity apart, racing) interleave at
+//     word granularity instead of tearing arbitrarily — each stored
+//     word is always one writer's value, and the exporter already
+//     tolerates a mixed slot the same way it tolerates a snapshot
+//     catching a store mid-flight.
+//   - The package-level active recorder is never nil: the default is a
+//     statically allocated disabled recorder, so an uninstrumented run
+//     pays one atomic pointer load and a predictable branch per site.
+//   - Event names are interned uint8 ids in a process-wide registry;
+//     instrumenting packages register their names once at init, so hot
+//     record calls carry no strings.
+//
+// Events attributed to a simnet rank carry that rank as Pid; events
+// recorded by engine internals that cannot know a rank (shared-memory
+// kernels, GEMM instants) carry AnonPid. The Chrome-trace exporter
+// (export.go) renders ranks as process rows, workers as thread rows,
+// and Send→Recv pairs as flow events keyed by (src, dst, seq).
+package flight
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Kind classifies one recorded event.
+type Kind uint8
+
+const (
+	// KindBegin opens a named span on a (Pid, Tid) row.
+	KindBegin Kind = iota
+	// KindEnd closes the innermost open span of the same name.
+	KindEnd
+	// KindInstant marks a point in time (payload in A).
+	KindInstant
+	// KindKernel is an instant kernel-call marker with flop (A) and
+	// word (B) payloads.
+	KindKernel
+	// KindSend is one simnet message leaving Pid for Peer: A words,
+	// Seq-th message on the (Pid, Peer) channel.
+	KindSend
+	// KindRecv is one simnet message arriving at Pid from Peer: A
+	// words, Seq-th message on the (Peer, Pid) channel.
+	KindRecv
+
+	// NumKinds is the number of event kinds.
+	NumKinds
+)
+
+var kindNames = [NumKinds]string{"begin", "end", "instant", "kernel", "send", "recv"}
+
+// String returns the kind's snake_case name.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return "kind?"
+}
+
+// AnonPid marks events recorded by engine internals that do not know a
+// simnet rank. The exporter maps them onto process row 0 in
+// shared-memory traces and drops them from distributed traces, where
+// row 0 is rank 0 and anonymous attribution would be ambiguous.
+const AnonPid = -1
+
+// Event is one recorded flight event. 48 bytes; kept flat so ring
+// stores never allocate or chase pointers.
+type Event struct {
+	TS   int64 // ns on the recorder's clock
+	A    int64 // kind-specific payload: flops (kernel), words (send/recv), value (instant)
+	B    int64 // kind-specific payload: words (kernel)
+	Pid  int32 // simnet rank, or AnonPid
+	Tid  int32 // worker index within the rank (0 = the rank's main goroutine)
+	Peer int32 // counterpart rank for send/recv
+	Seq  int32 // per-(src,dst)-channel message sequence number
+	Kind uint8
+	Name uint8 // interned name id (RegisterName/NameOf)
+}
+
+// names is the process-wide interned-name registry. Registration is
+// cold (package init of instrumenting layers); lookups on the export
+// path take the lock once per event batch, never on the record path.
+var names struct {
+	mu  sync.Mutex
+	tab []string
+	idx map[string]uint8
+}
+
+func init() {
+	names.idx = make(map[string]uint8, 64)
+	names.tab = []string{"?"} // id 0 is the unnamed placeholder
+}
+
+// RegisterName interns s and returns its id. Re-registering a string
+// returns the existing id. The registry holds at most 255 names;
+// overflow folds into the id 0 placeholder rather than failing, so
+// callers never need to handle an error at init time.
+func RegisterName(s string) uint8 {
+	names.mu.Lock()
+	defer names.mu.Unlock()
+	if id, ok := names.idx[s]; ok {
+		return id
+	}
+	if len(names.tab) > 255 {
+		return 0
+	}
+	id := uint8(len(names.tab))
+	names.tab = append(names.tab, s)
+	names.idx[s] = id
+	return id
+}
+
+// NameOf returns the string interned under id ("?" for unknown ids).
+func NameOf(id uint8) string {
+	names.mu.Lock()
+	defer names.mu.Unlock()
+	if int(id) < len(names.tab) {
+		return names.tab[id]
+	}
+	return "?"
+}
+
+// DefaultRingCap is the per-track event-ring capacity when New is
+// given ringCap <= 0.
+const DefaultRingCap = 8192
+
+// eventWords is the size of one ring slot in 64-bit words: an Event's
+// three payload int64s, the packed (Pid,Tid) and (Peer,Seq) pairs, and
+// the packed (Kind,Name) byte pair.
+const eventWords = 6
+
+// words packs the event into its ring-slot representation.
+func (ev Event) words() [eventWords]uint64 {
+	return [eventWords]uint64{
+		uint64(ev.TS),
+		uint64(ev.A),
+		uint64(ev.B),
+		uint64(uint32(ev.Pid)) | uint64(uint32(ev.Tid))<<32,
+		uint64(uint32(ev.Peer)) | uint64(uint32(ev.Seq))<<32,
+		uint64(ev.Kind) | uint64(ev.Name)<<8,
+	}
+}
+
+// eventFromWords unpacks one ring slot.
+func eventFromWords(w [eventWords]uint64) Event {
+	return Event{
+		TS:   int64(w[0]),
+		A:    int64(w[1]),
+		B:    int64(w[2]),
+		Pid:  int32(uint32(w[3])),
+		Tid:  int32(uint32(w[3] >> 32)),
+		Peer: int32(uint32(w[4])),
+		Seq:  int32(uint32(w[4] >> 32)),
+		Kind: uint8(w[5]),
+		Name: uint8(w[5] >> 8),
+	}
+}
+
+// ring is one track's event buffer: `slots` slots of eventWords atomic
+// words each. The cursor sits alone on its cache line so concurrent
+// tracks never false-share; slots and buf are immutable after New.
+type ring struct {
+	pos   atomic.Int64
+	_     [56]byte
+	buf   []atomic.Uint64 // len = slots * eventWords
+	slots int64
+}
+
+// ColdEvent is an off-hot-path instant (planner decisions, run
+// metadata) recorded with full string arguments. Cold events take a
+// mutex and allocate; they exist for setup-time facts that occur a
+// handful of times per run.
+type ColdEvent struct {
+	TS   int64             `json:"ts_ns"`
+	Name string            `json:"name"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// Recorder owns the event rings for one traced run. All record
+// methods are safe for concurrent use; the zero value is a valid
+// *disabled* recorder (every record is a no-op), which backs the
+// package default.
+type Recorder struct {
+	on bool
+	// dropAnon suppresses AnonPid events at record time
+	// (NewDistributed): a distributed export drops them anyway —
+	// anonymous rows are ambiguous next to rank rows — and recording
+	// them would let P ranks' engine internals flood the low-numbered
+	// rings and evict rank 0's comm events.
+	dropAnon bool
+	rings    []ring
+	// counts aggregates events per kind across ring wraps, so totals
+	// stay exact even when the rings overwrite.
+	counts [NumKinds]atomic.Int64
+
+	base time.Time
+
+	coldMu sync.Mutex
+	cold   []ColdEvent
+}
+
+// New returns an enabled recorder with `tracks` event rings of
+// `ringCap` events each, all carved from one backing slab. tracks <= 0
+// selects 8 (enough rows for shared-memory worker fan-out); for a
+// P-rank simnet run pass tracks = P so every rank records into its own
+// ring. ringCap <= 0 selects DefaultRingCap.
+func New(tracks, ringCap int) *Recorder {
+	if tracks <= 0 {
+		tracks = 8
+	}
+	if ringCap <= 0 {
+		ringCap = DefaultRingCap
+	}
+	r := &Recorder{
+		on:    true,
+		rings: make([]ring, tracks),
+		//repro:ignore determinism recorder clock base: wall timestamps are the tracer's output, not engine state
+		base: time.Now(),
+	}
+	slab := make([]atomic.Uint64, tracks*ringCap*eventWords)
+	for i := range r.rings {
+		r.rings[i].buf = slab[i*ringCap*eventWords : (i+1)*ringCap*eventWords]
+		r.rings[i].slots = int64(ringCap)
+	}
+	return r
+}
+
+// NewDistributed returns a recorder sized for a P-rank simnet run:
+// one ring per rank, with anonymous engine events (AnonPid) dropped at
+// record time so every ring holds exactly its rank's timeline.
+func NewDistributed(ranks, ringCap int) *Recorder {
+	r := New(ranks, ringCap)
+	r.dropAnon = true
+	return r
+}
+
+// Enabled reports whether the recorder records anything.
+func (r *Recorder) Enabled() bool { return r.on }
+
+// skip reports whether an event attributed to pid is suppressed.
+func (r *Recorder) skip(pid int) bool { return !r.on || (r.dropAnon && pid < 0) }
+
+// Tracks returns the ring count.
+func (r *Recorder) Tracks() int { return len(r.rings) }
+
+// now returns nanoseconds since the recorder's base time.
+func (r *Recorder) now() int64 { return int64(time.Since(r.base)) }
+
+// record stores ev in track's ring (folded by modulus) and bumps the
+// kind aggregate. The single store path every public helper funnels
+// through.
+//
+//repro:hotpath
+func (r *Recorder) record(track int, ev Event) {
+	ev.TS = r.now()
+	r.counts[ev.Kind].Add(1)
+	rg := &r.rings[uint(track)%uint(len(r.rings))]
+	slot := (uint64(rg.pos.Add(1)-1) % uint64(rg.slots)) * eventWords
+	w := ev.words()
+	for k := 0; k < eventWords; k++ {
+		rg.buf[slot+uint64(k)].Store(w[k])
+	}
+}
+
+// track picks the ring for a (pid, tid) attribution: rank events ride
+// the rank's ring, anonymous engine events ride the worker's.
+func track(pid, tid int) int {
+	if pid < 0 {
+		return tid
+	}
+	return pid
+}
+
+// Begin opens a named span on row (pid, tid).
+//
+//repro:hotpath
+func (r *Recorder) Begin(pid, tid int, name uint8) {
+	if r.skip(pid) {
+		return
+	}
+	r.record(track(pid, tid), Event{Kind: uint8(KindBegin), Name: name, Pid: int32(pid), Tid: int32(tid)})
+}
+
+// End closes the innermost open span named name on row (pid, tid).
+//
+//repro:hotpath
+func (r *Recorder) End(pid, tid int, name uint8) {
+	if r.skip(pid) {
+		return
+	}
+	r.record(track(pid, tid), Event{Kind: uint8(KindEnd), Name: name, Pid: int32(pid), Tid: int32(tid)})
+}
+
+// Instant marks a point event with payload a on row (pid, tid).
+//
+//repro:hotpath
+func (r *Recorder) Instant(pid, tid int, name uint8, a int64) {
+	if r.skip(pid) {
+		return
+	}
+	r.record(track(pid, tid), Event{Kind: uint8(KindInstant), Name: name, Pid: int32(pid), Tid: int32(tid), A: a})
+}
+
+// Kernel marks one kernel invocation with its flop and word payloads.
+//
+//repro:hotpath
+func (r *Recorder) Kernel(pid, tid int, name uint8, flops, words int64) {
+	if r.skip(pid) {
+		return
+	}
+	r.record(track(pid, tid), Event{Kind: uint8(KindKernel), Name: name, Pid: int32(pid), Tid: int32(tid), A: flops, B: words})
+}
+
+// Send records the seq-th message on the (src, dst) channel leaving
+// src with `words` payload words. Recorded by src's goroutine into
+// src's ring.
+//
+//repro:hotpath
+func (r *Recorder) Send(src, dst int, words, seq int64) {
+	if !r.on {
+		return
+	}
+	r.record(src, Event{Kind: uint8(KindSend), Pid: int32(src), Peer: int32(dst), Seq: int32(seq), A: words})
+}
+
+// Recv records the seq-th message on the (src, dst) channel arriving
+// at dst. Recorded by dst's goroutine into dst's ring.
+//
+//repro:hotpath
+func (r *Recorder) Recv(src, dst int, words, seq int64) {
+	if !r.on {
+		return
+	}
+	r.record(dst, Event{Kind: uint8(KindRecv), Pid: int32(dst), Peer: int32(src), Seq: int32(seq), A: words})
+}
+
+// ColdInstant records an off-hot-path instant with string arguments
+// (planner decisions, run metadata). Allocates; never call from a
+// //repro:hotpath function.
+func (r *Recorder) ColdInstant(name string, args map[string]string) {
+	if !r.on {
+		return
+	}
+	ev := ColdEvent{TS: r.now(), Name: name, Args: args}
+	r.coldMu.Lock()
+	r.cold = append(r.cold, ev)
+	r.coldMu.Unlock()
+}
+
+// Count returns the exact number of events of kind k recorded so far,
+// including events the rings have since overwritten.
+func (r *Recorder) Count(k Kind) int64 {
+	if !r.on || k >= NumKinds {
+		return 0
+	}
+	return r.counts[k].Load()
+}
+
+// TotalCount returns the exact number of recorded events of all kinds.
+func (r *Recorder) TotalCount() int64 {
+	var t int64
+	for k := Kind(0); k < NumKinds; k++ {
+		t += r.Count(k)
+	}
+	return t
+}
+
+// Dropped returns how many events the rings have overwritten.
+func (r *Recorder) Dropped() int64 {
+	if !r.on {
+		return 0
+	}
+	var d int64
+	for i := range r.rings {
+		if n := r.rings[i].pos.Load() - r.rings[i].slots; n > 0 {
+			d += n
+		}
+	}
+	return d
+}
+
+// Events snapshots every ring, oldest-first per ring, merged and
+// stably sorted by timestamp. Call when recording goroutines are
+// quiescent; a concurrent snapshot is safe but may catch an event
+// store mid-flight.
+func (r *Recorder) Events() []Event {
+	if !r.on {
+		return nil
+	}
+	var out []Event
+	for i := range r.rings {
+		rg := &r.rings[i]
+		pos := rg.pos.Load()
+		n := pos
+		if n > rg.slots {
+			n = rg.slots
+		}
+		for j := int64(0); j < n; j++ {
+			slot := uint64((pos-n+j)%rg.slots) * eventWords
+			var w [eventWords]uint64
+			for k := range w {
+				w[k] = rg.buf[slot+uint64(k)].Load()
+			}
+			out = append(out, eventFromWords(w))
+		}
+	}
+	stableSortByTS(out)
+	return out
+}
+
+// ColdEvents returns a copy of the cold-instant list in record order.
+func (r *Recorder) ColdEvents() []ColdEvent {
+	if !r.on {
+		return nil
+	}
+	r.coldMu.Lock()
+	defer r.coldMu.Unlock()
+	out := make([]ColdEvent, len(r.cold))
+	copy(out, r.cold)
+	return out
+}
+
+// stableSortByTS is an insertion-friendly stable merge sort by TS.
+// Events within one ring are already in record order; sorting stably
+// preserves that order for equal timestamps, keeping exports
+// deterministic for a fixed input.
+func stableSortByTS(evs []Event) {
+	if len(evs) < 2 {
+		return
+	}
+	tmp := make([]Event, len(evs))
+	for width := 1; width < len(evs); width *= 2 {
+		for lo := 0; lo < len(evs); lo += 2 * width {
+			mid := lo + width
+			hi := lo + 2*width
+			if mid > len(evs) {
+				mid = len(evs)
+			}
+			if hi > len(evs) {
+				hi = len(evs)
+			}
+			i, j, k := lo, mid, lo
+			for i < mid && j < hi {
+				if evs[j].TS < evs[i].TS {
+					tmp[k] = evs[j]
+					j++
+				} else {
+					tmp[k] = evs[i]
+					i++
+				}
+				k++
+			}
+			copy(tmp[k:], evs[i:mid])
+			copy(tmp[k+mid-i:], evs[j:hi])
+		}
+		copy(evs, tmp)
+	}
+}
+
+// noop is the permanently disabled default recorder. A real object,
+// so instrumentation sites never test for nil.
+var noop = &Recorder{}
+
+// active is the process-wide recorder; never nil.
+var active atomic.Pointer[Recorder]
+
+func init() { active.Store(noop) }
+
+// Enable installs r as the process-wide active recorder. A nil r
+// restores the disabled default.
+func Enable(r *Recorder) {
+	if r == nil {
+		r = noop
+	}
+	active.Store(r)
+}
+
+// Disable restores the disabled default recorder.
+func Disable() { active.Store(noop) }
+
+// Rec returns the process-wide recorder (the disabled default when
+// none is enabled); never nil. The one atomic load a disabled
+// instrumentation site pays.
+//
+//repro:hotpath
+func Rec() *Recorder { return active.Load() }
+
+// Enabled reports whether an enabled recorder is installed.
+func Enabled() bool { return active.Load().on }

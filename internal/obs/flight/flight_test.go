@@ -1,0 +1,143 @@
+package flight_test
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/obs/flight"
+)
+
+// TestRingWrapUnderPressure hammers a tiny two-ring recorder from
+// concurrent writers: aggregate counts stay exact, the rings retain
+// exactly their capacity, Dropped accounts for the difference, and the
+// merged snapshot is time-ordered.
+func TestRingWrapUnderPressure(t *testing.T) {
+	const (
+		writers   = 4
+		perWriter = 2500
+		ringCap   = 64
+		tracks    = 2
+	)
+	rec := flight.New(tracks, ringCap)
+	name := flight.RegisterName("pressure")
+	var wg sync.WaitGroup
+	wg.Add(writers)
+	for g := 0; g < writers; g++ {
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				// Pid g folds onto ring g % tracks.
+				rec.Instant(g, 0, name, int64(i))
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	total := int64(writers * perWriter)
+	if got := rec.Count(flight.KindInstant); got != total {
+		t.Fatalf("instant count = %d, want %d (aggregates must survive wrap)", got, total)
+	}
+	if got := rec.TotalCount(); got != total {
+		t.Fatalf("total count = %d, want %d", got, total)
+	}
+	evs := rec.Events()
+	if len(evs) != tracks*ringCap {
+		t.Fatalf("retained %d events, want full rings = %d", len(evs), tracks*ringCap)
+	}
+	if got, want := rec.Dropped(), total-int64(tracks*ringCap); got != want {
+		t.Fatalf("Dropped = %d, want %d", got, want)
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].TS < evs[i-1].TS {
+			t.Fatalf("snapshot out of order at %d: %d after %d", i, evs[i].TS, evs[i-1].TS)
+		}
+	}
+}
+
+// TestDisabledDefault pins the disabled-recorder contract: the package
+// default records nothing and Enable/Disable swap the active pointer.
+func TestDisabledDefault(t *testing.T) {
+	name := flight.RegisterName("disabled-probe")
+	r := flight.Rec()
+	if r == nil {
+		t.Fatal("Rec returned nil; the default must be a real disabled recorder")
+	}
+	if flight.Enabled() {
+		t.Fatal("flight enabled before any Enable")
+	}
+	r.Begin(0, 0, name)
+	r.Send(0, 1, 8, 0)
+	if r.TotalCount() != 0 || r.Events() != nil {
+		t.Fatal("disabled recorder recorded events")
+	}
+
+	rec := flight.New(1, 16)
+	flight.Enable(rec)
+	defer flight.Disable()
+	if !flight.Enabled() {
+		t.Fatal("flight disabled after Enable")
+	}
+	flight.Rec().Begin(0, 0, name)
+	if rec.Count(flight.KindBegin) != 1 {
+		t.Fatal("enabled recorder did not record")
+	}
+	flight.Disable()
+	if flight.Enabled() {
+		t.Fatal("flight enabled after Disable")
+	}
+}
+
+// TestRecordAllocFree is the alloc-guard: the enabled steady state
+// records every event kind with zero allocations per operation.
+func TestRecordAllocFree(t *testing.T) {
+	rec := flight.New(4, 1024)
+	flight.Enable(rec)
+	defer flight.Disable()
+	name := flight.RegisterName("alloc-probe")
+	allocs := testing.AllocsPerRun(1000, func() {
+		r := flight.Rec()
+		r.Begin(0, 0, name)
+		r.Kernel(0, 1, name, 100, 10)
+		r.Instant(1, 0, name, 7)
+		r.Send(0, 1, 64, 3)
+		r.Recv(0, 1, 64, 3)
+		r.End(0, 0, name)
+	})
+	if allocs != 0 { //repro:bitwise exact allocation count
+		t.Fatalf("record path allocates %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// TestRegisterNameInterns pins registry semantics: re-registration is
+// idempotent and NameOf inverts RegisterName.
+func TestRegisterNameInterns(t *testing.T) {
+	a := flight.RegisterName("intern-probe")
+	b := flight.RegisterName("intern-probe")
+	if a != b {
+		t.Fatalf("re-registration returned %d then %d", a, b)
+	}
+	if got := flight.NameOf(a); got != "intern-probe" {
+		t.Fatalf("NameOf(%d) = %q", a, got)
+	}
+	if got := flight.NameOf(255); got != "?" {
+		t.Fatalf("NameOf(unregistered) = %q, want ?", got)
+	}
+}
+
+// TestDistributedDropsAnonymous: a NewDistributed recorder suppresses
+// AnonPid events at record time so rank rings hold only rank
+// timelines; rank-attributed events still record.
+func TestDistributedDropsAnonymous(t *testing.T) {
+	rec := flight.NewDistributed(2, 16)
+	name := flight.RegisterName("anon-probe")
+	rec.Begin(flight.AnonPid, 0, name)
+	rec.Kernel(flight.AnonPid, 3, name, 1, 1)
+	if got := rec.TotalCount(); got != 0 {
+		t.Fatalf("distributed recorder kept %d anonymous events", got)
+	}
+	rec.Begin(1, 0, name)
+	rec.Send(0, 1, 4, 0)
+	if got := rec.TotalCount(); got != 2 {
+		t.Fatalf("rank events recorded = %d, want 2", got)
+	}
+}

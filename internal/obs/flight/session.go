@@ -1,0 +1,32 @@
+package flight
+
+import "os"
+
+// StartTrace enables a fresh package-level recorder for one
+// command-line run — NewDistributed when ranks > 0, so rank timelines
+// are not diluted by anonymous engine events, and a shared-memory New
+// otherwise — and returns a flush function that stops recording and
+// writes the Chrome trace JSON to path. Deferred flushes do not run
+// when a command leaves through os.Exit; flush before exit-code gates
+// when the trace must survive a failure.
+func StartTrace(path string, ranks int) func() error {
+	var rec *Recorder
+	if ranks > 0 {
+		rec = NewDistributed(ranks, DefaultRingCap)
+	} else {
+		rec = New(0, DefaultRingCap)
+	}
+	Enable(rec)
+	return func() error {
+		Disable()
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := rec.WriteTrace(f); err != nil {
+			_ = f.Close() // the write error is the one worth reporting
+			return err
+		}
+		return f.Close()
+	}
+}

@@ -1,0 +1,305 @@
+// Package metrics is a stdlib-only Prometheus client: a registry of
+// counters, gauges, and fixed-bucket histograms rendered in the text
+// exposition format (version 0.0.4) that any Prometheus-compatible
+// scraper ingests. It exists so cmd/obsserve can export the obs
+// layer's measured words and bound ratios as scrapeable SLO metrics
+// ("within 4x of the paper's lower bound" as a dashboard alert)
+// without pulling a dependency into the module.
+//
+// Update paths are atomic and allocation-free; rendering takes the
+// registry lock once per scrape. Metric and label names are validated
+// at registration (programmer errors panic there, never on the update
+// or scrape path).
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Registry holds metric families in registration order.
+type Registry struct {
+	mu       sync.Mutex
+	families []*family
+	byName   map[string]*family
+}
+
+type family struct {
+	name, help, typ string
+	series          []*series
+	bySuffix        map[string]bool // label-set dedup
+}
+
+type series struct {
+	labels string // pre-rendered {k="v",...} or ""
+
+	ival atomic.Int64  // counter
+	fval atomic.Uint64 // gauge (Float64bits)
+	fn   func() float64
+
+	hist *Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*family)}
+}
+
+// Counter is a monotonically increasing integer metric.
+type Counter struct{ s *series }
+
+// Add increases the counter by n (negative n panics: counters only go
+// up).
+func (c *Counter) Add(n int64) {
+	if n < 0 {
+		panic("metrics: counter decreased")
+	}
+	c.s.ival.Add(n)
+}
+
+// Inc increases the counter by one.
+func (c *Counter) Inc() { c.s.ival.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.s.ival.Load() }
+
+// Gauge is a metric that can go up and down.
+type Gauge struct{ s *series }
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.s.fval.Store(math.Float64bits(v)) }
+
+// SetInt stores an integer value.
+func (g *Gauge) SetInt(v int64) { g.Set(float64(v)) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.s.fval.Load()) }
+
+// Histogram is a fixed-bucket latency/size histogram. Buckets are
+// cumulative at render time; Observe is an atomic add per bucket plus
+// a CAS loop on the float sum.
+type Histogram struct {
+	upper  []float64 // ascending; +Inf bucket is implicit
+	counts []atomic.Int64
+	count  atomic.Int64
+	sum    atomic.Uint64 // Float64bits
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.upper, v) // first bucket with upper >= v
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		s := math.Float64frombits(old) + v
+		if h.sum.CompareAndSwap(old, math.Float64bits(s)) {
+			return
+		}
+	}
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// register adds a series under (name, labels), creating or reusing the
+// family. Conflicting types or duplicate label sets panic.
+func (r *Registry) register(name, help, typ string, labels []string) *series {
+	validName(name)
+	ls := renderLabels(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.byName[name]
+	if f == nil {
+		f = &family{name: name, help: help, typ: typ, bySuffix: make(map[string]bool)}
+		r.byName[name] = f
+		r.families = append(r.families, f)
+	} else if f.typ != typ {
+		panic(fmt.Sprintf("metrics: %s registered as %s and %s", name, f.typ, typ))
+	}
+	if f.bySuffix[ls] {
+		panic(fmt.Sprintf("metrics: duplicate series %s%s", name, ls))
+	}
+	f.bySuffix[ls] = true
+	s := &series{labels: ls}
+	f.series = append(f.series, s)
+	return s
+}
+
+// Counter registers a counter series. labels are key, value pairs.
+func (r *Registry) Counter(name, help string, labels ...string) *Counter {
+	return &Counter{s: r.register(name, help, "counter", labels)}
+}
+
+// Gauge registers a gauge series.
+func (r *Registry) Gauge(name, help string, labels ...string) *Gauge {
+	return &Gauge{s: r.register(name, help, "gauge", labels)}
+}
+
+// CounterFunc registers a counter whose value is sampled from fn at
+// scrape time. fn must be monotonic and safe for concurrent use.
+func (r *Registry) CounterFunc(name, help string, fn func() float64, labels ...string) {
+	r.register(name, help, "counter", labels).fn = fn
+}
+
+// GaugeFunc registers a gauge sampled from fn at scrape time.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...string) {
+	r.register(name, help, "gauge", labels).fn = fn
+}
+
+// Histogram registers a histogram series with the given ascending
+// bucket upper bounds (the +Inf bucket is implicit).
+func (r *Registry) Histogram(name, help string, buckets []float64, labels ...string) *Histogram {
+	if len(buckets) == 0 {
+		panic("metrics: histogram needs at least one bucket")
+	}
+	for i := 1; i < len(buckets); i++ {
+		if buckets[i] <= buckets[i-1] {
+			panic("metrics: histogram buckets must ascend")
+		}
+	}
+	h := &Histogram{
+		upper:  append([]float64(nil), buckets...),
+		counts: make([]atomic.Int64, len(buckets)+1),
+	}
+	r.register(name, help, "histogram", labels).hist = h
+	return h
+}
+
+// WriteText renders every family in the Prometheus text exposition
+// format, families in registration order.
+func (r *Registry) WriteText(w io.Writer) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var b strings.Builder
+	for _, f := range r.families {
+		if f.help != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		}
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.typ)
+		for _, s := range f.series {
+			switch {
+			case s.hist != nil:
+				writeHistogram(&b, f.name, s.labels, s.hist)
+			case s.fn != nil:
+				fmt.Fprintf(&b, "%s%s %s\n", f.name, s.labels, fmtFloat(s.fn()))
+			case f.typ == "counter":
+				fmt.Fprintf(&b, "%s%s %d\n", f.name, s.labels, s.ival.Load())
+			default:
+				fmt.Fprintf(&b, "%s%s %s\n", f.name, s.labels, fmtFloat(math.Float64frombits(s.fval.Load())))
+			}
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Handler serves the registry at scrape time.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := r.WriteText(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+}
+
+func writeHistogram(b *strings.Builder, name, labels string, h *Histogram) {
+	var cum int64
+	for i, upper := range h.upper {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(b, "%s_bucket%s %d\n", name, mergeLabel(labels, "le", fmtFloat(upper)), cum)
+	}
+	cum += h.counts[len(h.upper)].Load()
+	fmt.Fprintf(b, "%s_bucket%s %d\n", name, mergeLabel(labels, "le", "+Inf"), cum)
+	fmt.Fprintf(b, "%s_sum%s %s\n", name, labels, fmtFloat(math.Float64frombits(h.sum.Load())))
+	fmt.Fprintf(b, "%s_count%s %d\n", name, labels, h.count.Load())
+}
+
+// fmtFloat renders a sample value the way Prometheus expects.
+func fmtFloat(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	if math.IsInf(v, -1) {
+		return "-Inf"
+	}
+	if math.IsNaN(v) {
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// renderLabels turns key, value pairs into a sorted, escaped
+// {k="v",...} suffix ("" for no labels).
+func renderLabels(kv []string) string {
+	if len(kv) == 0 {
+		return ""
+	}
+	if len(kv)%2 != 0 {
+		panic("metrics: labels must be key, value pairs")
+	}
+	type pair struct{ k, v string }
+	pairs := make([]pair, 0, len(kv)/2)
+	for i := 0; i < len(kv); i += 2 {
+		validLabel(kv[i])
+		pairs = append(pairs, pair{kv[i], kv[i+1]})
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].k < pairs[j].k })
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, p := range pairs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", p.k, p.v)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// mergeLabel splices one extra label (the histogram "le") into a
+// rendered label suffix.
+func mergeLabel(labels, k, v string) string {
+	extra := fmt.Sprintf("%s=%q", k, v)
+	if labels == "" {
+		return "{" + extra + "}"
+	}
+	return labels[:len(labels)-1] + "," + extra + "}"
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func validName(name string) {
+	if name == "" {
+		panic("metrics: empty metric name")
+	}
+	for i, c := range name {
+		ok := c == '_' || c == ':' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			panic(fmt.Sprintf("metrics: invalid metric name %q", name))
+		}
+	}
+}
+
+func validLabel(name string) {
+	if name == "" || name == "le" {
+		panic(fmt.Sprintf("metrics: invalid label name %q", name))
+	}
+	for i, c := range name {
+		ok := c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			panic(fmt.Sprintf("metrics: invalid label name %q", name))
+		}
+	}
+}

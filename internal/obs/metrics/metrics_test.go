@@ -1,0 +1,300 @@
+package metrics_test
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/obs/metrics"
+)
+
+func fullRegistry() (*metrics.Registry, *metrics.Histogram) {
+	r := metrics.NewRegistry()
+	c := r.Counter("repro_iterations_total", "Engine passes completed.")
+	c.Add(41)
+	c.Inc()
+	g := r.Gauge("repro_bound_ratio", "Measured words over the lower bound.", "bound", "seq-best")
+	g.Set(3.5)
+	r.GaugeFunc("repro_up", "Constant liveness probe.", func() float64 { return 1 })
+	r.CounterFunc("repro_words_total", "Measured words.", func() float64 { return 12345 }, "kind", "read")
+	h := r.Histogram("repro_iteration_seconds", "Engine pass latency.",
+		[]float64{0.001, 0.01, 0.1, 1}, "algo", "fast")
+	h.Observe(0.0005)
+	h.Observe(0.05)
+	h.Observe(0.05)
+	h.Observe(5)
+	return r, h
+}
+
+// parseExposition is a strict checker for the subset of the Prometheus
+// text exposition format (version 0.0.4) the registry renders: HELP
+// then TYPE precede every family's samples, sample lines parse as
+// name{labels} value, histogram buckets are cumulative and end at
+// +Inf, and _count equals the +Inf bucket.
+func parseExposition(t *testing.T, text string) map[string]string {
+	t.Helper()
+	samples := map[string]string{}
+	typed := map[string]string{}
+	var curFamily string
+	sawHelp := map[string]bool{}
+	type histState struct {
+		prev    int64
+		infSeen bool
+		count   int64
+		lastLe  float64
+	}
+	hists := map[string]*histState{}
+
+	for ln, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+		switch {
+		case strings.HasPrefix(line, "# HELP "):
+			rest := strings.TrimPrefix(line, "# HELP ")
+			name, _, ok := strings.Cut(rest, " ")
+			if !ok {
+				t.Fatalf("line %d: HELP without docstring: %q", ln+1, line)
+			}
+			if sawHelp[name] {
+				t.Fatalf("line %d: duplicate HELP for %s", ln+1, name)
+			}
+			sawHelp[name] = true
+		case strings.HasPrefix(line, "# TYPE "):
+			fields := strings.Fields(strings.TrimPrefix(line, "# TYPE "))
+			if len(fields) != 2 {
+				t.Fatalf("line %d: malformed TYPE: %q", ln+1, line)
+			}
+			name, typ := fields[0], fields[1]
+			switch typ {
+			case "counter", "gauge", "histogram":
+			default:
+				t.Fatalf("line %d: unknown metric type %q", ln+1, typ)
+			}
+			if _, dup := typed[name]; dup {
+				t.Fatalf("line %d: duplicate TYPE for %s", ln+1, name)
+			}
+			typed[name] = typ
+			curFamily = name
+		case strings.HasPrefix(line, "#"):
+			t.Fatalf("line %d: unexpected comment %q", ln+1, line)
+		default:
+			name := line
+			labels := ""
+			if i := strings.IndexByte(line, '{'); i >= 0 {
+				j := strings.LastIndexByte(line, '}')
+				if j < i {
+					t.Fatalf("line %d: unbalanced label braces: %q", ln+1, line)
+				}
+				name, labels = line[:i], line[i+1:j]
+				line = line[:i] + line[j+1:]
+			}
+			fields := strings.Fields(line)
+			if len(fields) != 2 {
+				t.Fatalf("line %d: sample is not `name value`: %q", ln+1, line)
+			}
+			name = fields[0]
+			val := fields[1]
+			if val != "+Inf" && val != "-Inf" && val != "NaN" {
+				if _, err := strconv.ParseFloat(val, 64); err != nil {
+					t.Fatalf("line %d: unparseable sample value %q", ln+1, val)
+				}
+			}
+			base := strings.TrimSuffix(strings.TrimSuffix(strings.TrimSuffix(name, "_bucket"), "_sum"), "_count")
+			if base != curFamily {
+				t.Fatalf("line %d: sample %s outside its family's TYPE block (current %s)", ln+1, name, curFamily)
+			}
+			if typed[curFamily] == "" {
+				t.Fatalf("line %d: sample %s before any TYPE", ln+1, name)
+			}
+			for _, kv := range splitLabels(labels) {
+				k, v, ok := strings.Cut(kv, "=")
+				if !ok || len(v) < 2 || v[0] != '"' || v[len(v)-1] != '"' {
+					t.Fatalf("line %d: malformed label %q", ln+1, kv)
+				}
+				_ = k
+			}
+			if strings.HasSuffix(name, "_bucket") {
+				h := hists[base]
+				if h == nil {
+					h = &histState{lastLe: math.Inf(-1)}
+					hists[base] = h
+				}
+				le := leOf(t, labels)
+				if le <= h.lastLe {
+					t.Fatalf("line %d: bucket le %v not ascending after %v", ln+1, le, h.lastLe)
+				}
+				h.lastLe = le
+				cum, _ := strconv.ParseInt(val, 10, 64)
+				if cum < h.prev {
+					t.Fatalf("line %d: bucket counts not cumulative: %d after %d", ln+1, cum, h.prev)
+				}
+				h.prev = cum
+				if math.IsInf(le, 1) {
+					h.infSeen = true
+				}
+			}
+			if strings.HasSuffix(name, "_count") {
+				h := hists[base]
+				if h == nil || !h.infSeen {
+					t.Fatalf("line %d: %s before its +Inf bucket", ln+1, name)
+				}
+				h.count, _ = strconv.ParseInt(val, 10, 64)
+				if h.count != h.prev {
+					t.Fatalf("line %d: _count %d != +Inf bucket %d", ln+1, h.count, h.prev)
+				}
+			}
+			samples[name+"{"+labels+"}"] = val
+		}
+	}
+	return samples
+}
+
+// splitLabels splits a rendered label body on commas outside quotes.
+func splitLabels(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	depth := false
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			if i == 0 || s[i-1] != '\\' {
+				depth = !depth
+			}
+		case ',':
+			if !depth {
+				out = append(out, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	return append(out, s[start:])
+}
+
+func leOf(t *testing.T, labels string) float64 {
+	t.Helper()
+	for _, kv := range splitLabels(labels) {
+		if v, ok := strings.CutPrefix(kv, `le="`); ok {
+			v = strings.TrimSuffix(v, `"`)
+			if v == "+Inf" {
+				return math.Inf(1)
+			}
+			f, err := strconv.ParseFloat(v, 64)
+			if err != nil {
+				t.Fatalf("bad le %q", v)
+			}
+			return f
+		}
+	}
+	t.Fatalf("bucket without le in %q", labels)
+	return 0
+}
+
+// TestExpositionFormatParses renders a registry with every metric kind
+// and strictly parses the exposition text.
+func TestExpositionFormatParses(t *testing.T) {
+	r, _ := fullRegistry()
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	samples := parseExposition(t, buf.String())
+
+	expect := map[string]string{
+		"repro_iterations_total{}":                               "42",
+		`repro_bound_ratio{bound="seq-best"}`:                    "3.5",
+		"repro_up{}":                                             "1",
+		`repro_words_total{kind="read"}`:                         "12345",
+		`repro_iteration_seconds_bucket{algo="fast",le="0.001"}`: "1",
+		`repro_iteration_seconds_bucket{algo="fast",le="0.01"}`:  "1",
+		`repro_iteration_seconds_bucket{algo="fast",le="0.1"}`:   "3",
+		`repro_iteration_seconds_bucket{algo="fast",le="1"}`:     "3",
+		`repro_iteration_seconds_bucket{algo="fast",le="+Inf"}`:  "4",
+		`repro_iteration_seconds_count{algo="fast"}`:             "4",
+	}
+	for key, want := range expect {
+		if got := samples[key]; got != want {
+			t.Errorf("%s = %q, want %q", key, got, want)
+		}
+	}
+	sum, err := strconv.ParseFloat(samples[`repro_iteration_seconds_sum{algo="fast"}`], 64)
+	if err != nil || math.Abs(sum-5.1005) > 1e-9 {
+		t.Errorf("histogram sum = %v (err %v), want 5.1005", sum, err)
+	}
+}
+
+// TestHandlerServesTextFormat pins the scrape endpoint's content type
+// and body.
+func TestHandlerServesTextFormat(t *testing.T) {
+	r, _ := fullRegistry()
+	rr := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rr.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("content type %q", ct)
+	}
+	if !strings.Contains(rr.Body.String(), "# TYPE repro_iterations_total counter") {
+		t.Fatalf("scrape body missing TYPE line:\n%s", rr.Body.String())
+	}
+	parseExposition(t, rr.Body.String())
+}
+
+// TestRegistryPanicsOnMisuse pins registration-time validation.
+func TestRegistryPanicsOnMisuse(t *testing.T) {
+	cases := map[string]func(r *metrics.Registry){
+		"bad name":         func(r *metrics.Registry) { r.Counter("0bad", "") },
+		"type conflict":    func(r *metrics.Registry) { r.Counter("m", ""); r.Gauge("m", "") },
+		"duplicate series": func(r *metrics.Registry) { r.Counter("m", "", "a", "1"); r.Counter("m", "", "a", "1") },
+		"odd labels":       func(r *metrics.Registry) { r.Counter("m", "", "only-key") },
+		"le label":         func(r *metrics.Registry) { r.Histogram("m", "", []float64{1}, "le", "x") },
+		"unsorted buckets": func(r *metrics.Registry) { r.Histogram("m", "", []float64{2, 1}) },
+		"counter decrease": func(r *metrics.Registry) { r.Counter("m", "").Add(-1) },
+	}
+	for name, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			fn(metrics.NewRegistry())
+		}()
+	}
+}
+
+// TestCounterConcurrency exercises atomic updates from many
+// goroutines; the rendered total is exact.
+func TestCounterConcurrency(t *testing.T) {
+	r := metrics.NewRegistry()
+	c := r.Counter("repro_hits_total", "")
+	h := r.Histogram("repro_lat", "", []float64{1, 10})
+	done := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				h.Observe(0.5)
+			}
+		}()
+	}
+	for g := 0; g < 8; g++ {
+		<-done
+	}
+	if c.Value() != 8000 {
+		t.Fatalf("counter = %d, want 8000", c.Value())
+	}
+	if h.Count() != 8000 {
+		t.Fatalf("histogram count = %d, want 8000", h.Count())
+	}
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), fmt.Sprintf("repro_hits_total %d", 8000)) {
+		t.Fatalf("rendered text missing exact total:\n%s", buf.String())
+	}
+}

@@ -33,6 +33,8 @@ import (
 	"runtime"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/obs/flight"
 )
 
 // Counter indexes one slot of a per-worker counter slab.
@@ -125,6 +127,23 @@ func (p Phase) String() string {
 		return phaseNames[p]
 	}
 	return "phase?"
+}
+
+// flightPhase holds the flight-recorder name id of every phase, plus
+// the kernel-op names the counter helpers forward, interned once so
+// span hot paths carry no strings.
+var (
+	flightPhase [NumPhases]uint8
+	nameGemm    = flight.RegisterName("gemm")
+	nameKRP     = flight.RegisterName("krp")
+	nameAxpy    = flight.RegisterName("axpy")
+	nameCopy    = flight.RegisterName("copy")
+)
+
+func init() {
+	for p := 0; p < int(NumPhases); p++ {
+		flightPhase[p] = flight.RegisterName(phaseNames[p])
+	}
 }
 
 // slotWords pads each worker's counter slab to one 64-byte cache line
@@ -242,6 +261,8 @@ func (c *Collector) Add(w int, ctr Counter, n int64) {
 type Span struct {
 	c     *Collector
 	phase Phase
+	fl    bool  // mirror the span to the flight recorder on Stop
+	rank  int32 // flight process row (AnonPid outside simnet ranks)
 	start int64
 }
 
@@ -256,6 +277,9 @@ func (c *Collector) Start(p Phase) Span {
 // Stop closes the span: the phase aggregates gain its duration and the
 // start/stop pair lands in the ring (wrapping over the oldest entry).
 func (s Span) Stop() {
+	if s.fl {
+		flight.Rec().End(int(s.rank), 0, flightPhase[s.phase])
+	}
 	c := s.c
 	if c == nil || !c.on {
 		return
@@ -394,11 +418,14 @@ func AddWorker(w int, ctr Counter, n int64) { active.Load().Add(w, ctr, n) }
 // 2mnk flops, operand reads mk + kn, result writes mn. The transposed
 // kernels map their shapes onto the same (m, k, n) triple.
 func Gemm(m, k, n int) {
+	mm, kk, nn := int64(m), int64(k), int64(n)
+	if r := flight.Rec(); r.Enabled() {
+		r.Kernel(flight.AnonPid, 0, nameGemm, 2*mm*kk*nn, mm*kk+kk*nn+mm*nn)
+	}
 	c := active.Load()
 	if !c.on {
 		return
 	}
-	mm, kk, nn := int64(m), int64(k), int64(n)
 	c.Add(0, Flops, 2*mm*kk*nn)
 	c.Add(0, WordsRead, mm*kk+kk*nn)
 	c.Add(0, WordsWritten, mm*nn)
@@ -408,11 +435,14 @@ func Gemm(m, k, n int) {
 // written (and counted as flops, matching the engines' accounting) and
 // sumRows*r factor words read.
 func KRP(rows, sumRows, r int) {
+	out := int64(rows) * int64(r)
+	if fr := flight.Rec(); fr.Enabled() {
+		fr.Kernel(flight.AnonPid, 0, nameKRP, out, int64(sumRows)*int64(r)+out)
+	}
 	c := active.Load()
 	if !c.on {
 		return
 	}
-	out := int64(rows) * int64(r)
 	c.Add(0, Flops, out)
 	c.Add(0, WordsRead, int64(sumRows)*int64(r))
 	c.Add(0, WordsWritten, out)
@@ -421,11 +451,14 @@ func KRP(rows, sumRows, r int) {
 // Axpy records folds scaled-accumulate passes of length n each:
 // 2*folds*n flops, folds*n reads and writes.
 func Axpy(folds, n int) {
+	fn := int64(folds) * int64(n)
+	if fr := flight.Rec(); fr.Enabled() {
+		fr.Kernel(flight.AnonPid, 0, nameAxpy, 2*fn, 2*fn)
+	}
 	c := active.Load()
 	if !c.on {
 		return
 	}
-	fn := int64(folds) * int64(n)
 	c.Add(0, Flops, 2*fn)
 	c.Add(0, WordsRead, fn)
 	c.Add(0, WordsWritten, fn)
@@ -434,6 +467,9 @@ func Axpy(folds, n int) {
 // Copy records a straight move of n words: n reads, n writes, no
 // flops.
 func Copy(n int) {
+	if fr := flight.Rec(); fr.Enabled() {
+		fr.Kernel(flight.AnonPid, 0, nameCopy, 0, 2*int64(n))
+	}
 	c := active.Load()
 	if !c.on {
 		return
@@ -457,5 +493,23 @@ func Comm(rank int, sent, recv int64) {
 	}
 }
 
-// Start opens a span for phase p on the active collector.
-func Start(p Phase) Span { return active.Load().Start(p) }
+// Start opens a span for phase p on the active collector, mirrored to
+// the flight recorder as an anonymous (engine-row) span when tracing
+// is enabled. When both layers are disabled this is two atomic loads
+// and two branches.
+func Start(p Phase) Span { return StartRank(flight.AnonPid, p) }
+
+// StartRank opens a span for phase p attributed to a simnet rank: the
+// obs collector treats it exactly like Start (phase aggregates are
+// rank-agnostic), while the flight recorder renders it on the rank's
+// process row. Pass flight.AnonPid when no rank applies.
+func StartRank(rank int, p Phase) Span {
+	s := active.Load().Start(p)
+	if r := flight.Rec(); r.Enabled() {
+		r.Begin(rank, 0, flightPhase[p])
+		s.fl = true
+		s.rank = int32(rank)
+		s.phase = p
+	}
+	return s
+}

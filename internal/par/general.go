@@ -87,7 +87,7 @@ func General(x *tensor.Dense, factors []*tensor.Matrix, n int, shape []int) (*Re
 
 		// Line 7: local MTTKRP over the T_{p0} columns, via the
 		// KRP-splitting engine (serial: one goroutine per rank).
-		span := obs.Start(obs.PhaseLocal)
+		span := obs.StartRank(rank, obs.PhaseLocal)
 		c := kernel.FastWorkers(block, gathered, n, 1)
 		span.Stop()
 

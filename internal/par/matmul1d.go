@@ -56,7 +56,7 @@ func ViaMatmul1D(x *tensor.Dense, factors []*tensor.Matrix, n int, P int) (*Resu
 	}
 	err := net.Run(func(rank int) error {
 		// Local partial product: full I_n x R dense partial C.
-		span := obs.Start(obs.PhaseLocal)
+		span := obs.StartRank(rank, obs.PhaseLocal)
 		partial := linalg.MatMul(localX[rank], localK[rank])
 		span.Stop()
 

@@ -101,7 +101,7 @@ func StationaryWithKernel(x *tensor.Dense, factors []*tensor.Matrix, n int, shap
 		res.GatherWords[rank] = net.RankStats(rank).Words()
 
 		// Line 6: local MTTKRP on the resident subtensor.
-		span := obs.Start(obs.PhaseLocal)
+		span := obs.StartRank(rank, obs.PhaseLocal)
 		c := local(localX[rank], gathered, n)
 		span.Stop()
 

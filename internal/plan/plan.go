@@ -15,12 +15,14 @@ package plan
 
 import (
 	"fmt"
+	"strconv"
 
 	"repro/internal/costmodel"
 	"repro/internal/dimtree"
 	"repro/internal/kernel"
 	"repro/internal/linalg"
 	"repro/internal/obs"
+	"repro/internal/obs/flight"
 	"repro/internal/sparse"
 	"repro/internal/tensor"
 )
@@ -144,7 +146,9 @@ type Choice struct {
 }
 
 // Apply installs the choice's tunables into the packages that own
-// them. Call once per process before the hot loop, not inside it.
+// them, and records the decision as a flight-recorder instant so
+// traces carry the plan that shaped them. Call once per process before
+// the hot loop, not inside it.
 func (c Choice) Apply() {
 	if c.GemmKC > 0 && c.GemmMC > 0 {
 		// linalg clamps; the planner already keeps candidates in range.
@@ -153,6 +157,14 @@ func (c Choice) Apply() {
 	if c.Chunks > 0 {
 		sparse.SetChunks(c.Chunks)
 	}
+	flight.Rec().ColdInstant("plan", map[string]string{
+		"engine":  c.Engine,
+		"workers": strconv.Itoa(c.Workers),
+		"gemm_kc": strconv.Itoa(c.GemmKC),
+		"gemm_mc": strconv.Itoa(c.GemmMC),
+		"chunks":  strconv.Itoa(c.Chunks),
+		"cal_key": c.CalKey,
+	})
 }
 
 // PlanInfo converts the choice into the obs report attachment.

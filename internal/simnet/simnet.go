@@ -14,6 +14,8 @@ package simnet
 import (
 	"fmt"
 	"sync"
+
+	"repro/internal/obs/flight"
 )
 
 // Network connects P ranks with buffered point-to-point channels and
@@ -22,6 +24,15 @@ type Network struct {
 	p     int
 	chans [][]chan []float64 // chans[src][dst]
 	stats []Stats            // owned by rank goroutines during Run
+
+	// sendSeq[src*p+dst] / recvSeq[src*p+dst] count messages per
+	// directed channel; because only src's goroutine sends on (src,
+	// dst) and only dst's receives, plain increments are race-free
+	// (same ownership argument as stats). Channels are FIFO, so the
+	// n-th send on a pair is the n-th receive — the sequence number
+	// that keys a flight-recorder Send to its Recv as one flow.
+	sendSeq []int64
+	recvSeq []int64
 }
 
 // Stats counts one rank's traffic.
@@ -45,9 +56,11 @@ func New(p int) *Network {
 		panic(fmt.Sprintf("simnet: need at least 1 rank, got %d", p))
 	}
 	n := &Network{
-		p:     p,
-		chans: make([][]chan []float64, p),
-		stats: make([]Stats, p),
+		p:       p,
+		chans:   make([][]chan []float64, p),
+		stats:   make([]Stats, p),
+		sendSeq: make([]int64, p*p),
+		recvSeq: make([]int64, p*p),
 	}
 	for i := range n.chans {
 		n.chans[i] = make([]chan []float64, p)
@@ -76,6 +89,9 @@ func (n *Network) Send(src, dst int, data []float64) {
 	copy(buf, data)
 	n.stats[src].SentWords += int64(len(data))
 	n.stats[src].SentMsgs++
+	seq := n.sendSeq[src*n.p+dst]
+	n.sendSeq[src*n.p+dst]++
+	flight.Rec().Send(src, dst, int64(len(data)), seq)
 	n.chans[src][dst] <- buf
 }
 
@@ -89,6 +105,9 @@ func (n *Network) Recv(src, dst int) []float64 {
 	data := <-n.chans[src][dst]
 	n.stats[dst].RecvWords += int64(len(data))
 	n.stats[dst].RecvMsgs++
+	seq := n.recvSeq[src*n.p+dst]
+	n.recvSeq[src*n.p+dst]++
+	flight.Rec().Recv(src, dst, int64(len(data)), seq)
 	return data
 }
 

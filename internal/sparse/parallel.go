@@ -203,7 +203,7 @@ func ParallelMTTKRPEngine(c *COO, factors []*tensor.Matrix, n int, part Partitio
 	err := net.Run(func(rank int) error {
 		// Expand phase: send owned rows to touchers, one batched
 		// message per destination.
-		expandSpan := obs.Start(obs.PhaseExpand)
+		expandSpan := obs.StartRank(rank, obs.PhaseExpand)
 		for dst := 0; dst < P; dst++ {
 			keys := expand.keys[[2]int{rank, dst}]
 			if len(keys) == 0 {
@@ -237,7 +237,7 @@ func ParallelMTTKRPEngine(c *COO, factors []*tensor.Matrix, n int, part Partitio
 		expandSpan.Stop()
 
 		// Local owner-computes accumulation into partial output rows.
-		localSpan := obs.Start(obs.PhaseLocal)
+		localSpan := obs.StartRank(rank, obs.PhaseLocal)
 		var partial map[int][]float64
 		if engine == EngineCSF {
 			partial = localCSF(csfs[rank], haveRows, rank, R)
@@ -247,7 +247,7 @@ func ParallelMTTKRPEngine(c *COO, factors []*tensor.Matrix, n int, part Partitio
 		localSpan.Stop()
 
 		// Fold phase: ship partial rows to their owners.
-		foldSpan := obs.Start(obs.PhaseFold)
+		foldSpan := obs.StartRank(rank, obs.PhaseFold)
 		defer foldSpan.Stop()
 		for dst := 0; dst < P; dst++ {
 			keys := fold.keys[[2]int{rank, dst}]
