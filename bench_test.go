@@ -18,6 +18,7 @@ import (
 	"repro/internal/dimtree"
 	"repro/internal/hbl"
 	"repro/internal/kernel"
+	"repro/internal/linalg"
 	"repro/internal/lp"
 	"repro/internal/memsim"
 	"repro/internal/obs"
@@ -30,6 +31,7 @@ import (
 	"repro/internal/sparse"
 	"repro/internal/tensor"
 	"repro/internal/trace"
+	"repro/internal/ttm"
 	"repro/internal/tucker"
 	"repro/internal/workload"
 )
@@ -525,6 +527,101 @@ func BenchmarkTucker(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkTTMChain is E29's kernel half: the full greedy TTM chain
+// (the HOOI core contraction) on a 128^3, rank-16 problem. "scalar" is
+// the retained per-element reference; "engine" is the blocked-GEMM
+// chain into a reused output and workspace (zero steady-state
+// allocations — the allocs/op column is part of the artifact);
+// "engine-par" lets the slab parallelism use every core.
+func BenchmarkTTMChain(b *testing.B) {
+	dims := []int{128, 128, 128}
+	ranks := []int{16, 16, 16}
+	x := tensor.RandomDense(42, dims...)
+	us := make([]*tensor.Matrix, len(dims))
+	for k := range dims {
+		us[k] = tensor.RandomMatrix(int64(43+k), dims[k], ranks[k])
+	}
+	b.Run("scalar", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ttm.ChainScalar(x, us, -1)
+		}
+	})
+	b.Run("engine", func(b *testing.B) {
+		out := tensor.NewDense(ranks...)
+		ws := ttm.NewWorkspace()
+		ttm.ChainInto(out, x, us, -1, 1, ws)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ttm.ChainInto(out, x, us, -1, 1, ws)
+		}
+	})
+	b.Run("engine-par", func(b *testing.B) {
+		out := tensor.NewDense(ranks...)
+		ws := ttm.NewWorkspace()
+		ttm.ChainInto(out, x, us, -1, 0, ws)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ttm.ChainInto(out, x, us, -1, 0, ws)
+		}
+	})
+}
+
+// BenchmarkTuckerHOOI is E29's application half: one full HOOI sweep
+// body at 128^3 ranks 16 — per-mode projection chain plus mode Gram,
+// then the core contraction — with the eigensolves excluded so the
+// comparison isolates the TTM substrate. "scalar" pairs the scalar
+// chain with the explicit Unfold + MatMulTransB Gram (the pre-engine
+// formulation); "engine" is the production ChainInto/GramInto path
+// with every buffer reused.
+func BenchmarkTuckerHOOI(b *testing.B) {
+	dims := []int{128, 128, 128}
+	ranks := []int{16, 16, 16}
+	x := tensor.RandomDense(7, dims...)
+	us := make([]*tensor.Matrix, len(dims))
+	for k := range dims {
+		us[k] = tensor.RandomMatrix(int64(8+k), dims[k], ranks[k])
+	}
+	b.Run("scalar", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for k := range dims {
+				y := ttm.ChainScalar(x, us, k)
+				yk := tensor.Unfold(y, k)
+				linalg.MatMulTransB(yk, yk)
+			}
+			ttm.ChainScalar(x, us, -1)
+		}
+	})
+	run := func(b *testing.B, workers int) {
+		ws := ttm.NewWorkspace()
+		yBuf := make([]*tensor.Dense, len(dims))
+		gramBuf := make([]*tensor.Matrix, len(dims))
+		for k := range dims {
+			ydims := append([]int(nil), ranks...)
+			ydims[k] = dims[k]
+			yBuf[k] = tensor.NewDense(ydims...)
+			gramBuf[k] = tensor.NewMatrix(dims[k], dims[k])
+		}
+		coreBuf := tensor.NewDense(ranks...)
+		sweep := func() {
+			for k := range dims {
+				ttm.ChainInto(yBuf[k], x, us, k, workers, ws)
+				ttm.GramInto(gramBuf[k], yBuf[k], k, workers, ws)
+			}
+			ttm.ChainInto(coreBuf, x, us, -1, workers, ws)
+		}
+		sweep() // warm the workspace
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			sweep()
+		}
+	}
+	b.Run("engine", func(b *testing.B) { run(b, 1) })
+	b.Run("engine-par", func(b *testing.B) { run(b, 0) })
 }
 
 // BenchmarkOptimalSchedule regenerates E16: the exact optimal I/O of a

@@ -54,7 +54,7 @@ echo "== go test -tags purego (simd + engine packages) =="
 go test -tags purego ./internal/simd/... ./internal/linalg/... ./internal/kernel/... ./internal/sparse/... ./internal/dimtree/...
 
 echo "== go test -race (engine packages) =="
-go test -race ./internal/kernel/... ./internal/seq/... ./internal/par/... ./internal/dimtree/... ./internal/cpals/... ./internal/sparse/... ./internal/linalg/... ./internal/obs/... ./internal/comm/... ./internal/plan/...
+go test -race ./internal/kernel/... ./internal/seq/... ./internal/par/... ./internal/dimtree/... ./internal/cpals/... ./internal/sparse/... ./internal/linalg/... ./internal/obs/... ./internal/comm/... ./internal/plan/... ./internal/ttm/... ./internal/tucker/...
 
 echo "== instrumented smoke (obs bound ratios) =="
 # The blocked algorithm must land within a small constant of the best
@@ -83,6 +83,12 @@ go run ./cmd/tracecheck "$obsdir/stationary-trace.json" >/dev/null
 REPRO_CALIBRATION="$obsdir/calibration-trace.json" go run ./cmd/mttkrp \
 	-dims 16,16,16 -r 8 -trace "$obsdir/fast-trace.json" >/dev/null
 go run ./cmd/tracecheck "$obsdir/fast-trace.json" >/dev/null
+# The Tucker command's HOOI sweeps emit the ttm-chain/gram/solve/fit
+# phase spans; the exported trace must pass the same schema check.
+REPRO_CALIBRATION="$obsdir/calibration-trace.json" go run ./cmd/tucker \
+	-dims 16,16,16 -ranks 4,4,4 -iters 2 \
+	-trace "$obsdir/tucker-trace.json" >/dev/null
+go run ./cmd/tracecheck "$obsdir/tucker-trace.json" >/dev/null
 
 echo "== metrics smoke (obsserve -once /metrics scrape) =="
 # obsserve binds an ephemeral port, runs a few engine passes, scrapes
@@ -119,9 +125,20 @@ REPRO_CALIBRATION="$obsdir/calibration.json" go run ./cmd/sparsemttkrp \
 	-side 20 -nnz 1500 -r 4 -p 8 -obs-json "$obsdir/auto-sparse.json" >/dev/null
 grep -q '"plan"' "$obsdir/auto-sparse.json"
 
+echo "== multi-ttm bound smoke (measured/multittm ratios) =="
+# Parallel Tucker must report its per-processor communication joined
+# against the Multi-TTM memory-independent lower bounds; the ranks are
+# chosen large enough that the bound is non-vacuous at P=8.
+REPRO_CALIBRATION="$obsdir/calibration.json" go run ./cmd/tucker \
+	-dims 32,32,32 -ranks 24,24,24 -grid 2,2,2 -iters 2 \
+	-obs-json "$obsdir/tucker-par.json" >/dev/null
+grep -q '"measured/multittm' "$obsdir/tucker-par.json"
+
 echo "== benchmark archive gate (benchjson -compare) =="
 # The archived planner snapshot must stay within tolerance of the
-# archived simd snapshot on the benchmarks they share.
+# archived simd snapshot on the benchmarks they share, and the TTM
+# engine snapshot within tolerance of the planner snapshot.
 go run ./cmd/benchjson -compare BENCH_2026-08-08-simd.json BENCH_2026-08-08-auto.json >/dev/null
+go run ./cmd/benchjson -compare BENCH_2026-08-08-auto.json BENCH_2026-08-08-ttm.json >/dev/null
 
 echo "ci: OK"

@@ -16,7 +16,6 @@ import (
 	"strconv"
 	"strings"
 
-	"repro/internal/linalg"
 	"repro/internal/obs"
 	"repro/internal/obs/flight"
 	"repro/internal/plan"
@@ -27,7 +26,7 @@ import (
 func main() {
 	dimsFlag := flag.String("dims", "16,16,16", "tensor dimensions")
 	ranksFlag := flag.String("ranks", "3,3,3", "multilinear ranks")
-	engine := flag.String("engine", "auto", "GEMM tuning: auto (calibrated block sizes) | default")
+	engine := flag.String("engine", "auto", "engine selection: auto (cost-model planner picks the TTM chain engine, workers, and GEMM blocks) | default")
 	gridFlag := flag.String("grid", "", "processor grid; empty = sequential")
 	iters := flag.Int("iters", 10, "HOOI sweeps")
 	noise := flag.Float64("noise", 0.01, "noise half-width")
@@ -71,39 +70,37 @@ func main() {
 		}()
 	}
 
-	// HOOI's hot loop is mode-k unfoldings times factor panels. With
-	// -engine auto (the default) the calibrated planner sizes the GEMM
-	// panel blocks for the dominant unfolding: rows = largest mode,
-	// shared dimension = the rest of the tensor, columns = that mode's
-	// rank. The block pick depends only on the shape and the cached
-	// calibration, never on the worker count.
+	// HOOI's hot loop is the TTM projection chains and mode Grams of
+	// internal/ttm. With -engine auto (the default) the calibrated
+	// planner plans the Tucker workload as a TTM-chain problem: the
+	// registry routes it to the chain engine, the worker count comes
+	// from the cost model, and the GEMM panel blocks are sized for the
+	// chain's dominant (first greedy) contraction. The tunables depend
+	// only on the shape and the cached calibration, never on the worker
+	// count.
 	var planInfo *obs.PlanInfo
+	workers := 0
 	switch *engine {
 	case "auto":
-		elems := 1
-		maxMode := 0
-		for k, d := range dims {
-			elems *= d
-			if d > dims[maxMode] {
-				maxMode = k
+		maxRank := 0
+		for _, r := range ranks {
+			if r > maxRank {
+				maxRank = r
 			}
 		}
-		cal := plan.LoadOrMeasure(plan.DefaultCachePath())
-		kc, mc := plan.PlanGEMM(dims[maxMode], elems/dims[maxMode], ranks[maxMode], cal)
-		linalg.SetBlockSizes(kc, mc)
-		planInfo = &obs.PlanInfo{Engine: "hooi", Workers: linalg.Workers(),
-			GemmKC: kc, GemmMC: mc, CalibrationKey: cal.Key}
-		// HOOI plans GEMM blocks directly rather than through
-		// plan.Choice.Apply, so it records its own plan instant.
-		flight.Rec().ColdInstant("plan", map[string]string{
-			"engine":  "hooi",
-			"gemm_kc": strconv.Itoa(kc),
-			"gemm_mc": strconv.Itoa(mc),
-			"cal_key": cal.Key,
-		})
-		fmt.Printf("plan: gemm blocks kc=%d mc=%d\n", kc, mc)
+		prob := plan.Problem{Dims: dims, R: maxRank, Mode: plan.AllModes,
+			Ranks: ranks, Reuses: *iters * (len(dims) + 1)}
+		choice, _, err := plan.Auto(prob)
+		if err != nil {
+			fatal(err)
+		}
+		choice.Apply()
+		planInfo = choice.PlanInfo()
+		workers = choice.Workers
+		fmt.Printf("plan: engine=%s workers=%d gemm blocks kc=%d mc=%d\n",
+			choice.Engine, choice.Workers, choice.GemmKC, choice.GemmMC)
 	case "default":
-		// keep the package block sizes
+		// keep the package block sizes and worker default
 	default:
 		fatal(fmt.Errorf("unknown -engine %q (want auto or default)", *engine))
 	}
@@ -125,7 +122,7 @@ func main() {
 		obs.Enable(col)
 		defer obs.Disable()
 	}
-	report := func(algo string, mach obs.Machine) {
+	report := func(algo string, mach obs.Machine, custom func(*obs.Report)) {
 		if col == nil {
 			return
 		}
@@ -139,12 +136,15 @@ func main() {
 		}
 		rep := obs.NewReport("tucker", algo, dims, maxRank, -1, mach)
 		rep.Plan = planInfo
+		if custom != nil {
+			custom(rep)
+		}
 		rep.FillFromCollector(col)
 		emitReport(rep, *obsFlag, *obsJSON)
 	}
 
 	if *gridFlag == "" {
-		model, trace, err := tucker.Decompose(data, tucker.Options{Ranks: ranks, MaxIters: *iters, Tol: 0})
+		model, trace, err := tucker.Decompose(data, tucker.Options{Ranks: ranks, MaxIters: *iters, Tol: 0, Workers: workers})
 		if err != nil {
 			fatal(err)
 		}
@@ -153,7 +153,7 @@ func main() {
 			fmt.Printf("  sweep %d: fit %.8f\n", e.Iter, e.Fit)
 		}
 		fmt.Printf("final fit %.8f\n", model.Fit)
-		report("hooi", obs.Machine{})
+		report("hooi", obs.Machine{Workers: workers}, nil)
 		return
 	}
 
@@ -177,7 +177,13 @@ func main() {
 	for _, s := range shape {
 		p *= s
 	}
-	report("hooi-parallel", obs.Machine{P: p})
+	// The parallel report's headline figure is the per-processor
+	// collective traffic, joined against the Multi-TTM lower bounds
+	// (arXiv:2207.10437) for the sweeps the run executed.
+	report("hooi-parallel", obs.Machine{P: p}, func(rep *obs.Report) {
+		rep.MeasuredWords = res.MaxCommWords()
+		rep.JoinMultiTTMBounds(ranks, float64(p), len(res.Trace))
+	})
 }
 
 // emitReport writes the report per the -obs / -obs-json flags.

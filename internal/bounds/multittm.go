@@ -1,0 +1,213 @@
+// Multi-TTM communication lower bounds, after Al Daas, Ballard,
+// Grigori, Kumar, Rouse, "Communication Lower Bounds and Optimal
+// Algorithms for Multiple Tensor-Times-Matrix Computation"
+// (arXiv:2207.10437) — the follow-up the source paper's conclusion
+// points to for TTM chains. The computation
+//
+//	Y = X x_1 A_1^T x_2 A_2^T ... x_d A_d^T
+//
+// has atoms indexed by (i_1..i_d, r_1..r_d); each atom touches one
+// element of X, one of Y, and one of every A_j, which yields an
+// HBL-style access bound: any schedule that performs F atoms while
+// accessing at most v_j elements of array j needs prod_j v_j >= F^2
+// (each array appears with exponent 1/2 in the tight HBL datum for
+// this bipartite structure). Minimizing total accesses sum_j v_j
+// subject to that product constraint and the array-size caps is the
+// convex program the paper solves case-by-case; solved here exactly
+// by water-filling, which reproduces the paper's per-regime closed
+// forms without enumerating regimes.
+package bounds
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// MultiTTM describes one TTM chain: an order-d tensor contracted on
+// every mode except Skip against matrices A_j of shape Dims[j] x
+// Ranks[j]. Skip = -1 contracts every mode (the Tucker core chain);
+// Skip = k models a HOOI sweep's mode-k projection (mode k is not
+// contracted, so Ranks[k] is ignored and A_k does not exist).
+type MultiTTM struct {
+	Dims  []int
+	Ranks []int
+	Skip  int
+}
+
+// D returns the tensor order.
+func (p MultiTTM) D() int { return len(p.Dims) }
+
+// Validate panics on malformed problems.
+func (p MultiTTM) Validate() {
+	if len(p.Dims) < 1 {
+		panic("bounds: MultiTTM needs at least one mode")
+	}
+	if len(p.Ranks) != len(p.Dims) {
+		panic(fmt.Sprintf("bounds: %d ranks for %d modes", len(p.Ranks), len(p.Dims)))
+	}
+	for j, d := range p.Dims {
+		if d < 1 {
+			panic(fmt.Sprintf("bounds: non-positive dimension in %v", p.Dims))
+		}
+		if j != p.Skip && p.Ranks[j] < 1 {
+			panic(fmt.Sprintf("bounds: non-positive rank in %v", p.Ranks))
+		}
+	}
+	if p.Skip != -1 && (p.Skip < 0 || p.Skip >= len(p.Dims)) {
+		panic(fmt.Sprintf("bounds: skip %d out of range for order %d", p.Skip, len(p.Dims)))
+	}
+}
+
+// contracted reports whether mode j has a matrix.
+func (p MultiTTM) contracted(j int) bool { return j != p.Skip }
+
+// Atoms returns the number of scalar multiplications F =
+// prod_j n_j * prod_{contracted j} r_j performed by the atomic
+// (non-Strassen-like) chain, as a float (the experiments' shapes
+// overflow int64 composed counts long before float64 loses them).
+func (p MultiTTM) Atoms() float64 {
+	f := 1.0
+	for j, n := range p.Dims {
+		f *= float64(n)
+		if p.contracted(j) {
+			f *= float64(p.Ranks[j])
+		}
+	}
+	return f
+}
+
+// InWords returns |X| = prod_j n_j.
+func (p MultiTTM) InWords() float64 {
+	f := 1.0
+	for _, n := range p.Dims {
+		f *= float64(n)
+	}
+	return f
+}
+
+// OutWords returns |Y|: r_j on contracted modes, n_j on the skipped
+// one.
+func (p MultiTTM) OutWords() float64 {
+	f := 1.0
+	for j, n := range p.Dims {
+		if p.contracted(j) {
+			f *= float64(p.Ranks[j])
+		} else {
+			f *= float64(n)
+		}
+	}
+	return f
+}
+
+// MatWords returns sum_{contracted j} n_j * r_j, the total matrix
+// entries.
+func (p MultiTTM) MatWords() float64 {
+	var s float64
+	for j, n := range p.Dims {
+		if p.contracted(j) {
+			s += float64(n) * float64(p.Ranks[j])
+		}
+	}
+	return s
+}
+
+// TotalWords returns the footprint of every array: |X| + |Y| +
+// sum_j |A_j|.
+func (p MultiTTM) TotalWords() float64 {
+	return p.InWords() + p.OutWords() + p.MatWords()
+}
+
+// caps returns the per-array access caps of the parallel bound: no
+// processor needs to access more of an array than the whole array.
+// Order: X, Y, then one entry per contracted mode.
+func (p MultiTTM) caps() []float64 {
+	out := make([]float64, 0, p.D()+2)
+	out = append(out, p.InWords(), p.OutWords())
+	for j, n := range p.Dims {
+		if p.contracted(j) {
+			out = append(out, float64(n)*float64(p.Ranks[j]))
+		}
+	}
+	return out
+}
+
+// accessLower solves the paper's convex program exactly: minimize
+// sum_j v_j subject to prod_j v_j >= target and 0 < v_j <= caps[j].
+// The optimum is v_j = min(caps[j], t) with the water level t chosen
+// so the product meets the target: repeatedly pin the smallest caps
+// that fall below the uniform level of the remaining budget. The
+// program is always feasible here because prod(caps) = F^2 >= target.
+func accessLower(target float64, caps []float64) float64 {
+	if target <= 1 {
+		return 0
+	}
+	c := append([]float64(nil), caps...)
+	sort.Float64s(c)
+	fixed := 0.0 // sum of pinned caps
+	remain := target
+	for i, ci := range c {
+		// Uniform level over the m-i free variables.
+		t := math.Pow(remain, 1/float64(len(c)-i))
+		if t <= ci {
+			return fixed + float64(len(c)-i)*t
+		}
+		fixed += ci
+		remain /= ci
+	}
+	// All variables pinned at their caps (possible only when
+	// prod(caps) ~= target up to rounding).
+	return fixed
+}
+
+// ParAccess returns the per-processor access lower bound: among P
+// processors executing F/P atoms each, some processor accesses at
+// least this many words across all arrays (Section 5 of
+// arXiv:2207.10437, with the regime case analysis replaced by the
+// exact water-filling solution).
+func (p MultiTTM) ParAccess(P float64) float64 {
+	p.Validate()
+	if P < 1 {
+		panic(fmt.Sprintf("bounds: P = %v < 1", P))
+	}
+	f := p.Atoms() / P
+	return accessLower(f*f, p.caps())
+}
+
+// ParBound returns the parallel memory-independent communication
+// lower bound: accessed words minus the words a balanced processor
+// can already own, W >= ParAccess(P) - TotalWords/P. Negative means
+// vacuous (the owned data already covers the required accesses).
+func (p MultiTTM) ParBound(P float64) float64 {
+	return p.ParAccess(P) - p.TotalWords()/P
+}
+
+// SeqMemDependent returns the sequential memory-dependent bound with
+// fast memory of M words: partitioning the schedule into phases of M
+// transferred words, each phase accesses at most 2M words of every
+// array and therefore completes at most (2M)^(m/2) atoms, where m is
+// the number of arrays (d+2 for a full chain). Hence
+//
+//	W >= M * (F / (2M)^(m/2) - 1).
+//
+// Negative means vacuous (everything fits in fast memory).
+func (p MultiTTM) SeqMemDependent(M float64) float64 {
+	p.Validate()
+	if M <= 0 {
+		panic(fmt.Sprintf("bounds: M = %v <= 0", M))
+	}
+	m := float64(len(p.caps()))
+	return M * (p.Atoms()/math.Pow(2*M, m/2) - 1)
+}
+
+// TuckerSweepBounds returns the Multi-TTM parallel bounds that govern
+// one HOOI sweep over an order-d tensor: the d skip-k projection
+// chains plus the full core chain, in that order (core last).
+func TuckerSweepBounds(dims, ranks []int, P float64) []float64 {
+	out := make([]float64, 0, len(dims)+1)
+	for k := range dims {
+		out = append(out, MultiTTM{Dims: dims, Ranks: ranks, Skip: k}.ParBound(P))
+	}
+	out = append(out, MultiTTM{Dims: dims, Ranks: ranks, Skip: -1}.ParBound(P))
+	return out
+}

@@ -1,0 +1,207 @@
+package bounds
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestMultiTTMCounts(t *testing.T) {
+	p := MultiTTM{Dims: []int{4, 5, 6}, Ranks: []int{2, 3, 4}, Skip: -1}
+	if got := p.Atoms(); got != 4*5*6*2*3*4 {
+		t.Fatalf("Atoms = %v", got)
+	}
+	if got := p.InWords(); got != 120 {
+		t.Fatalf("InWords = %v", got)
+	}
+	if got := p.OutWords(); got != 24 {
+		t.Fatalf("OutWords = %v", got)
+	}
+	if got := p.MatWords(); got != 8+15+24 {
+		t.Fatalf("MatWords = %v", got)
+	}
+
+	// Skip = 1: mode 1 keeps extent 5, A_1 does not exist.
+	s := MultiTTM{Dims: []int{4, 5, 6}, Ranks: []int{2, 3, 4}, Skip: 1}
+	if got := s.Atoms(); got != 4*5*6*2*4 {
+		t.Fatalf("skip Atoms = %v", got)
+	}
+	if got := s.OutWords(); got != 2*5*4 {
+		t.Fatalf("skip OutWords = %v", got)
+	}
+	if got := s.MatWords(); got != 8+24 {
+		t.Fatalf("skip MatWords = %v", got)
+	}
+}
+
+// The caps product is exactly F^2 for any chain, which is what makes
+// the access program always feasible.
+func TestMultiTTMCapsProduct(t *testing.T) {
+	for _, p := range []MultiTTM{
+		{Dims: []int{4, 5, 6}, Ranks: []int{2, 3, 4}, Skip: -1},
+		{Dims: []int{4, 5, 6}, Ranks: []int{2, 3, 4}, Skip: 2},
+		{Dims: []int{7}, Ranks: []int{3}, Skip: -1},
+		{Dims: []int{3, 3, 3, 3}, Ranks: []int{2, 2, 2, 2}, Skip: 0},
+	} {
+		prod := 1.0
+		for _, c := range p.caps() {
+			prod *= c
+		}
+		f := p.Atoms()
+		if math.Abs(prod-f*f) > 1e-6*f*f {
+			t.Fatalf("caps product %v != F^2 %v for %+v", prod, f*f, p)
+		}
+	}
+}
+
+// waterOracle minimizes sum(v) s.t. prod(v) >= target, v <= caps by
+// enumerating which variables sit at their cap: for every subset S of
+// pinned variables, the free ones share the uniform level t =
+// (target/prod(S))^(1/|free|); the candidate is feasible when t does
+// not exceed any free cap. KKT says the optimum has this shape.
+func waterOracle(target float64, caps []float64) float64 {
+	m := len(caps)
+	best := math.Inf(1)
+	for mask := 0; mask < 1<<m; mask++ {
+		prodS, sumS, free := 1.0, 0.0, 0
+		for j := 0; j < m; j++ {
+			if mask&(1<<j) != 0 {
+				prodS *= caps[j]
+				sumS += caps[j]
+			} else {
+				free++
+			}
+		}
+		if free == 0 {
+			if prodS >= target*(1-1e-9) {
+				best = math.Min(best, sumS)
+			}
+			continue
+		}
+		t := math.Pow(target/prodS, 1/float64(free))
+		if t <= 0 {
+			continue
+		}
+		feasible := true
+		for j := 0; j < m; j++ {
+			if mask&(1<<j) == 0 && t > caps[j]*(1+1e-9) {
+				feasible = false
+				break
+			}
+		}
+		if feasible {
+			best = math.Min(best, sumS+float64(free)*math.Max(t, 0))
+		}
+	}
+	return best
+}
+
+func TestAccessLowerMatchesOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		m := 2 + rng.Intn(5)
+		caps := make([]float64, m)
+		prod := 1.0
+		for j := range caps {
+			caps[j] = math.Pow(10, 1+3*rng.Float64())
+			prod *= caps[j]
+		}
+		target := math.Pow(prod, rng.Float64())
+		got := accessLower(target, caps)
+		want := waterOracle(target, caps)
+		if math.Abs(got-want) > 1e-6*want {
+			sort.Float64s(caps)
+			t.Fatalf("trial %d: accessLower(%v, %v) = %v, oracle %v", trial, target, caps, got, want)
+		}
+	}
+}
+
+func TestAccessLowerUncapped(t *testing.T) {
+	// All caps above the uniform level: the bound is m * target^(1/m).
+	caps := []float64{1e9, 1e9, 1e9}
+	target := 1e12
+	want := 3 * math.Pow(target, 1.0/3)
+	if got := accessLower(target, caps); math.Abs(got-want) > 1e-6*want {
+		t.Fatalf("accessLower = %v, want %v", got, want)
+	}
+	// Target at the feasibility edge: everything pins at its cap.
+	caps = []float64{10, 20, 30}
+	if got := accessLower(10*20*30, caps); math.Abs(got-60) > 1e-6 {
+		t.Fatalf("edge accessLower = %v, want 60", got)
+	}
+	if got := accessLower(0.5, caps); got != 0 {
+		t.Fatalf("trivial accessLower = %v, want 0", got)
+	}
+}
+
+func TestMultiTTMParBound(t *testing.T) {
+	dims := []int{32, 32, 32}
+	ranks := []int{24, 24, 24}
+	bs := TuckerSweepBounds(dims, ranks, 8)
+	if len(bs) != 4 {
+		t.Fatalf("got %d bounds", len(bs))
+	}
+	for i, b := range bs {
+		if b <= 0 {
+			t.Fatalf("bound %d = %v, want positive at ranks 24 / P=8", i, b)
+		}
+	}
+	// Access shrinks as P grows; so does the bound here.
+	core := MultiTTM{Dims: dims, Ranks: ranks, Skip: -1}
+	if a8, a64 := core.ParAccess(8), core.ParAccess(64); a64 >= a8 {
+		t.Fatalf("ParAccess not decreasing in P: %v -> %v", a8, a64)
+	}
+	// P = 1 with caps fully pinned: the access equals the footprint,
+	// so the bound is exactly zero.
+	if b := core.ParBound(1); math.Abs(b) > 1e-6*core.TotalWords() {
+		t.Fatalf("ParBound(1) = %v, want ~0", b)
+	}
+}
+
+func TestMultiTTMSeqMemDependent(t *testing.T) {
+	p := MultiTTM{Dims: []int{64, 64, 64}, Ranks: []int{16, 16, 16}, Skip: -1}
+	small := p.SeqMemDependent(256)
+	if small <= 0 {
+		t.Fatalf("SeqMemDependent(256) = %v, want positive", small)
+	}
+	if big := p.SeqMemDependent(1e12); big >= 0 {
+		t.Fatalf("SeqMemDependent(1e12) = %v, want vacuous", big)
+	}
+	if p.SeqMemDependent(128) <= small {
+		t.Fatalf("bound should tighten as M shrinks")
+	}
+}
+
+func TestMultiTTMValidate(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"empty":    func() { MultiTTM{}.Validate() },
+		"ranks":    func() { MultiTTM{Dims: []int{3, 3}, Ranks: []int{2}}.Validate() },
+		"dimzero":  func() { MultiTTM{Dims: []int{3, 0}, Ranks: []int{2, 2}}.Validate() },
+		"rankzero": func() { MultiTTM{Dims: []int{3, 3}, Ranks: []int{2, 0}}.Validate() },
+		"badskip":  func() { MultiTTM{Dims: []int{3, 3}, Ranks: []int{2, 2}, Skip: 2}.Validate() },
+		"negskip":  func() { MultiTTM{Dims: []int{3, 3}, Ranks: []int{2, 2}, Skip: -2}.Validate() },
+		"badP":     func() { MultiTTM{Dims: []int{3, 3}, Ranks: []int{2, 2}, Skip: -1}.ParAccess(0) },
+		"badM":     func() { MultiTTM{Dims: []int{3, 3}, Ranks: []int{2, 2}, Skip: -1}.SeqMemDependent(0) },
+		"skipRank0": func() {
+			// A zero rank on the skipped mode is fine: A_skip does not exist.
+			MultiTTM{Dims: []int{3, 3}, Ranks: []int{2, 0}, Skip: 1}.Validate()
+		},
+	} {
+		func() {
+			defer func() {
+				r := recover()
+				if name == "skipRank0" {
+					if r != nil {
+						t.Errorf("%s: unexpected panic %v", name, r)
+					}
+					return
+				}
+				if r == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

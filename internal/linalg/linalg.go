@@ -203,13 +203,23 @@ func solveWithCholesky(l, b *tensor.Matrix) *tensor.Matrix {
 // Transpose returns A^T.
 func Transpose(a *tensor.Matrix) *tensor.Matrix {
 	t := tensor.NewMatrix(a.Cols(), a.Rows())
+	TransposeInto(t, a)
+	return t
+}
+
+// TransposeInto writes A^T into t (a.Cols() x a.Rows()), allocating
+// nothing — the hoisted form for loops that transpose into a reused
+// buffer.
+func TransposeInto(t, a *tensor.Matrix) {
+	if t.Rows() != a.Cols() || t.Cols() != a.Rows() {
+		panic(fmt.Sprintf("linalg: transpose into %dx%d of %dx%d", t.Rows(), t.Cols(), a.Rows(), a.Cols()))
+	}
 	for j := 0; j < a.Cols(); j++ {
 		aj := a.Col(j)
 		for i := range aj {
 			t.Set(j, i, aj[i])
 		}
 	}
-	return t
 }
 
 // Dot returns the Frobenius inner product <A, B> = sum_ij A_ij B_ij.

@@ -234,3 +234,27 @@ func TestTransposeOfProductQuick(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestTransposeIntoReusesBuffer: the in-place transpose fills a
+// caller-owned buffer (the hoisted per-iteration allocation), matches
+// the allocating form, and rejects wrong-shaped targets.
+func TestTransposeIntoReusesBuffer(t *testing.T) {
+	a := tensor.NewMatrixFromData([]float64{1, 4, 2, 5, 3, 6}, 2, 3)
+	buf := tensor.NewMatrix(3, 2)
+	TransposeInto(buf, a)
+	want := Transpose(a)
+	for i := range buf.Data() {
+		if buf.Data()[i] != want.Data()[i] { //repro:bitwise a transpose moves words, never rounds
+			t.Fatalf("element %d: %g != %g", i, buf.Data()[i], want.Data()[i])
+		}
+	}
+	if allocs := testing.AllocsPerRun(10, func() { TransposeInto(buf, a) }); allocs != 0 { //repro:bitwise exact allocation count
+		t.Errorf("TransposeInto into warm buffer: %v allocs/op, want 0", allocs)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("TransposeInto accepted a mis-shaped target")
+		}
+	}()
+	TransposeInto(tensor.NewMatrix(2, 2), a)
+}

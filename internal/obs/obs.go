@@ -110,6 +110,11 @@ const (
 	// PhaseFold covers the fold (partial-output merge) phase of the
 	// owner-computes sparse parallelization.
 	PhaseFold
+	// PhaseTTM covers one mode-k TTM GEMM pass (ttm.TTMInto).
+	PhaseTTM
+	// PhaseTTMChain covers one multi-TTM chain (ttm.ChainInto), the
+	// projection step of Tucker HOOI sweeps.
+	PhaseTTMChain
 
 	// NumPhases is the number of phase kinds.
 	NumPhases
@@ -119,6 +124,7 @@ var phaseNames = [NumPhases]string{
 	"kernel", "krp", "tree-root", "tree-partial", "seq",
 	"allgather", "reducescatter", "allreduce", "local",
 	"gram", "solve", "fit", "sparse", "expand", "fold",
+	"ttm", "ttm-chain",
 }
 
 // String returns the phase name used in JSON reports.

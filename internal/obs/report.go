@@ -137,6 +137,31 @@ func (r *Report) JoinParBounds(P, M float64) {
 	}
 }
 
+// JoinMultiTTMBounds joins the Multi-TTM parallel lower bounds
+// (arXiv:2207.10437) that govern `sweeps` Tucker HOOI sweeps on P
+// processors with the given per-mode ranks: "multittm-core" is the
+// single full core chain, "multittm-chain-max" the largest of the
+// per-mode projection chains, and "multittm-sweeps" the sum of every
+// chain bound in every sweep (the figure a whole run's measured comm
+// words joins against). Vacuous (non-positive) per-chain bounds
+// contribute zero to the sum.
+func (r *Report) JoinMultiTTMBounds(ranks []int, P float64, sweeps int) {
+	if sweeps < 1 {
+		sweeps = 1
+	}
+	per := bounds.TuckerSweepBounds(r.Dims, ranks, P)
+	core := per[len(per)-1]
+	chainMax := math.Inf(-1)
+	perSweep := math.Max(core, 0)
+	for _, b := range per[:len(per)-1] {
+		chainMax = math.Max(chainMax, b)
+		perSweep += math.Max(b, 0)
+	}
+	r.JoinBound("multittm-core", core)
+	r.JoinBound("multittm-chain-max", chainMax)
+	r.JoinBound("multittm-sweeps", perSweep*float64(sweeps))
+}
+
 // Ratio returns the measured/bound ratio for name, or 0 when that
 // bound is vacuous or absent.
 func (r *Report) Ratio(name string) float64 { return r.Ratios["measured/"+name] }

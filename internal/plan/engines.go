@@ -65,7 +65,7 @@ type fastEngine struct{}
 func (fastEngine) Name() string { return "fast" }
 
 func (fastEngine) Supports(p Problem) bool {
-	return !p.Sparse() && p.DType == F64
+	return !p.Sparse() && p.DType == F64 && !p.TTMChain()
 }
 
 func (fastEngine) Cost(p Problem, cal *Calibration, workers int) Cost {
@@ -112,7 +112,7 @@ type fast32Engine struct{}
 func (fast32Engine) Name() string { return "fast32" }
 
 func (fast32Engine) Supports(p Problem) bool {
-	return !p.Sparse() && p.DType == F32
+	return !p.Sparse() && p.DType == F32 && !p.TTMChain()
 }
 
 func (fast32Engine) Cost(p Problem, cal *Calibration, workers int) Cost {
@@ -168,7 +168,7 @@ type treeEngine struct{}
 func (treeEngine) Name() string { return "tree" }
 
 func (treeEngine) Supports(p Problem) bool {
-	return !p.Sparse() && p.DType == F64 && p.Mode == AllModes
+	return !p.Sparse() && p.DType == F64 && p.Mode == AllModes && !p.TTMChain()
 }
 
 func (treeEngine) Cost(p Problem, cal *Calibration, workers int) Cost {

@@ -25,6 +25,7 @@ import (
 	"repro/internal/obs/flight"
 	"repro/internal/sparse"
 	"repro/internal/tensor"
+	"repro/internal/ttm"
 )
 
 // DType selects the element storage of the planned computation.
@@ -70,7 +71,17 @@ type Problem struct {
 	// Reuses is the expected number of passes over the same tensor with
 	// the same plan (CP-ALS sets iterations x modes); 0 means 1.
 	Reuses int
+	// Ranks, when set (one per mode), turns the problem into a TTM
+	// chain instead of an MTTKRP: contract every mode k down to
+	// Ranks[k] columns, except the skipped mode — Mode names the mode
+	// to skip (HOOI's projection), AllModes means skip none (the full
+	// core chain). Only the dense f64 TTM engine serves these.
+	Ranks []int
 }
+
+// TTMChain reports whether the problem is a TTM chain rather than an
+// MTTKRP.
+func (p Problem) TTMChain() bool { return len(p.Ranks) > 0 }
 
 func (p Problem) validate() error {
 	if len(p.Dims) < 2 {
@@ -89,6 +100,19 @@ func (p Problem) validate() error {
 	}
 	if p.NNZ < 0 {
 		return fmt.Errorf("plan: negative nnz %d", p.NNZ)
+	}
+	if p.TTMChain() {
+		if len(p.Ranks) != len(p.Dims) {
+			return fmt.Errorf("plan: %d chain ranks for order-%d problem", len(p.Ranks), len(p.Dims))
+		}
+		for i, r := range p.Ranks {
+			if r < 1 {
+				return fmt.Errorf("plan: chain rank %d = %d", i, r)
+			}
+		}
+		if p.Sparse() {
+			return fmt.Errorf("plan: TTM chains are dense-only (nnz = %d)", p.NNZ)
+		}
 	}
 	return nil
 }
@@ -199,6 +223,7 @@ type Instance struct {
 	sws     *sparse.Workspace
 	tree    *dimtree.Engine
 	treeRes *dimtree.Result
+	tws     *ttm.Workspace
 }
 
 // Result receives an engine pass's output. Single-mode f64 runs fill
@@ -211,6 +236,8 @@ type Result struct {
 	B32   *tensor.Matrix32
 	All   []*tensor.Matrix
 	All32 []*tensor.Matrix32
+	// Y receives a TTM-chain pass's projected tensor.
+	Y *tensor.Dense
 }
 
 // Engine is the planner's view of one MTTKRP implementation.
@@ -238,6 +265,7 @@ var engines = []Engine{
 	treeEngine{},
 	csfEngine{},
 	cooEngine{},
+	ttmEngine{},
 }
 
 // Engines returns the registered engine names in registry order.

@@ -8,6 +8,7 @@ import (
 	"repro/internal/linalg"
 	"repro/internal/sparse"
 	"repro/internal/tensor"
+	"repro/internal/ttm"
 	"repro/internal/workload"
 )
 
@@ -324,9 +325,116 @@ func TestPlanRejectsBadProblems(t *testing.T) {
 	}
 }
 
+// TestTTMAdapterMatchesChain: the TTM-chain adapter must reproduce a
+// direct ttm.ChainWorkers call bitwise, for both the full core chain
+// (Mode = AllModes) and a skipped HOOI projection.
+func TestTTMAdapterMatchesChain(t *testing.T) {
+	dims := []int{12, 10, 8}
+	ranks := []int{5, 4, 3}
+	x := tensor.RandomDense(21, dims...)
+	us := make([]*tensor.Matrix, len(dims))
+	for k := range dims {
+		us[k] = tensor.RandomMatrix(int64(30+k), dims[k], ranks[k])
+	}
+	for _, mode := range []int{AllModes, 0, 1, 2} {
+		p := Problem{Dims: dims, R: 5, Mode: mode, Ranks: ranks, MaxWorkers: 4}
+		inst := &Instance{X: x, Factors: us}
+		e, ok := Lookup("ttm")
+		if !ok {
+			t.Fatal("no ttm engine registered")
+		}
+		if !e.Supports(p) {
+			t.Fatalf("ttm engine does not support %+v", p)
+		}
+		if err := e.Prepare(p, inst); err != nil {
+			t.Fatal(err)
+		}
+		var res Result
+		e.Run(p, inst, &res, 2)
+		want := ttm.ChainWorkers(x, us, p.chainSkip(), 2)
+		gd, wd := res.Y.Data(), want.Data()
+		if len(gd) != len(wd) {
+			t.Fatalf("mode %d: length %d vs %d", mode, len(gd), len(wd))
+		}
+		for i := range gd {
+			if gd[i] != wd[i] { //repro:bitwise the adapters must reproduce the wrapped engines exactly
+				t.Fatalf("mode %d: element %d differs: %g vs %g", mode, i, gd[i], wd[i])
+			}
+		}
+	}
+}
+
+// TestPlanPicksTTMForChains: a chain problem must route to the TTM
+// engine (the MTTKRP engines all decline it), and MTTKRP problems must
+// never see the TTM engine.
+func TestPlanPicksTTMForChains(t *testing.T) {
+	cal := testCal()
+	p := Problem{Dims: []int{64, 64, 64}, R: 16, Mode: AllModes,
+		Ranks: []int{16, 16, 16}, MaxWorkers: 4}
+	c, err := Plan(p, cal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Engine != "ttm" {
+		t.Errorf("chain problem picked %q, want ttm", c.Engine)
+	}
+	// Small shapes must not trip the fast-kernel cutover for chains.
+	small := Problem{Dims: []int{8, 8, 8}, R: 4, Mode: AllModes,
+		Ranks: []int{4, 4, 4}, MaxWorkers: 4}
+	c, err = Plan(small, cal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Engine != "ttm" {
+		t.Errorf("small chain problem picked %q, want ttm", c.Engine)
+	}
+	plain := Problem{Dims: []int{64, 64, 64}, R: 16, Mode: AllModes, MaxWorkers: 4}
+	if (ttmEngine{}).Supports(plain) {
+		t.Error("ttm engine claims a plain MTTKRP problem")
+	}
+}
+
+// TestTTMAdapterZeroAllocSteadyState: once warm, the chain adapter
+// must be allocation-free like the other dense engines.
+func TestTTMAdapterZeroAllocSteadyState(t *testing.T) {
+	dims := []int{16, 12, 10}
+	ranks := []int{6, 5, 4}
+	x := tensor.RandomDense(33, dims...)
+	us := make([]*tensor.Matrix, len(dims))
+	for k := range dims {
+		us[k] = tensor.RandomMatrix(int64(40+k), dims[k], ranks[k])
+	}
+	p := Problem{Dims: dims, R: 6, Mode: AllModes, Ranks: ranks}
+	inst := &Instance{X: x, Factors: us}
+	e, _ := Lookup("ttm")
+	if err := e.Prepare(p, inst); err != nil {
+		t.Fatal(err)
+	}
+	var res Result
+	e.Run(p, inst, &res, 1)
+	if allocs := testing.AllocsPerRun(10, func() { e.Run(p, inst, &res, 1) }); allocs != 0 { //repro:bitwise exact allocation count
+		t.Errorf("ttm: %v allocs/op in steady state, want 0", allocs)
+	}
+}
+
+func TestPlanRejectsBadChainProblems(t *testing.T) {
+	cal := testCal()
+	bad := []Problem{
+		{Dims: []int{64, 64, 64}, R: 8, Mode: AllModes, Ranks: []int{8, 8}},    // rank count
+		{Dims: []int{64, 64, 64}, R: 8, Mode: AllModes, Ranks: []int{8, 0, 8}}, // zero rank
+		{Dims: []int{64, 64}, R: 8, Mode: 0, NNZ: 100, Ranks: []int{8, 8}},     // sparse chain
+		{Dims: []int{64, 64}, R: 8, Mode: 0, DType: F32, Ranks: []int{8, 8}},   // no f32 chain engine
+	}
+	for i, p := range bad {
+		if _, err := Plan(p, cal); err == nil {
+			t.Errorf("case %d: Plan accepted %+v", i, p)
+		}
+	}
+}
+
 func TestEnginesRegistry(t *testing.T) {
 	names := Engines()
-	want := []string{"fast", "fast32", "tree", "csf", "coo"}
+	want := []string{"fast", "fast32", "tree", "csf", "coo", "ttm"}
 	if len(names) != len(want) {
 		t.Fatalf("registry %v, want %v", names, want)
 	}

@@ -103,7 +103,8 @@ func plan(p Problem, cal *Calibration, only string) (Choice, error) {
 
 // forceFast is the small-shape cutover guard.
 func (p Problem) forceFast() bool {
-	return !p.Sparse() && p.DType == F64 && p.Mode == AllModes && p.Elems() < SmallAllModesElems
+	return !p.Sparse() && p.DType == F64 && p.Mode == AllModes && !p.TTMChain() &&
+		p.Elems() < SmallAllModesElems
 }
 
 // Auto loads (or measures) the calibration from the default cache path
@@ -121,6 +122,25 @@ func blocksFor(p Problem, cal *Calibration) (kc, mc int) {
 	kc, mc = linalg.BlockSizes()
 	if p.Sparse() {
 		return kc, mc
+	}
+	if p.TTMChain() {
+		// The chain's first (and largest) GEMM contracts the greedy
+		// pick — the mode with the smallest Ranks/Dims ratio — against
+		// the full tensor: (Elems / I_k0) x I_k0 x Ranks[k0].
+		k0 := -1
+		skip := p.chainSkip()
+		for k := range p.Dims {
+			if k == skip {
+				continue
+			}
+			if k0 < 0 || p.Ranks[k]*p.Dims[k0] < p.Ranks[k0]*p.Dims[k] {
+				k0 = k
+			}
+		}
+		if k0 < 0 {
+			return kc, mc
+		}
+		return PlanGEMM(int(p.Elems()/int64(p.Dims[k0])), p.Dims[k0], p.Ranks[k0], cal)
 	}
 	// The dominant GEMM of every dense engine pass has the shape
 	// (rows of the kept mode) x (product of the streamed modes) x R:

@@ -1,0 +1,91 @@
+package plan
+
+// ttmEngine adapts the blocked TTM chain engine (internal/ttm) to the
+// planner, so Tucker workloads run through the same calibrated
+// engine/worker/block selection as the MTTKRP kernels. A TTM-chain
+// problem carries per-mode target Ranks; Mode selects the skipped mode
+// (AllModes = none skipped, the full core chain).
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+	"repro/internal/ttm"
+)
+
+// chainSkip maps Problem.Mode onto the chain's skip argument.
+func (p Problem) chainSkip() int {
+	if p.Mode == AllModes {
+		return -1
+	}
+	return p.Mode
+}
+
+// chainRanks converts Ranks to the cost model's float form.
+func (p Problem) chainRanks() []float64 {
+	out := make([]float64, len(p.Ranks))
+	for i, r := range p.Ranks {
+		out[i] = float64(r)
+	}
+	return out
+}
+
+type ttmEngine struct{}
+
+func (ttmEngine) Name() string { return "ttm" }
+
+func (ttmEngine) Supports(p Problem) bool {
+	return p.TTMChain() && !p.Sparse() && p.DType == F64
+}
+
+func (ttmEngine) Cost(p Problem, cal *Calibration, workers int) Cost {
+	ec := p.model().TTMChainCost(p.chainRanks(), p.chainSkip()).Scale(p.reuses())
+	return Cost{Words: ec.Words, Flops: ec.Flops, Seconds: cal.Seconds(ec.Words, ec.Flops, workers)}
+}
+
+func (ttmEngine) Prepare(p Problem, inst *Instance) error {
+	if inst.X == nil {
+		return fmt.Errorf("plan: engine ttm needs a dense f64 tensor")
+	}
+	if inst.tws == nil {
+		inst.tws = ttm.NewWorkspace()
+	}
+	return nil
+}
+
+//repro:hotpath
+func (ttmEngine) Run(p Problem, inst *Instance, res *Result, workers int) {
+	skip := p.chainSkip()
+	ensureY(res, p, skip)
+	ttm.ChainInto(res.Y, inst.X, inst.Factors, skip, workers, inst.tws)
+}
+
+// ensureY grows res.Y to the chain's output shape: Ranks[k] on every
+// contracted mode, the input extent on the skipped one.
+func ensureY(res *Result, p Problem, skip int) {
+	ok := res.Y != nil && res.Y.Order() == len(p.Dims)
+	if ok {
+		for k, d := range p.Dims {
+			want := p.Ranks[k]
+			if k == skip {
+				want = d
+			}
+			if res.Y.Dim(k) != want {
+				ok = false
+				break
+			}
+		}
+	}
+	if ok {
+		return
+	}
+	outDims := make([]int, len(p.Dims)) //repro:ignore hotpath-alloc first-call growth; steady state reuses res.Y
+	for k, d := range p.Dims {
+		if k == skip {
+			outDims[k] = d
+		} else {
+			outDims[k] = p.Ranks[k]
+		}
+	}
+	res.Y = tensor.NewDense(outDims...) //repro:ignore hotpath-alloc first-call growth; steady state reuses res.Y
+}

@@ -1,0 +1,236 @@
+package ttm
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/costmodel"
+	"repro/internal/linalg"
+	"repro/internal/obs"
+	"repro/internal/tensor"
+)
+
+// engineShapes enumerates the property-test shapes: orders 2-5, plus
+// degenerate extents (unit modes) the slab decomposition must survive.
+var engineShapes = [][]int{
+	{4, 5},
+	{3, 4, 5},
+	{5, 4, 3, 2},
+	{3, 2, 4, 2, 3},
+	{1, 5, 4},
+	{5, 1, 4},
+	{5, 4, 1},
+	{1, 1, 3},
+	{2, 1, 3, 1},
+}
+
+// TestEngineMatchesScalarEveryMode: the blocked engine must agree with
+// the per-element scalar reference for every order, mode, and target
+// rank — including rank 1.
+func TestEngineMatchesScalarEveryMode(t *testing.T) {
+	for si, dims := range engineShapes {
+		x := tensor.RandomDense(int64(100+si), dims...)
+		for mode := range dims {
+			for _, R := range []int{1, 3} {
+				u := tensor.RandomMatrix(int64(200+10*si+mode), dims[mode], R)
+				got := TTMWorkers(x, u, mode, 1)
+				want := TTMScalar(x, u, mode)
+				if !got.EqualApprox(want, 1e-10) {
+					t.Fatalf("dims %v mode %d R %d: engine vs scalar diff %v",
+						dims, mode, R, got.MaxAbsDiff(want))
+				}
+			}
+		}
+	}
+}
+
+// TestChainMatchesScalarEverySkip: the greedy-ordered engine chain
+// must match the ascending-order scalar chain (same mathematics,
+// different association) for every skip, including the full chain.
+func TestChainMatchesScalarEverySkip(t *testing.T) {
+	for si, dims := range engineShapes {
+		x := tensor.RandomDense(int64(300+si), dims...)
+		us := make([]*tensor.Matrix, len(dims))
+		for k := range dims {
+			us[k] = tensor.RandomMatrix(int64(400+10*si+k), dims[k], 1+k%3)
+		}
+		for skip := -1; skip < len(dims); skip++ {
+			got := ChainWorkers(x, us, skip, 1)
+			want := ChainScalar(x, us, skip)
+			if !got.EqualApprox(want, 1e-10) {
+				t.Fatalf("dims %v skip %d: chain vs scalar diff %v",
+					dims, skip, got.MaxAbsDiff(want))
+			}
+		}
+	}
+}
+
+// TestEmptyChainIsCopy: an order-1 tensor whose only mode is skipped
+// degenerates to a copy, through both the allocating and the in-place
+// entry points.
+func TestEmptyChainIsCopy(t *testing.T) {
+	x := tensor.RandomDense(11, 7)
+	got := Chain(x, []*tensor.Matrix{nil}, 0)
+	for i, v := range got.Data() {
+		if v != x.Data()[i] { //repro:bitwise a copy must be exact
+			t.Fatalf("element %d: %g != %g", i, v, x.Data()[i])
+		}
+	}
+	out := tensor.NewDense(7)
+	ws := NewWorkspace()
+	ChainInto(out, x, []*tensor.Matrix{nil}, 0, 1, ws)
+	for i, v := range out.Data() {
+		if v != x.Data()[i] { //repro:bitwise a copy must be exact
+			t.Fatalf("ChainInto element %d: %g != %g", i, v, x.Data()[i])
+		}
+	}
+}
+
+// TestEngineWorkerBitwise: chains, single TTMs, and Grams must be
+// bitwise identical across worker counts 1-8 — the repository's
+// determinism contract. The order-4 shape keeps interior modes (both
+// L > 1 and Rt > 1) in play, where the parallel slab/bucket paths run.
+func TestEngineWorkerBitwise(t *testing.T) {
+	dims := []int{6, 7, 8, 9}
+	x := tensor.RandomDense(17, dims...)
+	us := make([]*tensor.Matrix, len(dims))
+	for k := range dims {
+		us[k] = tensor.RandomMatrix(int64(500+k), dims[k], 2+k%2)
+	}
+	for skip := -1; skip < len(dims); skip++ {
+		ref := ChainWorkers(x, us, skip, 1)
+		for w := 2; w <= 8; w++ {
+			got := ChainWorkers(x, us, skip, w)
+			for i, v := range got.Data() {
+				if v != ref.Data()[i] { //repro:bitwise worker-count independence
+					t.Fatalf("skip %d workers %d: element %d differs", skip, w, i)
+				}
+			}
+		}
+	}
+	ws := NewWorkspace()
+	for mode := range dims {
+		ref := tensor.NewMatrix(dims[mode], dims[mode])
+		GramInto(ref, x, mode, 1, ws)
+		for w := 2; w <= 8; w++ {
+			got := tensor.NewMatrix(dims[mode], dims[mode])
+			GramInto(got, x, mode, w, ws)
+			for i, v := range got.Data() {
+				if v != ref.Data()[i] { //repro:bitwise worker-count independence
+					t.Fatalf("gram mode %d workers %d: element %d differs", mode, w, i)
+				}
+			}
+		}
+	}
+}
+
+// TestTTMTMatchesTransposedOracle: the transposed variant must equal a
+// plain TTM against the materialized transpose.
+func TestTTMTMatchesTransposedOracle(t *testing.T) {
+	dims := []int{4, 5, 6}
+	x := tensor.RandomDense(23, dims...)
+	for mode := range dims {
+		u := tensor.RandomMatrix(int64(600+mode), 3, dims[mode]) // 3 x I_mode
+		got := TTMT(x, u, mode)
+		want := TTM(x, linalg.Transpose(u), mode)
+		if !got.EqualApprox(want, 1e-10) {
+			t.Fatalf("mode %d: TTMT vs transposed TTM diff %v", mode, got.MaxAbsDiff(want))
+		}
+	}
+}
+
+// TestGramMatchesUnfoldOracle: GramInto must reproduce the explicit
+// unfolding product Y_(k) Y_(k)^T on every mode (leading, interior,
+// trailing — all three slab cases).
+func TestGramMatchesUnfoldOracle(t *testing.T) {
+	dims := []int{4, 3, 5, 2}
+	y := tensor.RandomDense(29, dims...)
+	ws := NewWorkspace()
+	for mode := range dims {
+		g := tensor.NewMatrix(dims[mode], dims[mode])
+		GramInto(g, y, mode, 0, ws)
+		yk := tensor.Unfold(y, mode)
+		want := linalg.MatMulTransB(yk, yk)
+		for i, v := range g.Data() {
+			if d := v - want.Data()[i]; d > 1e-10 || d < -1e-10 {
+				t.Fatalf("mode %d: gram element %d differs by %g", mode, i, d)
+			}
+		}
+	}
+}
+
+// TestChainCostMatchesMeasuredWords: costmodel.TTMChainCost promises to
+// reproduce obs.Gemm's operand accounting exactly — the planner's
+// prediction for a chain equals the measured streaming totals to the
+// word and the flop.
+func TestChainCostMatchesMeasuredWords(t *testing.T) {
+	cases := []struct {
+		dims, ranks []int
+		skip        int
+	}{
+		{[]int{12, 10, 8}, []int{5, 4, 3}, -1},
+		{[]int{12, 10, 8}, []int{5, 4, 3}, 0},
+		{[]int{12, 10, 8}, []int{5, 4, 3}, 1},
+		{[]int{12, 10, 8}, []int{5, 4, 3}, 2},
+		{[]int{6, 5, 4, 3}, []int{3, 2, 2, 2}, -1},
+		{[]int{9, 7}, []int{4, 3}, -1},
+		{[]int{9, 7}, []int{4, 3}, 1},
+	}
+	for _, tc := range cases {
+		t.Run(fmt.Sprintf("%v-skip%d", tc.dims, tc.skip), func(t *testing.T) {
+			x := tensor.RandomDense(31, tc.dims...)
+			us := make([]*tensor.Matrix, len(tc.dims))
+			fdims := make([]float64, len(tc.dims))
+			franks := make([]float64, len(tc.dims))
+			for k := range tc.dims {
+				us[k] = tensor.RandomMatrix(int64(700+k), tc.dims[k], tc.ranks[k])
+				fdims[k] = float64(tc.dims[k])
+				franks[k] = float64(tc.ranks[k])
+			}
+			col := obs.New(0)
+			obs.Enable(col)
+			ChainWorkers(x, us, tc.skip, 1)
+			obs.Disable()
+			tot := col.Totals()
+			ec := costmodel.Model{Dims: fdims}.TTMChainCost(franks, tc.skip)
+			if got := float64(tot.WordsRead + tot.WordsWritten); got != ec.Words { //repro:bitwise the model mirrors obs.Gemm exactly
+				t.Errorf("words: measured %v, model %v", got, ec.Words)
+			}
+			if got := float64(tot.Flops); got != ec.Flops { //repro:bitwise the model mirrors obs.Gemm exactly
+				t.Errorf("flops: measured %v, model %v", got, ec.Flops)
+			}
+		})
+	}
+}
+
+// TestSteadyStateZeroAlloc: a warmed chain + gram pipeline — the HOOI
+// sweep body — must allocate nothing.
+func TestSteadyStateZeroAlloc(t *testing.T) {
+	dims := []int{16, 12, 10}
+	ranks := []int{6, 5, 4}
+	x := tensor.RandomDense(37, dims...)
+	us := make([]*tensor.Matrix, len(dims))
+	for k := range dims {
+		us[k] = tensor.RandomMatrix(int64(800+k), dims[k], ranks[k])
+	}
+	ws := NewWorkspace()
+	outs := make([]*tensor.Dense, len(dims))
+	grams := make([]*tensor.Matrix, len(dims))
+	for k := range dims {
+		ydims := append([]int(nil), ranks...)
+		ydims[k] = dims[k]
+		outs[k] = tensor.NewDense(ydims...)
+		grams[k] = tensor.NewMatrix(dims[k], dims[k])
+		ChainInto(outs[k], x, us, k, 1, ws) // warm the ping-pong buffers
+		GramInto(grams[k], outs[k], k, 1, ws)
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		for k := range dims {
+			ChainInto(outs[k], x, us, k, 1, ws)
+			GramInto(grams[k], outs[k], k, 1, ws)
+		}
+	})
+	if allocs != 0 { //repro:bitwise exact allocation count
+		t.Errorf("steady-state sweep body: %v allocs/op, want 0", allocs)
+	}
+}

@@ -7,7 +7,24 @@
 //
 // replaces dimension I_k by U's column count. Chains of TTMs (one per
 // mode) produce the Tucker core; like MTTKRP, their data movement is
-// governed by how operands are blocked and ordered.
+// governed by how operands are blocked and ordered, and the Multi-TTM
+// follow-up paper (arXiv:2207.10437) gives the matching communication
+// lower bounds (internal/bounds MultiTTM).
+//
+// The package has two implementations:
+//
+//   - The engine (TTM/TTMInto, Chain/ChainInto, GramInto) computes every
+//     mode as blocked GEMM over the contiguous column-major slabs of the
+//     storage order — no explicit unfolding is ever materialized — with
+//     a pooled grow-only Workspace so steady-state chains allocate
+//     nothing, and a shape-derived greedy chain order. Results are
+//     bitwise independent of the worker count: parallelism moves whole
+//     single-threaded slab GEMMs between workers and merges fixed
+//     buckets with kernel.ReduceTree.
+//   - TTMScalar/ChainScalar below are the retained reference
+//     implementation: a per-element scatter walk with no blocking, kept
+//     readable rather than fast. The engine is property-tested against
+//     it over orders 2-5, every mode, and degenerate extents.
 package ttm
 
 import (
@@ -16,16 +33,12 @@ import (
 	"repro/internal/tensor"
 )
 
-// TTM returns Y = X x_mode U^T where U is I_mode x R: the mode's
-// extent becomes R.
-func TTM(x *tensor.Dense, u *tensor.Matrix, mode int) *tensor.Dense {
+// TTMScalar returns Y = X x_mode U^T where U is I_mode x R: the
+// mode's extent becomes R. This is the scalar reference path; use TTM
+// for the blocked engine.
+func TTMScalar(x *tensor.Dense, u *tensor.Matrix, mode int) *tensor.Dense {
+	checkTTM(x, u, mode)
 	N := x.Order()
-	if mode < 0 || mode >= N {
-		panic(fmt.Sprintf("ttm: mode %d out of range for order %d", mode, N))
-	}
-	if u.Rows() != x.Dim(mode) {
-		panic(fmt.Sprintf("ttm: U has %d rows, mode %d has extent %d", u.Rows(), mode, x.Dim(mode)))
-	}
 	R := u.Cols()
 	dims := x.Dims()
 	outDims := append([]int(nil), dims...)
@@ -60,23 +73,18 @@ func TTM(x *tensor.Dense, u *tensor.Matrix, mode int) *tensor.Dense {
 	return out
 }
 
-// Chain applies TTMs for every mode except skip (skip = -1 applies
-// all), contracting in ascending mode order. us[k] may be nil when
-// k == skip. The result of a full chain with the Tucker factors'
-// transposes is the core tensor.
-func Chain(x *tensor.Dense, us []*tensor.Matrix, skip int) *tensor.Dense {
-	if len(us) != x.Order() {
-		panic(fmt.Sprintf("ttm: %d matrices for order-%d tensor", len(us), x.Order()))
-	}
+// ChainScalar applies scalar TTMs for every mode except skip (skip =
+// -1 applies all), contracting in ascending mode order. us[k] may be
+// nil when k == skip. This is the reference path; use Chain for the
+// blocked engine with its greedy contraction order.
+func ChainScalar(x *tensor.Dense, us []*tensor.Matrix, skip int) *tensor.Dense {
+	checkChain(x, us, skip)
 	out := x
 	for k := 0; k < x.Order(); k++ {
 		if k == skip {
 			continue
 		}
-		if us[k] == nil {
-			panic(fmt.Sprintf("ttm: matrix %d is nil", k))
-		}
-		out = TTM(out, us[k], k)
+		out = TTMScalar(out, us[k], k)
 	}
 	return out
 }
@@ -84,6 +92,36 @@ func Chain(x *tensor.Dense, us []*tensor.Matrix, skip int) *tensor.Dense {
 // Flops returns the multiply-add count of one mode-k TTM: 2*I*R.
 func Flops(x *tensor.Dense, R int) int64 {
 	return 2 * int64(x.Elems()) * int64(R)
+}
+
+// checkTTM validates one mode-k TTM's operands (shared by the scalar
+// and engine paths, so both panic identically).
+func checkTTM(x *tensor.Dense, u *tensor.Matrix, mode int) {
+	N := x.Order()
+	if mode < 0 || mode >= N {
+		panic(fmt.Sprintf("ttm: mode %d out of range for order %d", mode, N))
+	}
+	if u.Rows() != x.Dim(mode) {
+		panic(fmt.Sprintf("ttm: U has %d rows, mode %d has extent %d", u.Rows(), mode, x.Dim(mode)))
+	}
+}
+
+// checkChain validates a chain's matrices against x.
+func checkChain(x *tensor.Dense, us []*tensor.Matrix, skip int) {
+	if len(us) != x.Order() {
+		panic(fmt.Sprintf("ttm: %d matrices for order-%d tensor", len(us), x.Order()))
+	}
+	for k, u := range us {
+		if k == skip {
+			continue
+		}
+		if u == nil {
+			panic(fmt.Sprintf("ttm: matrix %d is nil", k))
+		}
+		if u.Rows() != x.Dim(k) {
+			panic(fmt.Sprintf("ttm: matrix %d has %d rows, mode extent is %d", k, u.Rows(), x.Dim(k)))
+		}
+	}
 }
 
 func strideOf(dims []int, mode int) int {

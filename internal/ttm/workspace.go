@@ -1,0 +1,64 @@
+package ttm
+
+import "sync"
+
+// Workspace holds every grow-only buffer the TTM engine needs: the
+// chain's ping-pong intermediates, per-worker gram slab products, and
+// the gram accumulation buckets. Buffers grow monotonically and are
+// reused across calls, so a HOOI sweep that cycles through modes of
+// one tensor reaches a steady state with zero allocations.
+//
+// A Workspace is not safe for concurrent use by multiple chain or
+// gram calls; use one per goroutine (or the pool helpers below).
+type Workspace struct {
+	a, b    []float64 // chain ping-pong intermediates
+	scratch []float64 // workers * I*I per-worker gram slab products
+	priv    []float64 // (chunks-1) * I*I gram accumulation buckets
+	bufs    [][]float64
+	dims    []int // mutable extent vector during a chain
+	ord     []int // greedy contraction order
+}
+
+// NewWorkspace returns an empty workspace; buffers are grown on first
+// use. Prefer GetWorkspace/PutWorkspace for pooled reuse.
+func NewWorkspace() *Workspace { return new(Workspace) }
+
+// ensureGram grows the slab-pass buffers for an I*I = n gram over
+// nbuf buckets at the given worker count.
+func (ws *Workspace) ensureGram(n, nbuf, workers int) {
+	if workers < 1 {
+		workers = 1
+	}
+	ws.scratch = grow(ws.scratch, workers*n)
+	if nbuf > 1 {
+		ws.priv = grow(ws.priv, (nbuf-1)*n)
+	}
+	if cap(ws.bufs) < nbuf {
+		ws.bufs = make([][]float64, 0, nbuf) //repro:ignore hotpath-alloc grow-only bucket headers; settles after the first call
+	}
+	ws.bufs = ws.bufs[:0]
+}
+
+//repro:ignore hotpath-alloc grow-only workspace primitive; allocates only while capacity still grows
+func grow(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+//repro:ignore hotpath-alloc grow-only workspace primitive; allocates only while capacity still grows
+func growInts(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
+}
+
+var wsPool = sync.Pool{New: func() any { return new(Workspace) }}
+
+// GetWorkspace fetches a workspace from the shared pool.
+func GetWorkspace() *Workspace { return wsPool.Get().(*Workspace) }
+
+// PutWorkspace returns a workspace to the shared pool for reuse.
+func PutWorkspace(ws *Workspace) { wsPool.Put(ws) }

@@ -32,6 +32,19 @@ func (r *ParallelResult) MaxGatherWords() int64 { return maxOf(r.GatherWords) }
 // MaxReduceWords returns the per-rank maximum of Y-reduce words.
 func (r *ParallelResult) MaxReduceWords() int64 { return maxOf(r.ReduceWords) }
 
+// MaxCommWords returns the maximum over ranks of total collective
+// words (gathers plus reduces) — the per-processor figure the
+// Multi-TTM parallel lower bounds apply to.
+func (r *ParallelResult) MaxCommWords() int64 {
+	var m int64
+	for i := range r.GatherWords {
+		if t := r.GatherWords[i] + r.ReduceWords[i]; t > m {
+			m = t
+		}
+	}
+	return m
+}
+
 func maxOf(xs []int64) int64 {
 	var m int64
 	for _, x := range xs {
@@ -119,6 +132,10 @@ func DecomposeParallel(x *tensor.Dense, shape []int, opts Options, seed int64) (
 		coords := g.Coords(rank)
 		world := comm.New(net, worldRanks(P), rank)
 		factors := ownFact[rank]
+		// Per-rank engine workspace; local chains and Grams run
+		// single-worker (the ranks already are the parallelism).
+		ws := ttm.GetWorkspace()
+		defer ttm.PutWorkspace(ws)
 
 		localSq := 0.0
 		for _, v := range localX[rank].Data() {
@@ -146,15 +163,11 @@ func DecomposeParallel(x *tensor.Dense, shape []int, opts Options, seed int64) (
 				gatherWords[rank] += net.RankStats(rank).Words() - before
 
 				// Local multi-TTM over all modes but k: partial
-				// projection of the local block.
+				// projection of the local block, via the engine's
+				// greedy-ordered chain (identical to the sequential
+				// solver's, so a P = 1 run reproduces it bitwise).
 				before = net.RankStats(rank).Words()
-				z := localX[rank]
-				for j := 0; j < N; j++ {
-					if j == k {
-						continue
-					}
-					z = ttm.TTM(z, gathered[j], j)
-				}
+				z := ttm.ChainWorkers(localX[rank], gathered, k, 1)
 				// Embed into the full Y (I_k x prod R_j) and All-Reduce.
 				y := embedPartial(z, k, x.Dim(k), lay, coords)
 				full := world.AllReduce(y.Data())
@@ -162,8 +175,8 @@ func DecomposeParallel(x *tensor.Dense, shape []int, opts Options, seed int64) (
 				yFull := tensor.NewDenseFromData(full, y.Dims()...)
 
 				// Replicated small eigenproblem; keep only owned rows.
-				yk := tensor.Unfold(yFull, k)
-				gram := linalg.MatMulTransB(yk, yk)
+				gram := tensor.NewMatrix(x.Dim(k), x.Dim(k))
+				ttm.GramInto(gram, yFull, k, 1, ws)
 				u, err := linalg.LeadingEigvecs(gram, opts.Ranks[k])
 				if err != nil {
 					return fmt.Errorf("tucker: rank %d mode %d: %w", rank, k, err)
@@ -177,12 +190,14 @@ func DecomposeParallel(x *tensor.Dense, shape []int, opts Options, seed int64) (
 			}
 			// Fit from the replicated factors (all N are replicated
 			// once the first sweep completes); the local core partial
-			// contracts each mode's *local* factor rows.
-			core := localX[rank]
+			// contracts each mode's *local* factor rows with one
+			// engine chain.
+			localFacts := make([]*tensor.Matrix, N)
 			for j := 0; j < N; j++ {
 				rlo, rhi := lay.FactorRowRange(j, coords[j])
-				core = ttm.TTM(core, mustReplicated(replicated, j).RowBlock(rlo, rhi), j)
+				localFacts[j] = mustReplicated(replicated, j).RowBlock(rlo, rhi)
 			}
+			core := ttm.ChainWorkers(localX[rank], localFacts, -1, 1)
 			// Core partials sum across all processors.
 			coreFull := world.AllReduce(core.Data())
 			var coreNorm2 float64

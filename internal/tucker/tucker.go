@@ -5,6 +5,11 @@
 // model is a small core G and per-mode orthonormal factors U_k with
 //
 //	X ~ G x_1 U_1 x_2 U_2 ... x_N U_N.
+//
+// Both solvers run on the blocked TTM engine (internal/ttm): HOOI's
+// projection chains and mode Grams are GEMM over contiguous slabs
+// with a reused workspace, so steady-state sweeps allocate nothing
+// outside the eigensolves.
 package tucker
 
 import (
@@ -22,6 +27,11 @@ type Options struct {
 	Ranks    []int   // multilinear ranks, one per mode
 	MaxIters int     // HOOI sweeps (default 25; 0 sweeps = plain HOSVD)
 	Tol      float64 // stop when fit improves by less than Tol (default 1e-8)
+
+	// Workers is the TTM engine's worker count for chains and Grams
+	// (<= 0 selects the linalg default). Results are bitwise identical
+	// for every worker count.
+	Workers int
 
 	// Init provides explicit initial factors (orthonormal columns,
 	// I_k x Ranks[k]) instead of the HOSVD initialization. Used by the
@@ -46,9 +56,10 @@ type TraceEntry struct {
 func (m *Model) Reconstruct() *tensor.Dense {
 	out := m.Core
 	for k, u := range m.Factors {
-		// ttm.TTM contracts mode k against its matrix argument's rows;
-		// expanding R_k back to I_k therefore takes U^T (R_k x I_k).
-		out = ttm.TTM(out, linalg.Transpose(u), k)
+		// Expanding R_k back to I_k contracts mode k against U's
+		// columns; the transposed-TTM variant does that directly, so no
+		// transpose of U is ever materialized.
+		out = ttm.TTMT(out, u, k)
 	}
 	return out
 }
@@ -77,9 +88,13 @@ func Decompose(x *tensor.Dense, opts Options) (*Model, []TraceEntry, error) {
 	if normX == 0 { //repro:bitwise zero-tensor guard: norm is exactly 0 iff all entries are 0
 		return nil, nil, fmt.Errorf("tucker: zero tensor")
 	}
+	w := opts.Workers
+	ws := ttm.GetWorkspace()
+	defer ttm.PutWorkspace(ws)
 
 	// Initialize: explicit factors if given, else HOSVD
-	// (U_k = leading eigenvectors of X_(k) X_(k)^T).
+	// (U_k = leading eigenvectors of the mode-k Gram X_(k) X_(k)^T,
+	// formed by the engine without materializing the unfolding).
 	factors := make([]*tensor.Matrix, N)
 	if opts.Init != nil {
 		if len(opts.Init) != N {
@@ -93,8 +108,8 @@ func Decompose(x *tensor.Dense, opts Options) (*Model, []TraceEntry, error) {
 		}
 	} else {
 		for k := 0; k < N; k++ {
-			xk := tensor.Unfold(x, k)
-			gram := linalg.MatMulTransB(xk, xk)
+			gram := tensor.NewMatrix(x.Dim(k), x.Dim(k))
+			ttm.GramInto(gram, x, k, w, ws)
 			u, err := linalg.LeadingEigvecs(gram, opts.Ranks[k])
 			if err != nil {
 				return nil, nil, fmt.Errorf("tucker: HOSVD mode %d: %w", k, err)
@@ -103,12 +118,26 @@ func Decompose(x *tensor.Dense, opts Options) (*Model, []TraceEntry, error) {
 		}
 	}
 
-	// Per-mode Gram buffers reused across HOOI sweeps; LeadingEigvecs
-	// clones its input, so overwriting each sweep is safe.
+	// Buffers reused across HOOI sweeps: the mode-k projection keeps
+	// extent I_k on mode k and R_j elsewhere, so its shape is fixed for
+	// the whole run; likewise the Gram operands and the core.
+	// LeadingEigvecs clones its input, so overwriting each sweep is
+	// safe.
 	gramBuf := make([]*tensor.Matrix, N)
+	yBuf := make([]*tensor.Dense, N)
 	for k := 0; k < N; k++ {
 		gramBuf[k] = tensor.NewMatrix(x.Dim(k), x.Dim(k))
+		ydims := make([]int, N)
+		for j := 0; j < N; j++ {
+			if j == k {
+				ydims[j] = x.Dim(j)
+			} else {
+				ydims[j] = opts.Ranks[j]
+			}
+		}
+		yBuf[k] = tensor.NewDense(ydims...)
 	}
+	coreBuf := tensor.NewDense(opts.Ranks...)
 
 	// HOOI sweeps.
 	var trace []TraceEntry
@@ -117,12 +146,10 @@ func Decompose(x *tensor.Dense, opts Options) (*Model, []TraceEntry, error) {
 	for it := 0; it < opts.MaxIters; it++ {
 		for k := 0; k < N; k++ {
 			// Project all modes but k, then take leading eigenvectors
-			// of the partial projection's mode-k Gram.
-			y := ttm.Chain(x, factors, k)
-			yk := tensor.Unfold(y, k)
-			gspan := obs.Start(obs.PhaseGram)
-			linalg.MatMulTransBInto(gramBuf[k], yk, yk)
-			gspan.Stop()
+			// of the partial projection's mode-k Gram. ChainInto and
+			// GramInto time themselves (PhaseTTMChain / PhaseGram).
+			ttm.ChainInto(yBuf[k], x, factors, k, w, ws)
+			ttm.GramInto(gramBuf[k], yBuf[k], k, w, ws)
 			sspan := obs.Start(obs.PhaseSolve)
 			u, err := linalg.LeadingEigvecs(gramBuf[k], opts.Ranks[k])
 			sspan.Stop()
@@ -134,8 +161,8 @@ func Decompose(x *tensor.Dense, opts Options) (*Model, []TraceEntry, error) {
 		// With orthonormal factors, ||Xhat|| = ||G||, so the fit comes
 		// from the core alone.
 		fspan := obs.Start(obs.PhaseFit)
-		core := ttm.Chain(x, factors, -1)
-		fit = fitFromCore(normX, core)
+		ttm.ChainInto(coreBuf, x, factors, -1, w, ws)
+		fit = fitFromCore(normX, coreBuf)
 		fspan.Stop()
 		trace = append(trace, TraceEntry{Iter: it, Fit: fit})
 		if fit-prevFit < opts.Tol && it > 0 {
@@ -143,7 +170,7 @@ func Decompose(x *tensor.Dense, opts Options) (*Model, []TraceEntry, error) {
 		}
 		prevFit = fit
 	}
-	core := ttm.Chain(x, factors, -1)
+	core := ttm.ChainWorkers(x, factors, -1, w)
 	return &Model{Core: core, Factors: factors, Fit: fitFromCore(normX, core)}, trace, nil
 }
 
@@ -157,13 +184,15 @@ func HOSVD(x *tensor.Dense, ranks []int) (*Model, error) {
 	if normX == 0 { //repro:bitwise zero-tensor guard: norm is exactly 0 iff all entries are 0
 		return nil, fmt.Errorf("tucker: zero tensor")
 	}
+	ws := ttm.GetWorkspace()
+	defer ttm.PutWorkspace(ws)
 	factors := make([]*tensor.Matrix, N)
 	for k := 0; k < N; k++ {
 		if ranks[k] < 1 || ranks[k] > x.Dim(k) {
 			return nil, fmt.Errorf("tucker: rank %d invalid for mode %d", ranks[k], k)
 		}
-		xk := tensor.Unfold(x, k)
-		gram := linalg.MatMulTransB(xk, xk)
+		gram := tensor.NewMatrix(x.Dim(k), x.Dim(k))
+		ttm.GramInto(gram, x, k, 0, ws)
 		u, err := linalg.LeadingEigvecs(gram, ranks[k])
 		if err != nil {
 			return nil, err

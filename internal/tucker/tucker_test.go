@@ -155,3 +155,41 @@ func TestErrors(t *testing.T) {
 		t.Fatal("HOSVD zero tensor should error")
 	}
 }
+
+// TestHOOISweepBodyZeroAlloc guards the steady-state allocation
+// contract Decompose documents: with the per-mode projection, Gram,
+// and core buffers warmed, a full sweep's TTM work (everything except
+// the eigensolves, which allocate their own factor matrices) touches
+// the heap zero times.
+func TestHOOISweepBodyZeroAlloc(t *testing.T) {
+	dims := []int{12, 10, 8}
+	ranks := []int{4, 3, 3}
+	x := lowMultilinear(t, dims, ranks, 61)
+	model, _, err := Decompose(x, Options{Ranks: ranks, MaxIters: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := ttm.GetWorkspace()
+	defer ttm.PutWorkspace(ws)
+	N := len(dims)
+	gramBuf := make([]*tensor.Matrix, N)
+	yBuf := make([]*tensor.Dense, N)
+	for k := 0; k < N; k++ {
+		gramBuf[k] = tensor.NewMatrix(dims[k], dims[k])
+		ydims := append([]int(nil), ranks...)
+		ydims[k] = dims[k]
+		yBuf[k] = tensor.NewDense(ydims...)
+	}
+	coreBuf := tensor.NewDense(ranks...)
+	sweep := func() {
+		for k := 0; k < N; k++ {
+			ttm.ChainInto(yBuf[k], x, model.Factors, k, 1, ws)
+			ttm.GramInto(gramBuf[k], yBuf[k], k, 1, ws)
+		}
+		ttm.ChainInto(coreBuf, x, model.Factors, -1, 1, ws)
+	}
+	sweep()                                                     // warm the workspace ping-pong buffers
+	if allocs := testing.AllocsPerRun(10, sweep); allocs != 0 { //repro:bitwise exact allocation count
+		t.Errorf("HOOI sweep body: %v allocs/op, want 0", allocs)
+	}
+}
